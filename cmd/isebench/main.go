@@ -1,0 +1,141 @@
+// Command isebench regenerates the paper's evaluation: the Fig. 3
+// motivational analysis, the Fig. 7 search trace, the Fig. 8 scaling
+// study, the Fig. 11 algorithm comparison, and the §8 run-time and area
+// summaries, plus the pruning ablation (an extension). Output is plain
+// text, one section per figure.
+//
+// Usage:
+//
+//	isebench                  # everything, default budgets
+//	isebench -fig 11 -measure # only Fig. 11, with simulator validation
+//	isebench -budget 10000000 # spend more search effort
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"isex/internal/experiments"
+)
+
+func main() {
+	var (
+		fig     = flag.String("fig", "all", "which figure to regenerate: 3, 5, 7, 8, 11, runtime, area, tradeoff, vliw, ifconv, ablation, all")
+		budget  = flag.Int64("budget", experiments.DefaultBudget, "cut budget per identification call")
+		measure = flag.Bool("measure", false, "Fig. 11: additionally patch and measure on the cycle simulator")
+		optimal = flag.Bool("optimal", false, "Fig. 11: include the Optimal selection (slow on large blocks)")
+		benches = flag.String("benchmarks", "adpcmdecode,adpcmencode,gsmlpc", "comma-separated benchmark list for Fig. 11")
+	)
+	flag.Parse()
+	want := func(name string) bool { return *fig == "all" || *fig == name }
+	var benchList []string
+	for _, b := range strings.Split(*benches, ",") {
+		if b = strings.TrimSpace(b); b != "" {
+			benchList = append(benchList, b)
+		}
+	}
+	if err := run(want, *budget, *measure, *optimal, benchList); err != nil {
+		fmt.Fprintln(os.Stderr, "isebench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(want func(string) bool, budget int64, measure, optimal bool, benchList []string) error {
+	section := func(s string) { fmt.Println(); fmt.Println(s); fmt.Println() }
+
+	if want("3") {
+		rows, err := experiments.Fig3(budget)
+		if err != nil {
+			return err
+		}
+		section(experiments.Fig3Table(rows))
+	}
+	if want("5") {
+		tree, err := experiments.Fig5Tree()
+		if err != nil {
+			return err
+		}
+		section("Fig. 5/7 — the search tree on the Fig. 4 example (Nout=1)\n\n" + tree)
+	}
+	if want("7") {
+		section(experiments.Fig7Table(experiments.Fig7()))
+	}
+	if want("8") {
+		points, err := experiments.Fig8(budget)
+		if err != nil {
+			return err
+		}
+		section(experiments.Fig8Series(points))
+		within, total := experiments.Fig8WithinPolynomialBand(points)
+		fmt.Printf("%d/%d blocks within the N^4 band (paper: all practical cases polynomial)\n", within, total)
+	}
+	if want("11") {
+		opt := experiments.DefaultCompareOptions()
+		opt.Benchmarks = benchList
+		opt.Budget = budget
+		opt.Measure = measure
+		if !optimal {
+			opt.Methods = []experiments.Method{
+				experiments.MethodIterative, experiments.MethodClubbing, experiments.MethodMaxMISO,
+			}
+		}
+		rows, err := experiments.Compare(opt)
+		if err != nil {
+			return err
+		}
+		section(experiments.ComparisonTable(rows, opt.Methods, measure))
+	}
+	if want("runtime") {
+		rows, err := experiments.Runtime(
+			[]string{"adpcmdecode", "adpcmencode", "gsmlpc"},
+			[][2]int{{2, 1}, {4, 2}, {8, 4}}, 16, budget)
+		if err != nil {
+			return err
+		}
+		section(experiments.RuntimeTable(rows))
+	}
+	if want("area") {
+		rows, err := experiments.Area(
+			[]string{"adpcmdecode", "adpcmencode", "gsmlpc"}, 4, 2, 16, budget)
+		if err != nil {
+			return err
+		}
+		section(experiments.AreaTable(rows))
+	}
+	if want("tradeoff") {
+		rows, err := experiments.AreaTradeoff("adpcmdecode", 4, 2, 8,
+			[]float64{0.1, 0.25, 0.5, 1.0, 2.0, 4.0}, budget)
+		if err != nil {
+			return err
+		}
+		section(experiments.AreaTradeoffTable(rows))
+	}
+	if want("vliw") {
+		rows, err := experiments.VLIWStudy("adpcmdecode", 4, 2, 8, []int{1, 2, 4, 8}, budget)
+		if err != nil {
+			return err
+		}
+		section(experiments.VLIWTable(rows))
+	}
+	if want("ifconv") {
+		rows, err := experiments.IfConvAblation(
+			[]string{"adpcmdecode", "adpcmencode"}, 4, 2, 8, budget)
+		if err != nil {
+			return err
+		}
+		section(experiments.IfConvTable(rows))
+	}
+	if want("ablation") {
+		rows, err := experiments.Ablation(
+			[]string{"adpcmdecode", "adpcmencode"},
+			[][2]int{{2, 1}, {4, 2}}, budget)
+		if err != nil {
+			return err
+		}
+		section(experiments.AblationTable(rows))
+	}
+	fmt.Println(strings.Repeat("-", 72))
+	return nil
+}

@@ -1,0 +1,312 @@
+// Command isex is the tool-chain driver: it compiles a MiniC program (or
+// loads a built-in benchmark kernel), profiles it, identifies
+// instruction-set extensions under the given port constraints, and
+// reports the chosen custom instructions. Optionally it patches the
+// program, validates it on the cycle simulator, and emits Verilog for
+// every AFU.
+//
+// Usage:
+//
+//	isex -kernel adpcmdecode -nin 4 -nout 2 -ninstr 8 -simulate
+//	isex -src prog.mc -entry main -nin 2 -nout 1 -verilog out/
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"isex/internal/baseline"
+	"isex/internal/core"
+	"isex/internal/dfg"
+	"isex/internal/interp"
+	"isex/internal/ir"
+	"isex/internal/latency"
+	"isex/internal/minic"
+	"isex/internal/passes"
+	"isex/internal/report"
+	"isex/internal/rtl"
+	"isex/internal/sim"
+	"isex/internal/workload"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "isex:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	var (
+		srcPath   = flag.String("src", "", "MiniC source file to compile")
+		kernel    = flag.String("kernel", "", "built-in benchmark kernel (adpcmdecode, adpcmencode, gsmlpc, fir, viterbi, crc32, sha, fft)")
+		entry     = flag.String("entry", "main", "entry function for profiling (-src mode)")
+		argList   = flag.String("args", "", "comma-separated integer arguments for the entry function")
+		nin       = flag.Int("nin", 4, "register-file read ports available to a special instruction")
+		nout      = flag.Int("nout", 2, "register-file write ports available to a special instruction")
+		ninstr    = flag.Int("ninstr", 8, "maximum number of special instructions to select")
+		method    = flag.String("method", "iterative", "selection algorithm: iterative, optimal, clubbing, maxmiso")
+		budget    = flag.Int64("budget", 2_000_000, "cut budget per identification call (0 = unlimited)")
+		unroll    = flag.Int("unroll", 0, "fully unroll counted loops up to this trip count (-src mode)")
+		simulate  = flag.Bool("simulate", false, "patch the selection in and measure the speedup on the cycle simulator")
+		verilogTo = flag.String("verilog", "", "directory to write one Verilog file (+ testbench) per AFU")
+		dotTo     = flag.String("dot", "", "write the hottest block's dataflow graph (best cut highlighted) to this file")
+		showIR    = flag.Bool("ir", false, "dump the preprocessed IR")
+		emitIR    = flag.String("emit-ir", "", "write the final module (custom instructions included, if patched) in textual IR form to this file")
+		list      = flag.Bool("list", false, "list the built-in benchmark kernels and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, k := range workload.All() {
+			fmt.Printf("%-12s entry %s(%v), outputs %v\n", k.Name, k.Entry, k.Args, k.Outputs)
+		}
+		return nil
+	}
+
+	var (
+		m    *ir.Module
+		k    *workload.Kernel
+		args []int32
+		err  error
+	)
+	switch {
+	case *kernel != "":
+		k = workload.ByName(*kernel)
+		if k == nil {
+			return fmt.Errorf("unknown kernel %q", *kernel)
+		}
+		m, err = k.Prepare()
+		if err != nil {
+			return err
+		}
+	case *srcPath != "":
+		src, rerr := os.ReadFile(*srcPath)
+		if rerr != nil {
+			return rerr
+		}
+		m, err = minic.Compile(string(src), minic.Options{UnrollLimit: *unroll})
+		if err != nil {
+			return err
+		}
+		if err := passes.Run(m, passes.Options{}); err != nil {
+			return err
+		}
+		for _, s := range strings.Split(*argList, ",") {
+			s = strings.TrimSpace(s)
+			if s == "" {
+				continue
+			}
+			v, perr := strconv.ParseInt(s, 0, 32)
+			if perr != nil {
+				return fmt.Errorf("bad -args value %q: %v", s, perr)
+			}
+			args = append(args, int32(v))
+		}
+		env := interp.NewEnv(m)
+		env.Profile = true
+		if _, _, err := env.Call(*entry, args...); err != nil {
+			return fmt.Errorf("profiling run: %w", err)
+		}
+	default:
+		return fmt.Errorf("one of -src or -kernel is required")
+	}
+
+	if *showIR {
+		fmt.Print(m.String())
+	}
+
+	model := latency.Default()
+	cfg := core.Config{Nin: *nin, Nout: *nout, Model: model, MaxCuts: *budget}
+	var sel core.SelectionResult
+	switch *method {
+	case "iterative":
+		sel = core.SelectIterative(m, *ninstr, cfg)
+	case "optimal":
+		sel = core.SelectOptimal(m, *ninstr, cfg)
+	case "clubbing":
+		sel = baseline.SelectClubbing(m, *ninstr, cfg)
+	case "maxmiso":
+		sel = baseline.SelectMaxMISO(m, *ninstr, cfg)
+	default:
+		return fmt.Errorf("unknown method %q", *method)
+	}
+
+	t := &report.Table{
+		Title:  fmt.Sprintf("Selected instruction-set extensions (%s, Nin=%d, Nout=%d)", *method, *nin, *nout),
+		Header: []string{"#", "function", "block", "size", "in", "out", "comps", "hw cyc", "saved/exec", "freq", "merit", "area"},
+	}
+	for i, s := range sel.Instructions {
+		t.AddRow(i, s.Fn.Name, s.Block.Name, s.Est.Size, s.Est.In, s.Est.Out,
+			s.Est.Components, s.Est.HWCycles, s.Est.Saved, s.Est.Freq, s.Est.Merit,
+			fmt.Sprintf("%.3f", s.Est.Area))
+	}
+	fmt.Print(t.String())
+	fmt.Printf("total estimated merit: %d cycles; identification calls: %d; cuts considered: %d",
+		sel.TotalMerit, sel.IdentCalls, sel.Stats.CutsConsidered)
+	if sel.Stats.Aborted {
+		fmt.Printf(" (budget hit: results are lower bounds)")
+	}
+	fmt.Println()
+
+	if *dotTo != "" && len(sel.Instructions) > 0 {
+		s := sel.Instructions[0]
+		li := ir.Liveness(s.Fn)
+		g := dfg.Build(s.Fn, s.Block, li)
+		var cut dfg.Cut
+		for _, id := range g.OpOrder {
+			for _, idx := range s.InstrIndexes {
+				if g.Nodes[id].InstrIndex == idx {
+					cut = append(cut, id)
+				}
+			}
+		}
+		if err := os.WriteFile(*dotTo, []byte(g.Dot(cut)), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (dataflow graph of %s/%s)\n", *dotTo, s.Fn.Name, s.Block.Name)
+	}
+
+	writeIR := func() error {
+		if *emitIR == "" {
+			return nil
+		}
+		if err := os.WriteFile(*emitIR, []byte(ir.Serialize(m)), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s (textual IR)\n", *emitIR)
+		return nil
+	}
+	if !*simulate && *verilogTo == "" {
+		return writeIR()
+	}
+	if len(sel.Instructions) == 0 {
+		fmt.Println("nothing selected; skipping patch/emit")
+		return writeIR()
+	}
+
+	var baseCycles int64
+	if *simulate {
+		runner := &sim.Runner{Model: model, Setup: setupFor(k)}
+		rep, err := runner.Run(freshModule(k, *srcPath, *unroll), entryFor(k, *entry), argsFor(k, args)...)
+		if err != nil {
+			return fmt.Errorf("baseline simulation: %w", err)
+		}
+		baseCycles = rep.Cycles
+	}
+
+	afus, skipped, err := core.ApplySelection(m, sel.Instructions, model)
+	if err != nil {
+		return fmt.Errorf("patching: %w", err)
+	}
+	if len(skipped) > 0 {
+		fmt.Printf("note: %d cut(s) skipped (not atomically schedulable)\n", len(skipped))
+	}
+	fmt.Printf("patched in %d custom instruction(s)\n", len(afus))
+
+	if *simulate {
+		interp.ClearProfile(m)
+		runner := &sim.Runner{Model: model, Setup: setupFor(k)}
+		rep, err := runner.Run(m, entryFor(k, *entry), argsFor(k, args)...)
+		if err != nil {
+			return fmt.Errorf("patched simulation: %w", err)
+		}
+		fmt.Printf("cycles: %d -> %d  (measured speedup %.3fx)\n",
+			baseCycles, rep.Cycles, float64(baseCycles)/float64(rep.Cycles))
+	}
+
+	if *verilogTo != "" {
+		if err := os.MkdirAll(*verilogTo, 0o755); err != nil {
+			return err
+		}
+		for _, ai := range afus {
+			d := &m.AFUs[ai]
+			v, err := rtl.Verilog(d)
+			if err != nil {
+				return err
+			}
+			tb, err := rtl.Testbench(d, defaultVectors(d))
+			if err != nil {
+				return err
+			}
+			path := filepath.Join(*verilogTo, fmt.Sprintf("%s.v", d.Name))
+			if err := os.WriteFile(path, []byte(v+"\n"+tb), 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s (%d in, %d out, %d cycle(s), %.3f MAC area)\n",
+				path, d.NumIn, len(d.OutSlots), d.Latency, d.Area)
+		}
+	}
+	return writeIR()
+}
+
+// freshModule rebuilds an unpatched copy of the program for baseline
+// simulation.
+func freshModule(k *workload.Kernel, srcPath string, unroll int) *ir.Module {
+	if k != nil {
+		m, err := k.Build()
+		if err != nil {
+			panic(err)
+		}
+		return m
+	}
+	src, err := os.ReadFile(srcPath)
+	if err != nil {
+		panic(err)
+	}
+	m, err := minic.Compile(string(src), minic.Options{UnrollLimit: unroll})
+	if err != nil {
+		panic(err)
+	}
+	if err := passes.Run(m, passes.Options{}); err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func setupFor(k *workload.Kernel) func(*interp.Env) error {
+	if k == nil {
+		return nil
+	}
+	return func(env *interp.Env) error {
+		for name, vals := range k.Inputs {
+			if err := env.SetGlobal(name, vals); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+}
+
+func entryFor(k *workload.Kernel, entry string) string {
+	if k != nil {
+		return k.Entry
+	}
+	return entry
+}
+
+func argsFor(k *workload.Kernel, args []int32) []int32 {
+	if k != nil {
+		return k.Args
+	}
+	return args
+}
+
+// defaultVectors produces a few deterministic test vectors for an AFU's
+// self-checking bench.
+func defaultVectors(d *ir.AFUDef) [][]int32 {
+	patterns := []int32{0, 1, -1, 7, -128, 32767, -32768, 123456789}
+	var out [][]int32
+	for v := 0; v < 6; v++ {
+		vec := make([]int32, d.NumIn)
+		for i := range vec {
+			vec[i] = patterns[(v+i*3)%len(patterns)]
+		}
+		out = append(out, vec)
+	}
+	return out
+}

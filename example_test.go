@@ -1,0 +1,87 @@
+package isex_test
+
+import (
+	"fmt"
+	"log"
+
+	"isex"
+)
+
+// The canonical flow: compile a kernel, profile it, identify custom
+// instructions under port constraints, patch them in, and measure.
+func Example() {
+	const src = `
+int buf[16];
+void scale(int n, int g) {
+    int i;
+    for (i = 0; i < n; i++) {
+        int v = (buf[i & 15] * g) >> 4;
+        if (v > 255) v = 255;
+        if (v < 0) v = 0;
+        buf[i & 15] = v;
+    }
+}
+`
+	p, err := isex.Compile(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p.SetInput("buf", []int32{0, 50, 100, 150, 200, 250, 300, 350, 400, 450, 500, 550, 600, 650, 700, 750})
+	if err := p.Profile("scale", 16, 20); err != nil {
+		log.Fatal(err)
+	}
+	sel, err := p.Identify(isex.Constraints{Nin: 2, Nout: 1}, 2)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n, err := p.Apply(sel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("applied %d custom instruction(s)\n", n)
+	// Output: applied 2 custom instruction(s)
+}
+
+// Identification weights cuts by profiled execution counts; hotter code
+// wins the instruction budget.
+func ExampleProgram_Identify() {
+	const src = `
+int a[8];
+void hot(int n)  { int i; for (i = 0; i < n; i++) { a[i & 7] = ((a[i & 7] << 3) - a[i & 7]) + 5; } }
+void cold(int x) { a[0] = ((x << 1) + x) ^ 7; }
+void drive()     { hot(500); cold(1); }
+`
+	p, err := isex.Compile(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := p.Profile("drive"); err != nil {
+		log.Fatal(err)
+	}
+	sel, err := p.Identify(isex.Constraints{Nin: 2, Nout: 1}, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, d := range sel.Describe() {
+		fmt.Println(d)
+	}
+	// Output: hot/body2: 4 ops, 2->1 ports, saves 2 cycles x 500 executions
+}
+
+// The textual IR format round-trips a compiled program.
+func ExampleProgram_SerializeIR() {
+	p, err := isex.Compile(`int f(int x) { return (x + 1) * 3; }`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p2, err := isex.LoadIR(p.SerializeIR())
+	if err != nil {
+		log.Fatal(err)
+	}
+	v, err := p2.Run("f", 13)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(v)
+	// Output: 42
+}

@@ -1,0 +1,94 @@
+// Library usage: the same compile → profile → identify → patch → measure
+// flow as the quickstart, but written against the public facade (package
+// isex) only — the API a downstream user programs against.
+//
+//	go run ./examples/library
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"isex"
+)
+
+const src = `
+int hist[16];
+int px[256];
+
+// Histogram with a contrast curve applied per pixel.
+void contrast(int n, int lo, int hi) {
+    int i;
+    for (i = 0; i < n; i++) {
+        int v = px[i & 255];
+        int c = v < lo ? lo : (v > hi ? hi : v);
+        int stretched = ((c - lo) << 8) / max(hi - lo, 1);
+        px[i & 255] = stretched;
+        hist[(stretched >> 4) & 15] += 1;
+    }
+}
+`
+
+func main() {
+	p, err := isex.Compile(src)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pixels := make([]int32, 256)
+	for i := range pixels {
+		pixels[i] = int32((i*i + 31*i) % 256)
+	}
+	p.SetInput("px", pixels)
+
+	if err := p.Profile("contrast", 256, 32, 224); err != nil {
+		log.Fatal(err)
+	}
+	before, err := p.MeasureCycles("contrast", 256, 32, 224)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	sel, err := p.Identify(isex.Constraints{Nin: 4, Nout: 2, MaxCuts: 1_000_000}, 4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("identified %d instruction(s), estimated gain %d cycles\n",
+		sel.Count(), sel.EstimatedGain())
+	for _, line := range sel.Describe() {
+		fmt.Println("  " + line)
+	}
+
+	applied, err := p.Apply(sel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	after, err := p.MeasureCycles("contrast", 256, 32, 224)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("applied %d instruction(s); cycles %d -> %d (%.3fx)\n",
+		applied, before, after, float64(before)/float64(after))
+
+	mods, err := p.Verilog()
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("emitted %d Verilog module(s); first one:\n", len(mods))
+	if len(mods) > 0 {
+		fmt.Println(firstLines(mods[0], 6))
+	}
+}
+
+func firstLines(s string, n int) string {
+	out, count := "", 0
+	for _, r := range s {
+		out += string(r)
+		if r == '\n' {
+			count++
+			if count == n {
+				break
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,3 @@
+module isex
+
+go 1.22

@@ -1,0 +1,119 @@
+package baseline
+
+import (
+	"sort"
+
+	"isex/internal/core"
+	"isex/internal/dfg"
+	"isex/internal/ir"
+	"isex/internal/latency"
+)
+
+func modelOrDefault(m *latency.Model) *latency.Model {
+	if m != nil {
+		return m
+	}
+	return latency.Default()
+}
+
+func instrIndexes(g *dfg.Graph, c dfg.Cut) []int {
+	var out []int
+	for _, id := range c {
+		if g.Nodes[id].InstrIndex >= 0 {
+			out = append(out, g.Nodes[id].InstrIndex)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Clubbing greedily clusters the operations of a graph into "clubs" under
+// explicit n-input / m-output limits, following the linear-complexity
+// scheme of Baleani et al. (ref. 16): instructions are scanned in program
+// order and each is merged into the club of one of its producers whenever
+// the merged club still satisfies the port limits and stays convex;
+// otherwise it opens a club of its own. Forbidden nodes never join clubs.
+func Clubbing(g *dfg.Graph, nin, nout int) []dfg.Cut {
+	// club[id] = representative (first) node of the club, -1 for none.
+	club := make([]int, len(g.Nodes))
+	for i := range club {
+		club[i] = -1
+	}
+	members := map[int]dfg.Cut{}
+	// Scan in program order: reverse of the search order.
+	ids := append([]int(nil), g.OpOrder...)
+	sort.Slice(ids, func(i, j int) bool {
+		return g.Nodes[ids[i]].InstrIndex < g.Nodes[ids[j]].InstrIndex
+	})
+	for _, id := range ids {
+		n := &g.Nodes[id]
+		if n.Forbidden {
+			continue
+		}
+		club[id] = id
+		members[id] = dfg.Cut{id}
+		// Try merging into each producer's club, in order; keep the first
+		// merge that stays legal.
+		for _, p := range n.Preds {
+			pn := &g.Nodes[p]
+			if pn.Kind != dfg.KindOp || pn.Forbidden || club[p] < 0 || club[p] == id {
+				continue
+			}
+			rep := club[p]
+			merged := append(append(dfg.Cut{}, members[rep]...), id)
+			if g.Inputs(merged) <= nin && g.Outputs(merged) <= nout && g.Convex(merged) {
+				delete(members, id)
+				club[id] = rep
+				members[rep] = merged
+				break
+			}
+		}
+	}
+	var out []dfg.Cut
+	var reps []int
+	for rep := range members {
+		reps = append(reps, rep)
+	}
+	sort.Ints(reps)
+	for _, rep := range reps {
+		out = append(out, members[rep].Canon())
+	}
+	return out
+}
+
+// SelectClubbing selects up to ninstr clubs across all blocks, best merit
+// first, under the (Nin, Nout) limits of cfg.
+func SelectClubbing(m *ir.Module, ninstr int, cfg core.Config) core.SelectionResult {
+	res := core.SelectionResult{}
+	if ninstr < 1 || cfg.Nout < 1 {
+		return res
+	}
+	var cands []core.Selected
+	for _, f := range m.Funcs {
+		li := ir.Liveness(f)
+		for _, b := range f.Blocks {
+			g := dfg.Build(f, b, li)
+			res.IdentCalls++
+			for _, c := range Clubbing(g, cfg.Nin, cfg.Nout) {
+				est := core.Evaluate(g, c, modelOrDefault(cfg.Model))
+				if est.Merit <= 0 {
+					continue
+				}
+				cands = append(cands, core.Selected{
+					Fn: f, Block: b, InstrIndexes: instrIndexes(g, c), Est: est,
+				})
+			}
+		}
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		return cands[i].Est.Merit > cands[j].Est.Merit
+	})
+	if len(cands) > ninstr {
+		cands = cands[:ninstr]
+	}
+	for _, c := range cands {
+		res.Instructions = append(res.Instructions, c)
+		res.TotalMerit += c.Est.Merit
+	}
+	return res
+}

@@ -1,0 +1,126 @@
+// Package baseline implements the two state-of-the-art identification
+// algorithms the paper compares against in §8:
+//
+//   - MaxMISO (Alippi, Fornaciari, Pozzi, Sami — DATE 1999, ref. 13): a
+//     linear-time decomposition of the dataflow graph into maximal
+//     single-output, unbounded-input subgraphs.
+//   - Clubbing (Baleani et al. — CODES 2002, ref. 16): a greedy
+//     linear-time clustering that grows "clubs" under explicit input and
+//     output count limits.
+//
+// Both reuse the merit model of package core so the comparison in the
+// Fig. 11 harness is apples-to-apples.
+package baseline
+
+import (
+	"sort"
+
+	"isex/internal/core"
+	"isex/internal/dfg"
+	"isex/internal/ir"
+)
+
+// MaxMISODecompose partitions the non-forbidden operation nodes of g into
+// maximal single-output subgraphs (MISOs). A node belongs to the MISO of
+// its consumers iff all of its data consumers are operation nodes inside
+// that same MISO; nodes with external uses, multiple distinct consumer
+// MISOs, or forbidden consumers root their own MISO.
+func MaxMISODecompose(g *dfg.Graph) []dfg.Cut {
+	// Process nodes in search order (consumers before producers): by the
+	// time a node is seen, every consumer already has a MISO assignment.
+	miso := make([]int, len(g.Nodes)) // node -> MISO id (by root node id), -1 none
+	for i := range miso {
+		miso[i] = -1
+	}
+	var roots []int
+	for _, id := range g.OpOrder {
+		n := &g.Nodes[id]
+		if n.Forbidden {
+			continue
+		}
+		// Determine the unique consumer MISO, if any.
+		target := -2 // -2 unset, -1 external/conflict
+		for _, s := range n.Succs {
+			sn := &g.Nodes[s]
+			var t int
+			switch {
+			case sn.Kind != dfg.KindOp || sn.Forbidden:
+				t = -1 // value escapes to V+ or into a barrier
+			default:
+				t = miso[s]
+			}
+			if target == -2 {
+				target = t
+			} else if target != t {
+				target = -1
+			}
+		}
+		if len(n.OrderSuccs) > 0 {
+			target = -1 // defensive: pure nodes have none
+		}
+		if target >= 0 {
+			miso[id] = target
+			continue
+		}
+		// Root a new MISO (also for sink nodes with no consumers at all).
+		miso[id] = id
+		roots = append(roots, id)
+	}
+	cuts := map[int]dfg.Cut{}
+	for id, m := range miso {
+		if m >= 0 {
+			cuts[m] = append(cuts[m], id)
+		}
+	}
+	out := make([]dfg.Cut, 0, len(roots))
+	for _, r := range roots {
+		out = append(out, cuts[r].Canon())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// SelectMaxMISO selects up to ninstr MaxMISOs across all blocks, best
+// merit first. MISOs have one output by construction but unbounded
+// inputs; a MISO wider than Nin cannot be shrunk (maximality is the
+// defining property), so it is simply discarded — exactly the weakness
+// §8 discusses on adpcmdecode (M1 is invisible inside the 3-input MISO
+// M2 when Nin=2). Nout < 1 selects nothing.
+func SelectMaxMISO(m *ir.Module, ninstr int, cfg core.Config) core.SelectionResult {
+	res := core.SelectionResult{}
+	if ninstr < 1 || cfg.Nout < 1 {
+		return res
+	}
+	model := cfg.Model
+	type cand struct {
+		sel core.Selected
+	}
+	var cands []cand
+	for _, f := range m.Funcs {
+		li := ir.Liveness(f)
+		for _, b := range f.Blocks {
+			g := dfg.Build(f, b, li)
+			res.IdentCalls++
+			for _, c := range MaxMISODecompose(g) {
+				est := core.Evaluate(g, c, modelOrDefault(model))
+				if est.In > cfg.Nin || est.Merit <= 0 {
+					continue
+				}
+				cands = append(cands, cand{sel: core.Selected{
+					Fn: f, Block: b, InstrIndexes: instrIndexes(g, c), Est: est,
+				}})
+			}
+		}
+	}
+	sort.SliceStable(cands, func(i, j int) bool {
+		return cands[i].sel.Est.Merit > cands[j].sel.Est.Merit
+	})
+	if len(cands) > ninstr {
+		cands = cands[:ninstr]
+	}
+	for _, c := range cands {
+		res.Instructions = append(res.Instructions, c.sel)
+		res.TotalMerit += c.sel.Est.Merit
+	}
+	return res
+}

@@ -1,0 +1,137 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"isex/internal/ir"
+)
+
+func mkSelected(merit int64, area float64) Selected {
+	return Selected{Est: Estimate{Merit: merit, Area: area}}
+}
+
+// bruteKnapsack enumerates all subsets (≤ ninstr items, area ≤ budget).
+func bruteKnapsack(cands []Selected, budget float64, ninstr int) int64 {
+	var best int64
+	n := len(cands)
+	for mask := 0; mask < 1<<n; mask++ {
+		var merit int64
+		var areaQ int
+		count := 0
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				count++
+				merit += cands[i].Est.Merit
+				wq := int(math.Ceil(cands[i].Est.Area/areaQuantum - 1e-9))
+				if wq < 1 {
+					wq = 1
+				}
+				areaQ += wq
+			}
+		}
+		if count <= ninstr && areaQ <= int(math.Floor(budget/areaQuantum+1e-9)) && merit > best {
+			best = merit
+		}
+	}
+	return best
+}
+
+func TestKnapsackMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		n := 1 + rng.Intn(12)
+		cands := make([]Selected, n)
+		for i := range cands {
+			cands[i] = mkSelected(int64(rng.Intn(1000)+1), float64(rng.Intn(200))/100)
+		}
+		budget := float64(rng.Intn(300)) / 100
+		ninstr := 1 + rng.Intn(n)
+		got := knapsack(cands, budget, ninstr)
+		var gotMerit int64
+		var gotArea float64
+		for _, s := range got {
+			gotMerit += s.Est.Merit
+			gotArea += s.Est.Area
+		}
+		want := bruteKnapsack(cands, budget, ninstr)
+		if gotMerit != want {
+			t.Fatalf("trial %d: knapsack merit %d, brute force %d (budget %.2f, n %d)",
+				trial, gotMerit, want, budget, ninstr)
+		}
+		if len(got) > ninstr {
+			t.Fatalf("trial %d: %d items exceed ninstr %d", trial, len(got), ninstr)
+		}
+		if gotArea > budget+areaQuantum*float64(len(got)) {
+			t.Fatalf("trial %d: area %.3f exceeds budget %.3f", trial, gotArea, budget)
+		}
+	}
+}
+
+func TestSelectAreaConstrained(t *testing.T) {
+	m := compileAndProfile(t, threeKernels)
+	cfg := Config{Nin: 4, Nout: 2, MaxCuts: 500_000}
+
+	unconstrained := SelectIterative(m, 8, cfg)
+	if len(unconstrained.Instructions) == 0 {
+		t.Fatal("nothing identified")
+	}
+	var fullArea float64
+	for _, s := range unconstrained.Instructions {
+		fullArea += s.Est.Area
+	}
+
+	// A generous budget reproduces the unconstrained selection's merit.
+	free := SelectAreaConstrained(m, 8, fullArea+1, 8, cfg)
+	if free.TotalMerit < unconstrained.TotalMerit {
+		t.Errorf("generous budget lost merit: %d < %d", free.TotalMerit, unconstrained.TotalMerit)
+	}
+
+	// A tight budget selects something cheaper but non-empty, within
+	// budget, and with less or equal merit.
+	tight := SelectAreaConstrained(m, 8, fullArea/4, 8, cfg)
+	var tightArea float64
+	for _, s := range tight.Instructions {
+		tightArea += s.Est.Area
+	}
+	if len(tight.Instructions) == 0 {
+		t.Error("tight budget selected nothing at all")
+	}
+	if tightArea > fullArea/4+0.05 {
+		t.Errorf("tight selection area %.3f over budget %.3f", tightArea, fullArea/4)
+	}
+	if tight.TotalMerit > free.TotalMerit {
+		t.Errorf("tight selection beats free selection")
+	}
+
+	// Monotone in budget.
+	prev := int64(-1)
+	for _, frac := range []float64{0.1, 0.3, 0.6, 1.0} {
+		r := SelectAreaConstrained(m, 8, fullArea*frac, 8, cfg)
+		if r.TotalMerit < prev {
+			t.Errorf("merit not monotone in budget: %d after %d", r.TotalMerit, prev)
+		}
+		prev = r.TotalMerit
+	}
+
+	// Zero budget.
+	if r := SelectAreaConstrained(m, 8, 0, 8, cfg); len(r.Instructions) != 0 {
+		t.Error("zero budget selected instructions")
+	}
+}
+
+func TestAreaConstrainedPatchable(t *testing.T) {
+	m := compileAndProfile(t, threeKernels)
+	cfg := Config{Nin: 4, Nout: 2, MaxCuts: 300_000}
+	sel := SelectAreaConstrained(m, 6, 0.5, 12, cfg)
+	if len(sel.Instructions) == 0 {
+		t.Skip("nothing fits in 0.5 MACs")
+	}
+	if _, _, err := ApplySelection(m, sel.Instructions, nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := ir.VerifyModule(m); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,74 @@
+package core
+
+import (
+	"isex/internal/dfg"
+)
+
+// EnumerateBest is the brute-force reference for FindBestCut: it examines
+// every subset of non-forbidden operation nodes, checks the constraints
+// with the specification predicates of package dfg, and returns the best
+// cut. It is exponential without pruning and is only usable on small
+// graphs; tests use it to validate the pruned search.
+func EnumerateBest(g *dfg.Graph, cfg Config) Result {
+	model := cfg.model()
+	var candidates []int
+	for _, id := range g.OpOrder {
+		if !g.Nodes[id].Forbidden {
+			candidates = append(candidates, id)
+		}
+	}
+	if len(candidates) > 24 {
+		panic("core: EnumerateBest limited to 24 candidate nodes")
+	}
+	var best Result
+	n := len(candidates)
+	for mask := 1; mask < 1<<n; mask++ {
+		var cut dfg.Cut
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				cut = append(cut, candidates[i])
+			}
+		}
+		if !g.Legal(cut, cfg.Nin, cfg.Nout) {
+			continue
+		}
+		est := Evaluate(g, cut, model)
+		if est.Merit > 0 && (!best.Found || est.Merit > best.Est.Merit) {
+			best.Found = true
+			best.Cut = cut.Canon()
+			best.Est = est
+		}
+	}
+	return best
+}
+
+// CountLegalCuts counts, by brute force, the subsets passing the output
+// and convexity checks (any Nin), and the subsets that are fully legal.
+// Used by tests to validate search statistics.
+func CountLegalCuts(g *dfg.Graph, cfg Config) (outConvex, legal int64) {
+	var candidates []int
+	for _, id := range g.OpOrder {
+		if !g.Nodes[id].Forbidden {
+			candidates = append(candidates, id)
+		}
+	}
+	if len(candidates) > 24 {
+		panic("core: CountLegalCuts limited to 24 candidate nodes")
+	}
+	n := len(candidates)
+	for mask := 1; mask < 1<<n; mask++ {
+		var cut dfg.Cut
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				cut = append(cut, candidates[i])
+			}
+		}
+		if g.Outputs(cut) <= cfg.Nout && g.Convex(cut) {
+			outConvex++
+			if g.Inputs(cut) <= cfg.Nin {
+				legal++
+			}
+		}
+	}
+	return outConvex, legal
+}

@@ -1,0 +1,97 @@
+// Package core implements the paper's contribution: identification of
+// maximal-speedup convex cuts of basic-block dataflow graphs under
+// register-port constraints (§5–§6), and the two selection strategies
+// (optimal, §6.2, and iterative, §6.3) that pick up to Ninstr custom
+// instructions across all basic blocks of a program.
+package core
+
+import (
+	"fmt"
+
+	"isex/internal/dfg"
+	"isex/internal/latency"
+)
+
+// Estimate is the merit M(S) of a cut and its ingredients (§7): the
+// accumulated software latency of its operations, the ceiling of the
+// hardware critical path as the latency of the new instruction, the
+// cycles saved per execution, and that gain weighted by the block's
+// dynamic execution count.
+type Estimate struct {
+	In, Out    int
+	SWCycles   int64
+	HWCycles   int
+	Saved      int64
+	Freq       int64
+	Merit      int64
+	Area       float64
+	Components int
+	Size       int
+}
+
+func (e Estimate) String() string {
+	return fmt.Sprintf("size=%d in=%d out=%d sw=%d hw=%d saved=%d freq=%d merit=%d area=%.2f comps=%d",
+		e.Size, e.In, e.Out, e.SWCycles, e.HWCycles, e.Saved, e.Freq, e.Merit, e.Area, e.Components)
+}
+
+// weight returns the profiling weight of a block (unprofiled blocks count
+// as a single execution, so identification still works without a profile).
+func weight(freq int64) int64 {
+	if freq <= 0 {
+		return 1
+	}
+	return freq
+}
+
+// Evaluate computes the Estimate of an arbitrary cut. It is the reference
+// (non-incremental) implementation; the search maintains the same
+// quantities incrementally and is checked against this in tests.
+func Evaluate(g *dfg.Graph, c dfg.Cut, model *latency.Model) Estimate {
+	est := Estimate{
+		In:         g.Inputs(c),
+		Out:        g.Outputs(c),
+		Freq:       g.Block.Freq,
+		Components: g.Components(c),
+		Size:       len(c),
+	}
+	in := make(map[int]bool, len(c))
+	for _, id := range c {
+		in[id] = true
+	}
+	// Software cost: plain sum of per-op latencies (single-issue, §7).
+	for _, id := range c {
+		est.SWCycles += int64(model.SW(g.Nodes[id].Op))
+		est.Area += model.Area(g.Nodes[id].Op)
+	}
+	// Hardware cost: critical path over data edges within the cut.
+	// Nodes are processed in reverse search order (producers before
+	// consumers... search order has consumers first, so iterate OpOrder
+	// backwards) accumulating longest paths.
+	long := map[int]float64{}
+	var crit float64
+	for i := len(g.OpOrder) - 1; i >= 0; i-- {
+		id := g.OpOrder[i]
+		if !in[id] {
+			continue
+		}
+		best := 0.0
+		for _, p := range g.Nodes[id].Preds {
+			if in[p] && long[p] > best {
+				best = long[p]
+			}
+		}
+		long[id] = best + model.HW(g.Nodes[id].Op)
+		if long[id] > crit {
+			crit = long[id]
+		}
+	}
+	est.HWCycles = latency.CyclesOf(crit)
+	// Any non-empty instruction occupies the pipeline for at least one
+	// cycle, even if its datapath is shallower than a cycle.
+	if est.Size > 0 && est.HWCycles < 1 {
+		est.HWCycles = 1
+	}
+	est.Saved = est.SWCycles - int64(est.HWCycles)
+	est.Merit = est.Saved * weight(est.Freq)
+	return est
+}

@@ -1,0 +1,348 @@
+package core
+
+import (
+	"isex/internal/dfg"
+	"isex/internal/latency"
+)
+
+// MultiResult is the outcome of a multiple-cut identification (§6.2).
+type MultiResult struct {
+	Found bool
+	// Cuts holds the non-empty cuts of the best assignment, each canonical.
+	Cuts []dfg.Cut
+	// Ests are the per-cut estimates, aligned with Cuts.
+	Ests []Estimate
+	// TotalMerit is the summed merit.
+	TotalMerit int64
+	Stats      Stats
+}
+
+// FindBestCuts identifies up to m disjoint cuts in one graph that jointly
+// maximize total merit, each cut independently satisfying the port and
+// convexity constraints. This is the (M+1)-ary search tree of §6.2
+// (Fig. 9): at every level a node either joins one of the m cuts or none.
+// Cut labels are symmetric, so the search only opens cut k after cut k−1
+// is non-empty.
+//
+// StrictInterCut (an extension, see Config) additionally rejects
+// assignments whose cuts depend on each other cyclically and hence could
+// not be scheduled as atomic instructions; the paper does not perform
+// this check, so it defaults to off.
+func FindBestCuts(g *dfg.Graph, m int, cfg Config) MultiResult {
+	if m < 1 {
+		return MultiResult{}
+	}
+	s := newMultiSearcher(g, m, cfg)
+	s.visit(0)
+	res := MultiResult{Stats: s.stats}
+	res.Stats.Aborted = s.aborted
+	if s.bestFound {
+		res.Found = true
+		model := cfg.model()
+		for _, c := range s.bestCuts {
+			if len(c) == 0 {
+				continue
+			}
+			cc := c.Canon()
+			res.Cuts = append(res.Cuts, cc)
+			est := Evaluate(g, cc, model)
+			res.Ests = append(res.Ests, est)
+			res.TotalMerit += est.Merit
+		}
+	}
+	return res
+}
+
+type multiSearcher struct {
+	g     *dfg.Graph
+	cfg   Config
+	model *latency.Model
+	order []int
+	freq  int64
+	m     int
+
+	assign []int // node id -> cut number 1..m, or 0
+	// Per-cut state, indexed [cut][nodeID] or [cut].
+	reach  [][]bool
+	refCnt [][]int
+	lenTo  [][]float64
+	inputs []int
+	out    []int
+	sw     []int64
+	crit   []float64
+	sizes  []int // members per cut
+
+	bestFound bool
+	bestMerit int64
+	bestCuts  []dfg.Cut
+	stats     Stats
+	aborted   bool
+}
+
+func newMultiSearcher(g *dfg.Graph, m int, cfg Config) *multiSearcher {
+	s := &multiSearcher{
+		g:      g,
+		cfg:    cfg,
+		model:  cfg.model(),
+		order:  g.OpOrder,
+		freq:   weight(g.Block.Freq),
+		m:      m,
+		assign: make([]int, len(g.Nodes)),
+		inputs: make([]int, m+1),
+		out:    make([]int, m+1),
+		sw:     make([]int64, m+1),
+		crit:   make([]float64, m+1),
+		sizes:  make([]int, m+1),
+	}
+	s.reach = make([][]bool, m+1)
+	s.refCnt = make([][]int, m+1)
+	s.lenTo = make([][]float64, m+1)
+	for k := 1; k <= m; k++ {
+		s.reach[k] = make([]bool, len(g.Nodes))
+		s.refCnt[k] = make([]int, len(g.Nodes))
+		s.lenTo[k] = make([]float64, len(g.Nodes))
+	}
+	return s
+}
+
+// totalMerit sums the merit of all non-empty cuts in the current state.
+func (s *multiSearcher) totalMerit() int64 {
+	var total int64
+	for k := 1; k <= s.m; k++ {
+		if s.sizes[k] == 0 {
+			continue
+		}
+		hw := latency.CyclesOf(s.crit[k])
+		if hw < 1 {
+			hw = 1
+		}
+		total += (s.sw[k] - int64(hw)) * s.freq
+	}
+	return total
+}
+
+func (s *multiSearcher) visit(rank int) {
+	if s.aborted || rank == len(s.order) {
+		return
+	}
+	id := s.order[rank]
+	node := &s.g.Nodes[id]
+
+	if !node.Forbidden {
+		// Symmetry breaking: cut k may be opened only if k-1 is in use.
+		maxK := 0
+		for k := 1; k <= s.m; k++ {
+			maxK = k
+			if s.sizes[k] == 0 {
+				break
+			}
+		}
+		for k := 1; k <= maxK; k++ {
+			if s.cfg.MaxCuts > 0 && s.stats.CutsConsidered >= s.cfg.MaxCuts {
+				s.aborted = true
+				return
+			}
+			s.stats.CutsConsidered++
+			s.tryInclude(rank, id, k)
+		}
+	}
+
+	// 0-branch: update reach for every cut.
+	saved := make([]bool, s.m+1)
+	for k := 1; k <= s.m; k++ {
+		saved[k] = s.reach[k][id]
+		s.reach[k][id] = s.reachVia(k, id)
+	}
+	s.visit(rank + 1)
+	for k := 1; k <= s.m; k++ {
+		s.reach[k][id] = saved[k]
+	}
+}
+
+// reachVia reports whether any successor of id can reach cut k.
+func (s *multiSearcher) reachVia(k, id int) bool {
+	for _, sc := range s.g.Nodes[id].Succs {
+		if s.reach[k][sc] {
+			return true
+		}
+	}
+	for _, sc := range s.g.Nodes[id].OrderSuccs {
+		if s.reach[k][sc] {
+			return true
+		}
+	}
+	return false
+}
+
+func (s *multiSearcher) tryInclude(rank, id, k int) {
+	node := &s.g.Nodes[id]
+	// Convexity of cut k.
+	convOK := true
+	for _, sc := range node.Succs {
+		if s.g.Nodes[sc].Kind == dfg.KindOp && s.assign[sc] != k && s.reach[k][sc] {
+			convOK = false
+			break
+		}
+	}
+	if convOK {
+		for _, sc := range node.OrderSuccs {
+			if s.assign[sc] != k && s.reach[k][sc] {
+				convOK = false
+				break
+			}
+		}
+	}
+
+	// Apply.
+	s.assign[id] = k
+	s.sizes[k]++
+	savedReach := make([]bool, s.m+1)
+	for j := 1; j <= s.m; j++ {
+		savedReach[j] = s.reach[j][id]
+		if j == k {
+			s.reach[j][id] = true
+		} else {
+			s.reach[j][id] = s.reachVia(j, id)
+		}
+	}
+	isOut := false
+	for _, sc := range node.Succs {
+		if s.g.Nodes[sc].Kind != dfg.KindOp || s.assign[sc] != k {
+			isOut = true
+			break
+		}
+	}
+	if isOut {
+		s.out[k]++
+	}
+	absorbed := s.refCnt[k][id] > 0
+	if absorbed {
+		s.inputs[k]--
+	}
+	for _, p := range node.Preds {
+		s.refCnt[k][p]++
+		if s.refCnt[k][p] == 1 && s.assign[p] != k {
+			s.inputs[k]++
+		}
+	}
+	s.sw[k] += int64(s.model.SW(node.Op))
+	best := 0.0
+	for _, sc := range node.Succs {
+		if s.g.Nodes[sc].Kind == dfg.KindOp && s.assign[sc] == k && s.lenTo[k][sc] > best {
+			best = s.lenTo[k][sc]
+		}
+	}
+	s.lenTo[k][id] = best + s.model.HW(node.Op)
+	prevCrit := s.crit[k]
+	if s.lenTo[k][id] > s.crit[k] {
+		s.crit[k] = s.lenTo[k][id]
+	}
+
+	if convOK && s.out[k] <= s.cfg.Nout {
+		s.stats.Passed++
+		s.maybeRecord()
+		s.visit(rank + 1)
+	} else {
+		s.stats.Pruned++
+	}
+
+	// Undo.
+	s.crit[k] = prevCrit
+	s.lenTo[k][id] = 0
+	s.sw[k] -= int64(s.model.SW(node.Op))
+	for _, p := range node.Preds {
+		if s.refCnt[k][p] == 1 && s.assign[p] != k {
+			s.inputs[k]--
+		}
+		s.refCnt[k][p]--
+	}
+	if absorbed {
+		s.inputs[k]++
+	}
+	if isOut {
+		s.out[k]--
+	}
+	for j := 1; j <= s.m; j++ {
+		s.reach[j][id] = savedReach[j]
+	}
+	s.sizes[k]--
+	s.assign[id] = 0
+}
+
+// maybeRecord evaluates the current assignment as a candidate solution.
+func (s *multiSearcher) maybeRecord() {
+	// Every non-empty cut must satisfy the input constraint; empty cuts
+	// contribute nothing.
+	for k := 1; k <= s.m; k++ {
+		if s.sizes[k] > 0 && s.inputs[k] > s.cfg.Nin {
+			return
+		}
+	}
+	total := s.totalMerit()
+	if total <= 0 || (s.bestFound && total <= s.bestMerit) {
+		return
+	}
+	if s.cfg.StrictInterCut && s.interCutCycle() {
+		return
+	}
+	s.bestFound = true
+	s.bestMerit = total
+	cuts := make([]dfg.Cut, s.m)
+	for id, k := range s.assign {
+		if k > 0 {
+			cuts[k-1] = append(cuts[k-1], id)
+		}
+	}
+	s.bestCuts = cuts
+}
+
+// interCutCycle reports whether two of the current cuts depend on each
+// other through any path, which would make a joint schedule of the
+// collapsed instructions impossible.
+func (s *multiSearcher) interCutCycle() bool {
+	// reaches[k][j]: some member of cut k reaches some member of cut j.
+	reaches := make([][]bool, s.m+1)
+	for k := 1; k <= s.m; k++ {
+		if s.sizes[k] == 0 {
+			continue
+		}
+		seen := make([]bool, len(s.g.Nodes))
+		r := make([]bool, s.m+1)
+		var stack []int
+		for id, a := range s.assign {
+			if a == k {
+				seen[id] = true
+				stack = append(stack, id)
+			}
+		}
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			visit := func(w int) {
+				if seen[w] {
+					return
+				}
+				seen[w] = true
+				if a := s.assign[w]; a > 0 && a != k {
+					r[a] = true
+				}
+				stack = append(stack, w)
+			}
+			for _, w := range s.g.Nodes[v].Succs {
+				visit(w)
+			}
+			for _, w := range s.g.Nodes[v].OrderSuccs {
+				visit(w)
+			}
+		}
+		reaches[k] = r
+	}
+	for a := 1; a <= s.m; a++ {
+		for b := a + 1; b <= s.m; b++ {
+			if reaches[a] != nil && reaches[b] != nil && reaches[a][b] && reaches[b][a] {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,245 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"isex/internal/dfg"
+	"isex/internal/ir"
+)
+
+// Selected is one chosen custom instruction.
+type Selected struct {
+	Fn    *ir.Function
+	Block *ir.Block
+	// InstrIndexes are the block instruction positions collapsed into the
+	// instruction — the stable currency shared with the IR patcher.
+	InstrIndexes []int
+	Est          Estimate
+}
+
+// SelectionResult is the outcome of a program-wide selection (Problem 2).
+type SelectionResult struct {
+	Instructions []Selected
+	TotalMerit   int64
+	Stats        Stats
+	// IdentCalls counts invocations of the identification algorithm; the
+	// optimal algorithm is proven to need at most Ninstr + Nbb − 1 (§6.2).
+	IdentCalls int
+}
+
+// instrIndexesOf maps a cut to block instruction positions, expanding
+// collapsed super-nodes.
+func instrIndexesOf(g *dfg.Graph, c dfg.Cut) []int {
+	var out []int
+	for _, id := range c {
+		n := &g.Nodes[id]
+		if len(n.SuperMembers) > 0 {
+			out = append(out, n.SuperMembers...)
+			continue
+		}
+		if n.InstrIndex >= 0 {
+			out = append(out, n.InstrIndex)
+		}
+	}
+	sort.Ints(out)
+	return out
+}
+
+// blockGraphs pairs every block with its graph, in deterministic order.
+type blockGraph struct {
+	fn *ir.Function
+	b  *ir.Block
+	g  *dfg.Graph
+}
+
+func allBlockGraphs(m *ir.Module) []blockGraph {
+	var out []blockGraph
+	for _, f := range m.Funcs {
+		li := ir.Liveness(f)
+		for _, b := range f.Blocks {
+			out = append(out, blockGraph{fn: f, b: b, g: dfg.Build(f, b, li)})
+		}
+	}
+	return out
+}
+
+// SelectOptimal solves Problem 2 with the optimal selection algorithm of
+// §6.2: single-cut identification on every block first, then, at each
+// iteration, multiple-cut identification with an incremented M on the
+// block that won the previous iteration, until ninstr cuts are chosen or
+// no block offers a positive improvement.
+func SelectOptimal(m *ir.Module, ninstr int, cfg Config) SelectionResult {
+	bgs := allBlockGraphs(m)
+	res := SelectionResult{}
+	if ninstr < 1 || len(bgs) == 0 {
+		return res
+	}
+	// Per block: best total merit with M cuts, and the cuts themselves.
+	type blockState struct {
+		m       int   // cuts currently attributed to this block
+		gain    int64 // best[m+1] - best[m]
+		totals  []int64
+		results []MultiResult
+	}
+	states := make([]blockState, len(bgs))
+	identify := func(bi, mm int) MultiResult {
+		res.IdentCalls++
+		r := FindBestCuts(bgs[bi].g, mm, cfg)
+		res.Stats.add(r.Stats)
+		return r
+	}
+	for i := range bgs {
+		r := identify(i, 1)
+		states[i].totals = []int64{0, r.TotalMerit}
+		states[i].results = []MultiResult{{}, r}
+		states[i].gain = r.TotalMerit
+	}
+	chosen := 0
+	for chosen < ninstr {
+		bestB, bestGain := -1, int64(0)
+		for i := range states {
+			if states[i].gain > bestGain {
+				bestGain = states[i].gain
+				bestB = i
+			}
+		}
+		if bestB < 0 {
+			break // no positive improvement anywhere
+		}
+		st := &states[bestB]
+		st.m++
+		chosen++
+		if chosen >= ninstr {
+			break
+		}
+		// Identify with M+1 cuts on the block just chosen and refresh its
+		// improvement value.
+		r := identify(bestB, st.m+1)
+		st.totals = append(st.totals, r.TotalMerit)
+		st.results = append(st.results, r)
+		st.gain = r.TotalMerit - st.totals[st.m]
+		if st.gain < 0 {
+			st.gain = 0
+		}
+	}
+	// Materialize: for each block, its best M-cut assignment.
+	for i := range states {
+		st := &states[i]
+		if st.m == 0 {
+			continue
+		}
+		r := st.results[st.m]
+		for j, c := range r.Cuts {
+			res.Instructions = append(res.Instructions, Selected{
+				Fn:           bgs[i].fn,
+				Block:        bgs[i].b,
+				InstrIndexes: instrIndexesOf(bgs[i].g, c),
+				Est:          r.Ests[j],
+			})
+			res.TotalMerit += r.Ests[j].Merit
+		}
+	}
+	sortSelected(res.Instructions)
+	return res
+}
+
+// SelectIterative solves Problem 2 with the heuristic of §6.3: repeated
+// single-cut identification; each identified cut is collapsed into a
+// forbidden super-node before the block is searched again. Across blocks
+// it greedily takes the largest current improvement, exactly like the
+// optimal algorithm's outer loop.
+func SelectIterative(m *ir.Module, ninstr int, cfg Config) SelectionResult {
+	bgs := allBlockGraphs(m)
+	res := SelectionResult{}
+	if ninstr < 1 || len(bgs) == 0 {
+		return res
+	}
+	type blockState struct {
+		g    *dfg.Graph
+		best Result
+	}
+	states := make([]blockState, len(bgs))
+	identify := func(g *dfg.Graph) Result {
+		res.IdentCalls++
+		r := FindBestCut(g, cfg)
+		res.Stats.add(r.Stats)
+		return r
+	}
+	// The initial identification of every block is independent; with
+	// Parallel set the blocks are searched concurrently (deterministic:
+	// results land in fixed slots, and the stats are merged afterwards).
+	if cfg.Parallel && len(bgs) > 1 {
+		results := make([]Result, len(bgs))
+		var wg sync.WaitGroup
+		for i := range bgs {
+			states[i].g = bgs[i].g
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				results[i] = FindBestCut(states[i].g, cfg)
+			}(i)
+		}
+		wg.Wait()
+		for i := range bgs {
+			res.IdentCalls++
+			res.Stats.add(results[i].Stats)
+			states[i].best = results[i]
+		}
+	} else {
+		for i := range bgs {
+			states[i].g = bgs[i].g
+			states[i].best = identify(states[i].g)
+		}
+	}
+	for chosen := 0; chosen < ninstr; chosen++ {
+		bestB := -1
+		var bestMerit int64
+		for i := range states {
+			if states[i].best.Found && states[i].best.Est.Merit > bestMerit {
+				bestMerit = states[i].best.Est.Merit
+				bestB = i
+			}
+		}
+		if bestB < 0 {
+			break
+		}
+		st := &states[bestB]
+		res.Instructions = append(res.Instructions, Selected{
+			Fn:           bgs[bestB].fn,
+			Block:        bgs[bestB].b,
+			InstrIndexes: instrIndexesOf(st.g, st.best.Cut),
+			Est:          st.best.Est,
+		})
+		res.TotalMerit += st.best.Est.Merit
+		// Collapse the chosen cut and re-identify on this block only.
+		name := fmt.Sprintf("ise_%s_%d", bgs[bestB].b.Name, chosen)
+		st.g = st.g.Collapse(st.best.Cut, name, st.best.Est.HWCycles)
+		st.best = identify(st.g)
+	}
+	sortSelected(res.Instructions)
+	return res
+}
+
+// sortSelected orders instructions deterministically: by function name,
+// block index, then first collapsed instruction.
+func sortSelected(sel []Selected) {
+	sort.SliceStable(sel, func(i, j int) bool {
+		a, b := sel[i], sel[j]
+		if a.Fn.Name != b.Fn.Name {
+			return a.Fn.Name < b.Fn.Name
+		}
+		if a.Block.Index != b.Block.Index {
+			return a.Block.Index < b.Block.Index
+		}
+		ai, bi := -1, -1
+		if len(a.InstrIndexes) > 0 {
+			ai = a.InstrIndexes[0]
+		}
+		if len(b.InstrIndexes) > 0 {
+			bi = b.InstrIndexes[0]
+		}
+		return ai < bi
+	})
+}

@@ -1,0 +1,339 @@
+package core
+
+import (
+	"isex/internal/dfg"
+	"isex/internal/latency"
+)
+
+// Config holds the microarchitectural constraints and search options.
+type Config struct {
+	// Nin and Nout are the register-file read and write ports available
+	// to a special instruction (Problem 1, §5).
+	Nin, Nout int
+	// Model supplies software latencies and hardware delays (§7).
+	// If nil, latency.Default() is used.
+	Model *latency.Model
+
+	// Extensions beyond the paper, off by default (used in ablations):
+
+	// PruneInputs additionally eliminates subtrees whose cut already uses
+	// more than Nin *permanent* inputs — values that can never be
+	// absorbed into the cut (block live-ins, and producers already
+	// excluded on this search path). Sound because such inputs only
+	// accumulate along the search order.
+	PruneInputs bool
+	// PruneMerit additionally eliminates subtrees whose admissible merit
+	// upper bound (current software gain plus all remaining includable
+	// software latency, minus the current hardware cycle count) cannot
+	// beat the incumbent.
+	PruneMerit bool
+	// StrictInterCut, in multiple-cut identification, rejects assignments
+	// whose cuts depend on each other cyclically (they could not be
+	// scheduled as atomic instructions). The paper performs only per-cut
+	// convexity, so this defaults to off.
+	StrictInterCut bool
+
+	// MaxCuts aborts the search after considering this many cuts
+	// (0 = unlimited). The incumbent found so far is returned with
+	// Stats.Aborted set; the paper reports multi-hour runs for loose
+	// constraints, which this valve bounds in test environments.
+	MaxCuts int64
+	// Window, when positive, replaces the exact search by the §9
+	// windowed heuristic (see FindBestCutWindowed): overlapping
+	// topological windows of this many nodes. Sound, possibly
+	// sub-optimal; for blocks the exact search cannot finish.
+	Window int
+	// Parallel lets selection search independent basic blocks
+	// concurrently (one goroutine per block in the initial round).
+	// Results are identical to the serial run.
+	Parallel bool
+}
+
+func (c Config) model() *latency.Model {
+	if c.Model != nil {
+		return c.Model
+	}
+	return latency.Default()
+}
+
+// Stats describes one identification run.
+type Stats struct {
+	// CutsConsidered counts 1-branches taken, i.e. distinct cuts reached
+	// by the search — the quantity plotted in Fig. 8 and traced in Fig. 7.
+	CutsConsidered int64
+	// Passed counts cuts that satisfied the output-port and convexity
+	// checks (Fig. 7's "passed" nodes).
+	Passed int64
+	// Pruned counts 1-branches whose subtree was eliminated after a
+	// failed output-port or convexity check (Fig. 7's "failed" nodes).
+	Pruned int64
+	// Aborted reports that the MaxCuts valve stopped the search early.
+	Aborted bool
+}
+
+func (s *Stats) add(o Stats) {
+	s.CutsConsidered += o.CutsConsidered
+	s.Passed += o.Passed
+	s.Pruned += o.Pruned
+	s.Aborted = s.Aborted || o.Aborted
+}
+
+// Result is the outcome of a single-cut identification.
+type Result struct {
+	Found bool
+	Cut   dfg.Cut
+	Est   Estimate
+	Stats Stats
+}
+
+// FindBestCut solves Problem 1 (§5) exactly on one graph: it returns the
+// convex cut S maximizing M(S) subject to IN(S) ≤ Nin and OUT(S) ≤ Nout,
+// using the search-tree algorithm of §6.1 with output-port and convexity
+// subtree elimination. Found is false when no cut has positive merit.
+func FindBestCut(g *dfg.Graph, cfg Config) Result {
+	if cfg.Window > 0 && cfg.Window < g.NumOps() {
+		w := cfg.Window
+		cfg.Window = 0
+		return FindBestCutWindowed(g, cfg, w)
+	}
+	s := newSearcher(g, cfg)
+	s.run()
+	res := Result{Stats: s.stats}
+	if s.bestFound {
+		res.Found = true
+		res.Cut = s.bestCut.Canon()
+		res.Est = Evaluate(g, res.Cut, cfg.model())
+	}
+	return res
+}
+
+// searcher holds the incremental state of §6.1. All per-node arrays are
+// indexed by node ID. The search decides operation nodes in OpOrder
+// (consumers before producers), so at any point every consumer of a
+// decided node is itself decided; this makes OUT(S) and the convexity
+// check exact and monotone (see §6.1 of the paper and DESIGN.md §5).
+type searcher struct {
+	g     *dfg.Graph
+	cfg   Config
+	model *latency.Model
+	order []int
+	freq  int64
+
+	inCut []bool
+	reach []bool // for decided nodes: can this node reach the cut?
+	// refCnt[p] counts cut members consuming p (data edges); a non-member
+	// with refCnt > 0 is an input.
+	refCnt []int
+	inputs int
+	permIn int // inputs that can never be absorbed on this path
+	out    int
+	sw     int64
+	lenTo  []float64 // longest data path from a member through the cut
+	crit   float64
+
+	// futSW[rank] is the total software latency of includable nodes at
+	// ranks ≥ rank (admissible bound for PruneMerit).
+	futSW []int64
+
+	bestFound bool
+	bestCut   dfg.Cut
+	bestMerit int64
+	stats     Stats
+	aborted   bool
+}
+
+func newSearcher(g *dfg.Graph, cfg Config) *searcher {
+	m := cfg.model()
+	s := &searcher{
+		g:      g,
+		cfg:    cfg,
+		model:  m,
+		order:  g.OpOrder,
+		freq:   weight(g.Block.Freq),
+		inCut:  make([]bool, len(g.Nodes)),
+		reach:  make([]bool, len(g.Nodes)),
+		refCnt: make([]int, len(g.Nodes)),
+		lenTo:  make([]float64, len(g.Nodes)),
+	}
+	s.futSW = make([]int64, len(s.order)+1)
+	for r := len(s.order) - 1; r >= 0; r-- {
+		n := &g.Nodes[s.order[r]]
+		s.futSW[r] = s.futSW[r+1]
+		if !n.Forbidden {
+			s.futSW[r] += int64(m.SW(n.Op))
+		}
+	}
+	return s
+}
+
+func (s *searcher) run() {
+	s.visit(0)
+	s.stats.Aborted = s.aborted
+}
+
+// meritOf converts the current (non-empty) cut state into merit. The
+// instruction always costs at least one cycle.
+func (s *searcher) meritOf() int64 {
+	hw := latency.CyclesOf(s.crit)
+	if hw < 1 {
+		hw = 1
+	}
+	return (s.sw - int64(hw)) * s.freq
+}
+
+func (s *searcher) visit(rank int) {
+	if s.aborted || rank == len(s.order) {
+		return
+	}
+	if s.cfg.PruneMerit && s.bestFound {
+		ub := (s.sw + s.futSW[rank] - int64(latency.CyclesOf(s.crit))) * s.freq
+		if ub <= s.bestMerit {
+			return
+		}
+	}
+	id := s.order[rank]
+	node := &s.g.Nodes[id]
+
+	// 1-branch: include the node (Fig. 5 explores it first).
+	if !node.Forbidden {
+		if s.cfg.MaxCuts > 0 && s.stats.CutsConsidered >= s.cfg.MaxCuts {
+			s.aborted = true
+			return
+		}
+		s.stats.CutsConsidered++
+
+		// Convexity: a violation appears iff some already-decided consumer
+		// of id is outside the cut yet can reach the cut (§6.1).
+		convOK := true
+		for _, sc := range node.Succs {
+			if s.g.Nodes[sc].Kind == dfg.KindOp && !s.inCut[sc] && s.reach[sc] {
+				convOK = false
+				break
+			}
+		}
+		if convOK {
+			for _, sc := range node.OrderSuccs {
+				if !s.inCut[sc] && s.reach[sc] {
+					convOK = false
+					break
+				}
+			}
+		}
+
+		// Apply inclusion.
+		s.inCut[id] = true
+		s.reach[id] = true
+		isOut := false
+		for _, sc := range node.Succs {
+			if s.g.Nodes[sc].Kind != dfg.KindOp || !s.inCut[sc] {
+				isOut = true
+				break
+			}
+		}
+		if isOut {
+			s.out++
+		}
+		absorbed := s.refCnt[id] > 0
+		if absorbed {
+			s.inputs--
+		}
+		newPermIn := 0
+		for _, p := range node.Preds {
+			s.refCnt[p]++
+			if s.refCnt[p] == 1 && !s.inCut[p] {
+				s.inputs++
+				if s.g.Nodes[p].Kind == dfg.KindIn {
+					newPermIn++ // live-ins can never join the cut
+				}
+			}
+		}
+		s.permIn += newPermIn
+		s.sw += int64(s.model.SW(node.Op))
+		best := 0.0
+		for _, sc := range node.Succs {
+			if s.g.Nodes[sc].Kind == dfg.KindOp && s.inCut[sc] && s.lenTo[sc] > best {
+				best = s.lenTo[sc]
+			}
+		}
+		s.lenTo[id] = best + s.model.HW(node.Op)
+		prevCrit := s.crit
+		if s.lenTo[id] > s.crit {
+			s.crit = s.lenTo[id]
+		}
+
+		if convOK && s.out <= s.cfg.Nout {
+			s.stats.Passed++
+			if s.inputs <= s.cfg.Nin {
+				if m := s.meritOf(); m > 0 && (!s.bestFound || m > s.bestMerit) {
+					s.bestFound = true
+					s.bestMerit = m
+					s.bestCut = s.currentCut()
+				}
+			}
+			inOK := !s.cfg.PruneInputs || s.permIn <= s.cfg.Nin
+			if inOK {
+				s.visit(rank + 1)
+			}
+		} else {
+			s.stats.Pruned++
+		}
+
+		// Undo inclusion.
+		s.crit = prevCrit
+		s.lenTo[id] = 0
+		s.sw -= int64(s.model.SW(node.Op))
+		s.permIn -= newPermIn
+		for _, p := range node.Preds {
+			if s.refCnt[p] == 1 && !s.inCut[p] {
+				s.inputs--
+			}
+			s.refCnt[p]--
+		}
+		if absorbed {
+			s.inputs++
+		}
+		if isOut {
+			s.out--
+		}
+		s.reach[id] = false
+		s.inCut[id] = false
+	}
+
+	// 0-branch: exclude the node.
+	r := false
+	for _, sc := range node.Succs {
+		if s.reach[sc] {
+			r = true
+			break
+		}
+	}
+	if !r {
+		for _, sc := range node.OrderSuccs {
+			if s.reach[sc] {
+				r = true
+				break
+			}
+		}
+	}
+	s.reach[id] = r
+	exclPermIn := 0
+	if s.refCnt[id] > 0 {
+		exclPermIn = 1 // this producer is now permanently an input
+	}
+	s.permIn += exclPermIn
+	if !s.cfg.PruneInputs || s.permIn <= s.cfg.Nin {
+		s.visit(rank + 1)
+	}
+	s.permIn -= exclPermIn
+	s.reach[id] = false
+}
+
+func (s *searcher) currentCut() dfg.Cut {
+	var c dfg.Cut
+	for id, in := range s.inCut {
+		if in {
+			c = append(c, id)
+		}
+	}
+	return c
+}

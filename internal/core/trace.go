@@ -1,0 +1,144 @@
+package core
+
+import (
+	"fmt"
+	"strings"
+
+	"isex/internal/dfg"
+)
+
+// This file reproduces Figs. 5 and 7 of the paper literally: the abstract
+// search tree of the identification algorithm, with every node labelled
+// by its cut (a bitstring over the topological order) and annotated as
+// passed, failed, or never considered. It re-derives the tree with the
+// specification predicates of package dfg rather than instrumenting the
+// optimized searcher, so it doubles as an independent cross-check of the
+// search statistics.
+
+// TraceStatus classifies a search-tree node.
+type TraceStatus uint8
+
+const (
+	// TracePassed: the cut satisfied the output-port and convexity checks.
+	TracePassed TraceStatus = iota
+	// TraceFailed: a check failed; the subtree below is eliminated.
+	TraceFailed
+	// TraceSkipped: inside an eliminated subtree — never considered.
+	TraceSkipped
+	// TraceSame: a 0-branch node; represents the same cut as its parent.
+	TraceSame
+)
+
+func (s TraceStatus) String() string {
+	switch s {
+	case TracePassed:
+		return "passed"
+	case TraceFailed:
+		return "failed"
+	case TraceSkipped:
+		return "not considered"
+	case TraceSame:
+		return "same cut"
+	}
+	return "?"
+}
+
+// TraceNode is one node of the search tree (Fig. 5).
+type TraceNode struct {
+	// Bits is the cut label in the paper's notation: character i is '1'
+	// iff the node with topological index i is in the cut.
+	Bits   string
+	Level  int
+	Branch int // 1-branch or 0-branch from the parent
+	Status TraceStatus
+	Kids   []*TraceNode
+}
+
+// TraceResult is the annotated tree plus the Fig. 7 tallies.
+type TraceResult struct {
+	Root       *TraceNode
+	Considered int64
+	Passed     int64
+	Failed     int64
+	Skipped    int64
+}
+
+// TraceSearchTree builds the full binary search tree of §6.1 for a small
+// graph (at most 16 operation nodes), annotating each 1-branch with the
+// outcome of the output-port and convexity checks and marking the
+// subtrees the algorithm eliminates. Forbidden nodes take only their
+// 0-branch, as in the search itself.
+func TraceSearchTree(g *dfg.Graph, cfg Config) (*TraceResult, error) {
+	n := g.NumOps()
+	if n > 16 {
+		return nil, fmt.Errorf("core: trace tree limited to 16 nodes (graph has %d)", n)
+	}
+	res := &TraceResult{Root: &TraceNode{Bits: strings.Repeat("0", n), Level: 0, Status: TraceSame}}
+	var build func(parent *TraceNode, rank int, cut dfg.Cut, eliminated bool)
+	build = func(parent *TraceNode, rank int, cut dfg.Cut, eliminated bool) {
+		if rank == n {
+			return
+		}
+		id := g.OpOrder[rank]
+		// 1-branch.
+		if !g.Nodes[id].Forbidden {
+			childCut := append(append(dfg.Cut{}, cut...), id)
+			bits := []byte(parent.Bits)
+			bits[rank] = '1'
+			child := &TraceNode{Bits: string(bits), Level: rank + 1, Branch: 1}
+			childEliminated := eliminated
+			if eliminated {
+				child.Status = TraceSkipped
+				res.Skipped++
+			} else {
+				ok := g.Outputs(childCut) <= cfg.Nout && g.Convex(childCut)
+				res.Considered++
+				if ok {
+					child.Status = TracePassed
+					res.Passed++
+				} else {
+					child.Status = TraceFailed
+					res.Failed++
+					childEliminated = true
+				}
+			}
+			parent.Kids = append(parent.Kids, child)
+			build(child, rank+1, childCut, childEliminated)
+		}
+		// 0-branch: same cut as the parent.
+		child := &TraceNode{Bits: parent.Bits, Level: rank + 1, Branch: 0, Status: TraceSame}
+		parent.Kids = append(parent.Kids, child)
+		build(child, rank+1, cut, eliminated)
+	}
+	build(res.Root, 0, nil, false)
+	return res, nil
+}
+
+// Render draws the tree in an indented ASCII form resembling Fig. 7.
+func (r *TraceResult) Render() string {
+	var sb strings.Builder
+	var walk func(n *TraceNode, prefix string)
+	walk = func(n *TraceNode, prefix string) {
+		marker := ""
+		switch n.Status {
+		case TracePassed:
+			marker = " [pass]"
+		case TraceFailed:
+			marker = " [FAIL → subtree eliminated]"
+		case TraceSkipped:
+			marker = " [not considered]"
+		}
+		if n.Level == 0 {
+			fmt.Fprintf(&sb, "%s (root)\n", n.Bits)
+		} else {
+			fmt.Fprintf(&sb, "%s%d-> %s%s\n", prefix, n.Branch, n.Bits, marker)
+		}
+		for _, k := range n.Kids {
+			walk(k, prefix+"  ")
+		}
+	}
+	walk(r.Root, "")
+	fmt.Fprintf(&sb, "\nconsidered=%d passed=%d failed=%d not-considered=%d\n",
+		r.Considered, r.Passed, r.Failed, r.Skipped)
+	return sb.String()
+}

@@ -1,0 +1,45 @@
+package core
+
+import "isex/internal/dfg"
+
+// FindBestCutWindowed is the heuristic §9 sketches for very large basic
+// blocks ("we plan to build heuristic solutions around the presented
+// identification algorithm"): the exact search runs on overlapping
+// topological windows of at most `window` nodes (stride window/2), and
+// the best cut over all windows is returned. Every candidate stays a
+// legal cut of the *full* graph — the window only restricts which nodes
+// may join, while IN/OUT and convexity are evaluated against the whole
+// block — so the result is always sound, merely possibly sub-optimal.
+//
+// The search cost drops from O(2^N) to O((N/window) · 2^window); the
+// benches measure the quality/effort trade-off on the blocks the exact
+// search cannot finish.
+func FindBestCutWindowed(g *dfg.Graph, cfg Config, window int) Result {
+	n := g.NumOps()
+	if window <= 0 || window >= n {
+		return FindBestCut(g, cfg)
+	}
+	stride := window / 2
+	if stride < 1 {
+		stride = 1
+	}
+	var best Result
+	for lo := 0; lo < n; lo += stride {
+		hi := lo + window
+		if hi > n {
+			hi = n
+		}
+		view := g.Restrict(lo, hi)
+		r := FindBestCut(view, cfg)
+		best.Stats.add(r.Stats)
+		if r.Found && (!best.Found || r.Est.Merit > best.Est.Merit) {
+			best.Found = true
+			best.Cut = r.Cut
+			best.Est = r.Est
+		}
+		if hi == n {
+			break
+		}
+	}
+	return best
+}

@@ -1,0 +1,156 @@
+package dfg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"isex/internal/ir"
+)
+
+// randomGraphLocal builds a random single-block function (mirrors the
+// generator used in core's tests, kept local to avoid an import cycle).
+func randomGraphLocal(rng *rand.Rand, nOps int) *Graph {
+	b := ir.NewBuilder("rand", 3)
+	vals := append([]ir.Reg{}, b.Fn.Params...)
+	pick := func() ir.Reg { return vals[rng.Intn(len(vals))] }
+	ops := []ir.Op{ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpAnd, ir.OpXor, ir.OpShl, ir.OpSelect}
+	for i := 0; i < nOps; i++ {
+		switch rng.Intn(8) {
+		case 0:
+			vals = append(vals, b.Const(int32(rng.Intn(64))))
+		case 1:
+			vals = append(vals, b.Load(pick()))
+		case 2:
+			b.Store(pick(), pick())
+		default:
+			op := ops[rng.Intn(len(ops))]
+			if op.Info().Arity == 3 {
+				vals = append(vals, b.Op(op, pick(), pick(), pick()))
+			} else {
+				vals = append(vals, b.Op(op, pick(), pick()))
+			}
+		}
+	}
+	next := b.NewBlock("next")
+	b.Jump(next)
+	b.SetBlock(next)
+	acc := vals[len(vals)-1]
+	for i := 0; i < 2; i++ {
+		acc = b.Op(ir.OpAdd, acc, vals[rng.Intn(len(vals))])
+	}
+	b.Ret(acc)
+	f := b.Finish()
+	return Build(f, f.Entry(), ir.Liveness(f))
+}
+
+func randomCut(rng *rand.Rand, g *Graph) Cut {
+	var c Cut
+	for _, id := range g.OpOrder {
+		if !g.Nodes[id].Forbidden && rng.Intn(3) == 0 {
+			c = append(c, id)
+		}
+	}
+	return c
+}
+
+// TestQuickCutInvariants: structural properties of IN/OUT/convexity on
+// random cuts of random graphs.
+func TestQuickCutInvariants(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraphLocal(rng, 4+rng.Intn(14))
+		c := randomCut(rng, g)
+		in, out := g.Inputs(c), g.Outputs(c)
+		// OUT never exceeds the cut size; IN never exceeds total pred count.
+		if out > len(c) || out < 0 || in < 0 {
+			return false
+		}
+		// The empty cut is trivially legal; singletons are always convex.
+		if !g.Convex(Cut{}) {
+			return false
+		}
+		for _, id := range c {
+			if !g.Convex(Cut{id}) {
+				return false
+			}
+		}
+		// Monotone union: adding all op nodes yields a superset whose
+		// components count is at most that of the sub-cut… (weak check:
+		// Components never exceeds |cut|).
+		if comps := g.Components(c); comps > len(c) || (len(c) > 0 && comps < 1) {
+			return false
+		}
+		// Convexity is invariant under canonical reordering.
+		if g.Convex(c) != g.Convex(c.Canon()) {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCollapsePreservesBoundary: after collapsing a legal cut, the
+// super-node's degree structure matches the cut's boundary on the
+// original graph (distinct external producers = IN side, and it has a
+// successor iff the cut had an output).
+func TestQuickCollapsePreservesBoundary(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraphLocal(rng, 6+rng.Intn(10))
+		c := randomCut(rng, g)
+		if len(c) == 0 || !g.Convex(c) {
+			return true // only convex cuts are collapsed in practice
+		}
+		in, out := g.Inputs(c), g.Outputs(c)
+		ng := g.Collapse(c, "s", 1)
+		var super *Node
+		for i := range ng.Nodes {
+			if ng.Nodes[i].Name == "s" {
+				super = &ng.Nodes[i]
+			}
+		}
+		if super == nil {
+			return false
+		}
+		if len(super.Preds) != in {
+			return false
+		}
+		// The super-node has data successors iff the cut produced outputs.
+		return (len(super.Succs) > 0) == (out > 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickRestrictSoundness: any cut legal on a Restrict view is legal
+// on the original graph with identical IN/OUT.
+func TestQuickRestrictSoundness(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraphLocal(rng, 8+rng.Intn(8))
+		n := g.NumOps()
+		lo := rng.Intn(n)
+		hi := lo + 1 + rng.Intn(n-lo)
+		view := g.Restrict(lo, hi)
+		c := randomCut(rng, view)
+		if len(c) == 0 {
+			return true
+		}
+		// Members must be within the window and non-forbidden originally.
+		for _, id := range c {
+			if g.Nodes[id].Forbidden {
+				return false
+			}
+		}
+		return g.Inputs(c) == view.Inputs(c) &&
+			g.Outputs(c) == view.Outputs(c) &&
+			g.Convex(c) == view.Convex(c)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,105 @@
+package ir
+
+// Builder offers a convenient way to assemble functions instruction by
+// instruction. It is used by the MiniC lowering pass and by tests.
+type Builder struct {
+	Fn  *Function
+	Cur *Block
+}
+
+// NewBuilder creates a function with an entry block and positions the
+// builder at its end.
+func NewBuilder(name string, nparams int) *Builder {
+	f := &Function{Name: name}
+	for i := 0; i < nparams; i++ {
+		f.Params = append(f.Params, f.NewReg())
+	}
+	b := &Builder{Fn: f}
+	b.Cur = b.NewBlock("entry")
+	return b
+}
+
+// NewBlock appends a new empty block to the function.
+func (b *Builder) NewBlock(name string) *Block {
+	blk := &Block{Name: name, Index: len(b.Fn.Blocks)}
+	b.Fn.Blocks = append(b.Fn.Blocks, blk)
+	return blk
+}
+
+// SetBlock repositions the builder at the end of blk.
+func (b *Builder) SetBlock(blk *Block) { b.Cur = blk }
+
+// Emit appends an instruction to the current block.
+func (b *Builder) Emit(in Instr) { b.Cur.Instrs = append(b.Cur.Instrs, in) }
+
+// Op emits a pure n-ary operation into a fresh register and returns it.
+func (b *Builder) Op(op Op, args ...Reg) Reg {
+	d := b.Fn.NewReg()
+	b.Emit(Instr{Op: op, Dsts: []Reg{d}, Args: args})
+	return d
+}
+
+// Const emits an OpConst of value v.
+func (b *Builder) Const(v int32) Reg {
+	d := b.Fn.NewReg()
+	b.Emit(Instr{Op: OpConst, Dsts: []Reg{d}, Imm: int64(v)})
+	return d
+}
+
+// Global emits an OpGlobal yielding the address of the named global.
+func (b *Builder) Global(name string) Reg {
+	d := b.Fn.NewReg()
+	b.Emit(Instr{Op: OpGlobal, Dsts: []Reg{d}, Sym: name})
+	return d
+}
+
+// Alloca emits an OpAlloca of the given word count.
+func (b *Builder) Alloca(words int) Reg {
+	d := b.Fn.NewReg()
+	b.Emit(Instr{Op: OpAlloca, Dsts: []Reg{d}, Imm: int64(words)})
+	return d
+}
+
+// Load emits a load from the address register.
+func (b *Builder) Load(addr Reg) Reg { return b.Op(OpLoad, addr) }
+
+// Store emits a store of val to the address register.
+func (b *Builder) Store(addr, val Reg) {
+	b.Emit(Instr{Op: OpStore, Args: []Reg{addr, val}})
+}
+
+// CopyTo emits an explicit copy into an existing register (used to model
+// assignments to named variables).
+func (b *Builder) CopyTo(dst, src Reg) {
+	b.Emit(Instr{Op: OpCopy, Dsts: []Reg{dst}, Args: []Reg{src}})
+}
+
+// Call emits a call; rets lists the registers receiving return values
+// (zero or one for MiniC).
+func (b *Builder) Call(sym string, rets []Reg, args ...Reg) {
+	b.Emit(Instr{Op: OpCall, Dsts: rets, Args: args, Sym: sym})
+}
+
+// Jump terminates the current block with an unconditional jump.
+func (b *Builder) Jump(t *Block) {
+	b.Cur.Term = Term{Kind: TermJump, Targets: []*Block{t}}
+}
+
+// Branch terminates the current block with a conditional branch.
+func (b *Builder) Branch(cond Reg, then, els *Block) {
+	b.Cur.Term = Term{Kind: TermBranch, Cond: cond, Targets: []*Block{then, els}}
+}
+
+// Ret terminates the current block with a return of val.
+func (b *Builder) Ret(val Reg) {
+	b.Cur.Term = Term{Kind: TermRet, Val: val, HasVal: true}
+}
+
+// RetVoid terminates the current block with a bare return.
+func (b *Builder) RetVoid() { b.Cur.Term = Term{Kind: TermRet} }
+
+// Finish recomputes the CFG and returns the function.
+func (b *Builder) Finish() *Function {
+	b.Fn.RecomputeCFG()
+	return b.Fn
+}

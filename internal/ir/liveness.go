@@ -1,0 +1,87 @@
+package ir
+
+// LiveInfo holds the result of liveness analysis for one function:
+// for every block, the registers live on entry and on exit.
+type LiveInfo struct {
+	In  []RegSet // indexed by Block.Index
+	Out []RegSet
+}
+
+// instrUses appends the registers read by in to dst and returns it.
+func instrUses(in *Instr, dst []Reg) []Reg {
+	return append(dst, in.Args...)
+}
+
+// instrDefs appends the registers written by in to dst and returns it.
+func instrDefs(in *Instr, dst []Reg) []Reg {
+	return append(dst, in.Dsts...)
+}
+
+// termUses appends the registers read by t to dst and returns it.
+func termUses(t *Term, dst []Reg) []Reg {
+	if t.Kind == TermBranch {
+		dst = append(dst, t.Cond)
+	}
+	if t.Kind == TermRet && t.HasVal {
+		dst = append(dst, t.Val)
+	}
+	return dst
+}
+
+// Liveness computes classic backward may-liveness over the CFG.
+// Block indices must be current (call RecomputeCFG after edits).
+func Liveness(f *Function) *LiveInfo {
+	n := len(f.Blocks)
+	li := &LiveInfo{In: make([]RegSet, n), Out: make([]RegSet, n)}
+	use := make([]RegSet, n) // upward-exposed uses
+	def := make([]RegSet, n) // defined before any use
+	var scratch []Reg
+	for i, b := range f.Blocks {
+		use[i] = NewRegSet(f.NumRegs)
+		def[i] = NewRegSet(f.NumRegs)
+		li.In[i] = NewRegSet(f.NumRegs)
+		li.Out[i] = NewRegSet(f.NumRegs)
+		for j := range b.Instrs {
+			in := &b.Instrs[j]
+			scratch = instrUses(in, scratch[:0])
+			for _, r := range scratch {
+				if !def[i].Has(r) {
+					use[i].Add(r)
+				}
+			}
+			scratch = instrDefs(in, scratch[:0])
+			for _, r := range scratch {
+				def[i].Add(r)
+			}
+		}
+		scratch = termUses(&b.Term, scratch[:0])
+		for _, r := range scratch {
+			if !def[i].Has(r) {
+				use[i].Add(r)
+			}
+		}
+	}
+	// Iterate to fixpoint; reverse order converges fast on reducible CFGs.
+	for changed := true; changed; {
+		changed = false
+		for i := n - 1; i >= 0; i-- {
+			b := f.Blocks[i]
+			out := li.Out[i]
+			for _, s := range b.Succs() {
+				if out.UnionWith(li.In[s.Index]) {
+					changed = true
+				}
+			}
+			// in = use ∪ (out − def)
+			in := li.In[i]
+			for w := range out {
+				nv := in[w] | use[i][w] | (out[w] &^ def[i][w])
+				if nv != in[w] {
+					in[w] = nv
+					changed = true
+				}
+			}
+		}
+	}
+	return li
+}

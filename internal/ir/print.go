@@ -1,0 +1,115 @@
+package ir
+
+import (
+	"fmt"
+	"strings"
+)
+
+// String renders an instruction in a readable assembly-like syntax.
+func (in *Instr) String() string {
+	var sb strings.Builder
+	if len(in.Dsts) > 0 {
+		for i, d := range in.Dsts {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "r%d", d)
+		}
+		sb.WriteString(" = ")
+	}
+	sb.WriteString(in.Op.String())
+	switch in.Op {
+	case OpConst, OpAlloca:
+		fmt.Fprintf(&sb, " %d", in.Imm)
+	case OpGlobal:
+		fmt.Fprintf(&sb, " @%s", in.Sym)
+	case OpCall:
+		fmt.Fprintf(&sb, " @%s", in.Sym)
+	case OpCustom:
+		fmt.Fprintf(&sb, " #%d", in.AFU)
+	}
+	for i, a := range in.Args {
+		if i == 0 && in.Op != OpCall && in.Op != OpCustom {
+			sb.WriteByte(' ')
+		} else if i == 0 {
+			sb.WriteString(" (")
+		} else {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "r%d", a)
+	}
+	if len(in.Args) > 0 && (in.Op == OpCall || in.Op == OpCustom) {
+		sb.WriteByte(')')
+	}
+	return sb.String()
+}
+
+// String renders a terminator.
+func (t *Term) String() string {
+	switch t.Kind {
+	case TermJump:
+		return "jump " + t.Targets[0].Name
+	case TermBranch:
+		return fmt.Sprintf("branch r%d ? %s : %s", t.Cond, t.Targets[0].Name, t.Targets[1].Name)
+	case TermRet:
+		if t.HasVal {
+			return fmt.Sprintf("ret r%d", t.Val)
+		}
+		return "ret"
+	}
+	return "<unterminated>"
+}
+
+// String renders a whole function.
+func (f *Function) String() string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "func %s(", f.Name)
+	for i, p := range f.Params {
+		if i > 0 {
+			sb.WriteString(", ")
+		}
+		fmt.Fprintf(&sb, "r%d", p)
+	}
+	fmt.Fprintf(&sb, ") regs=%d {\n", f.NumRegs)
+	for _, b := range f.Blocks {
+		fmt.Fprintf(&sb, "%s:", b.Name)
+		if b.Freq > 0 {
+			fmt.Fprintf(&sb, "  ; freq=%d", b.Freq)
+		}
+		sb.WriteByte('\n')
+		for i := range b.Instrs {
+			fmt.Fprintf(&sb, "\t%s\n", b.Instrs[i].String())
+		}
+		fmt.Fprintf(&sb, "\t%s\n", b.Term.String())
+	}
+	sb.WriteString("}\n")
+	return sb.String()
+}
+
+// String renders a whole module.
+func (m *Module) String() string {
+	var sb strings.Builder
+	for i := range m.Globals {
+		g := &m.Globals[i]
+		fmt.Fprintf(&sb, "global @%s[%d]", g.Name, g.Size)
+		if len(g.Init) > 0 {
+			sb.WriteString(" = {")
+			for j, v := range g.Init {
+				if j > 0 {
+					sb.WriteString(", ")
+				}
+				fmt.Fprintf(&sb, "%d", v)
+			}
+			sb.WriteByte('}')
+		}
+		sb.WriteByte('\n')
+	}
+	for i := range m.AFUs {
+		d := &m.AFUs[i]
+		fmt.Fprintf(&sb, "afu #%d %s: %d in, %d out, latency=%d\n", i, d.Name, d.NumIn, len(d.OutSlots), d.Latency)
+	}
+	for _, f := range m.Funcs {
+		sb.WriteString(f.String())
+	}
+	return sb.String()
+}

@@ -1,0 +1,567 @@
+package ir
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// Serialize renders a module in the textual IR format, a complete
+// serialization (unlike String, which is a human-oriented summary):
+// ParseModule(Serialize(m)) reconstructs an equivalent module. The
+// format is line-oriented:
+//
+//	global @tab[4] = {1, 2}
+//	afu #0 "name" in=2 slots=4 latency=1 area=0.530 {
+//	    s2 = add s0, s1
+//	    s3 = const 7
+//	    out s2, s3
+//	}
+//	func f(r0, r1) regs=6 {
+//	  entry: freq=5
+//	    r2 = add r0, r1
+//	    store r0, r2
+//	    r3, r4 = custom #0 (r0, r2)
+//	    branch r2 ? entry : exit
+//	  exit:
+//	    ret r3
+//	}
+func Serialize(m *Module) string {
+	var sb strings.Builder
+	for i := range m.Globals {
+		g := &m.Globals[i]
+		fmt.Fprintf(&sb, "global @%s[%d]", g.Name, g.Size)
+		if len(g.Init) > 0 {
+			sb.WriteString(" = {")
+			for j, v := range g.Init {
+				if j > 0 {
+					sb.WriteString(", ")
+				}
+				fmt.Fprintf(&sb, "%d", v)
+			}
+			sb.WriteByte('}')
+		}
+		sb.WriteByte('\n')
+	}
+	for i := range m.AFUs {
+		d := &m.AFUs[i]
+		fmt.Fprintf(&sb, "afu #%d %q in=%d slots=%d latency=%d area=%g {\n",
+			i, d.Name, d.NumIn, d.NumSlots, d.Latency, d.Area)
+		for j := range d.Body {
+			op := &d.Body[j]
+			fmt.Fprintf(&sb, "    s%d = %s", op.Dst, op.Op)
+			switch op.Op.Info().Arity {
+			case 0:
+				fmt.Fprintf(&sb, " %d", op.Imm)
+			case 1:
+				fmt.Fprintf(&sb, " s%d", op.A)
+			case 2:
+				fmt.Fprintf(&sb, " s%d, s%d", op.A, op.B)
+			case 3:
+				fmt.Fprintf(&sb, " s%d, s%d, s%d", op.A, op.B, op.C)
+			}
+			sb.WriteByte('\n')
+		}
+		sb.WriteString("    out")
+		for j, s := range d.OutSlots {
+			if j > 0 {
+				sb.WriteByte(',')
+			}
+			fmt.Fprintf(&sb, " s%d", s)
+		}
+		sb.WriteString("\n}\n")
+	}
+	for _, f := range m.Funcs {
+		fmt.Fprintf(&sb, "func %s(", f.Name)
+		for i, p := range f.Params {
+			if i > 0 {
+				sb.WriteString(", ")
+			}
+			fmt.Fprintf(&sb, "r%d", p)
+		}
+		fmt.Fprintf(&sb, ") regs=%d {\n", f.NumRegs)
+		for _, b := range f.Blocks {
+			fmt.Fprintf(&sb, "  %s:", b.Name)
+			if b.Freq != 0 {
+				fmt.Fprintf(&sb, " freq=%d", b.Freq)
+			}
+			sb.WriteByte('\n')
+			for i := range b.Instrs {
+				fmt.Fprintf(&sb, "    %s\n", b.Instrs[i].String())
+			}
+			fmt.Fprintf(&sb, "    %s\n", b.Term.String())
+		}
+		sb.WriteString("}\n")
+	}
+	return sb.String()
+}
+
+// ParseModule reads the textual IR format produced by Serialize.
+// The returned module is verified.
+func ParseModule(src string) (*Module, error) {
+	p := &textParser{lines: strings.Split(src, "\n")}
+	m, err := p.module()
+	if err != nil {
+		return nil, fmt.Errorf("ir: line %d: %w", p.pos, err)
+	}
+	if err := VerifyModule(m); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+type textParser struct {
+	lines []string
+	pos   int // 1-based line of the most recent next()
+	idx   int
+}
+
+// next returns the next non-empty, non-comment line, trimmed.
+func (p *textParser) next() (string, bool) {
+	for p.idx < len(p.lines) {
+		line := strings.TrimSpace(p.lines[p.idx])
+		p.idx++
+		p.pos = p.idx
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		return line, true
+	}
+	return "", false
+}
+
+func (p *textParser) unread() { p.idx--; p.pos = p.idx }
+
+func (p *textParser) module() (*Module, error) {
+	m := &Module{}
+	for {
+		line, ok := p.next()
+		if !ok {
+			return m, nil
+		}
+		switch {
+		case strings.HasPrefix(line, "global "):
+			g, err := parseGlobal(line)
+			if err != nil {
+				return nil, err
+			}
+			m.Globals = append(m.Globals, g)
+		case strings.HasPrefix(line, "afu "):
+			d, err := p.afu(line)
+			if err != nil {
+				return nil, err
+			}
+			m.AFUs = append(m.AFUs, d)
+		case strings.HasPrefix(line, "func "):
+			f, err := p.function(line)
+			if err != nil {
+				return nil, err
+			}
+			m.Funcs = append(m.Funcs, f)
+		default:
+			return nil, fmt.Errorf("unexpected %q", line)
+		}
+	}
+}
+
+// parseGlobal: global @name[size] or global @name[size] = {v, v, ...}
+func parseGlobal(line string) (Global, error) {
+	rest := strings.TrimPrefix(line, "global ")
+	at := strings.IndexByte(rest, '@')
+	lb := strings.IndexByte(rest, '[')
+	rb := strings.IndexByte(rest, ']')
+	if at != 0 || lb < 0 || rb < lb {
+		return Global{}, fmt.Errorf("malformed global %q", line)
+	}
+	g := Global{Name: rest[1:lb]}
+	size, err := strconv.Atoi(rest[lb+1 : rb])
+	if err != nil || size <= 0 {
+		return Global{}, fmt.Errorf("bad global size in %q", line)
+	}
+	g.Size = size
+	tail := strings.TrimSpace(rest[rb+1:])
+	if tail == "" {
+		return g, nil
+	}
+	tail = strings.TrimPrefix(tail, "=")
+	tail = strings.TrimSpace(tail)
+	if !strings.HasPrefix(tail, "{") || !strings.HasSuffix(tail, "}") {
+		return Global{}, fmt.Errorf("bad global initializer in %q", line)
+	}
+	for _, f := range strings.Split(tail[1:len(tail)-1], ",") {
+		f = strings.TrimSpace(f)
+		if f == "" {
+			continue
+		}
+		v, err := strconv.ParseInt(f, 10, 64)
+		if err != nil {
+			return Global{}, fmt.Errorf("bad initializer %q", f)
+		}
+		g.Init = append(g.Init, int32(v))
+	}
+	return g, nil
+}
+
+// afu parses an AFU block; header is already read.
+func (p *textParser) afu(header string) (AFUDef, error) {
+	var d AFUDef
+	var idx int
+	var name string
+	h := strings.TrimSuffix(strings.TrimSpace(header), "{")
+	if _, err := fmt.Sscanf(h, "afu #%d %q in=%d slots=%d latency=%d area=%g",
+		&idx, &name, &d.NumIn, &d.NumSlots, &d.Latency, &d.Area); err != nil {
+		return d, fmt.Errorf("malformed afu header %q: %v", header, err)
+	}
+	d.Name = name
+	for {
+		line, ok := p.next()
+		if !ok {
+			return d, fmt.Errorf("unterminated afu %q", name)
+		}
+		if line == "}" {
+			return d, nil
+		}
+		if strings.HasPrefix(line, "out") {
+			for _, f := range strings.Split(strings.TrimPrefix(line, "out"), ",") {
+				f = strings.TrimSpace(f)
+				if f == "" {
+					continue
+				}
+				s, err := parseSlot(f)
+				if err != nil {
+					return d, err
+				}
+				d.OutSlots = append(d.OutSlots, s)
+			}
+			continue
+		}
+		op, err := parseAFUOp(line)
+		if err != nil {
+			return d, err
+		}
+		d.Body = append(d.Body, op)
+	}
+}
+
+func parseSlot(tok string) (int, error) {
+	if !strings.HasPrefix(tok, "s") {
+		return 0, fmt.Errorf("bad slot %q", tok)
+	}
+	return strconv.Atoi(tok[1:])
+}
+
+func parseAFUOp(line string) (AFUOp, error) {
+	var op AFUOp
+	eq := strings.Index(line, " = ")
+	if eq < 0 {
+		return op, fmt.Errorf("malformed afu op %q", line)
+	}
+	dst, err := parseSlot(strings.TrimSpace(line[:eq]))
+	if err != nil {
+		return op, err
+	}
+	op.Dst = dst
+	fields := strings.Fields(strings.ReplaceAll(line[eq+3:], ",", " "))
+	if len(fields) == 0 {
+		return op, fmt.Errorf("empty afu op %q", line)
+	}
+	o, err := opByName(fields[0])
+	if err != nil {
+		return op, err
+	}
+	if !o.Pure() {
+		return op, fmt.Errorf("op %s not allowed in afu body (not pure)", o)
+	}
+	op.Op = o
+	args := fields[1:]
+	switch o.Info().Arity {
+	case 0:
+		if len(args) != 1 {
+			return op, fmt.Errorf("const needs an immediate in %q", line)
+		}
+		imm, err := strconv.ParseInt(args[0], 10, 64)
+		if err != nil {
+			return op, err
+		}
+		op.Imm = imm
+	case 1, 2, 3:
+		if len(args) != o.Info().Arity {
+			return op, fmt.Errorf("%s needs %d args in %q", o, o.Info().Arity, line)
+		}
+		slots := make([]int, len(args))
+		for i, a := range args {
+			s, err := parseSlot(a)
+			if err != nil {
+				return op, err
+			}
+			slots[i] = s
+		}
+		switch len(slots) {
+		case 3:
+			op.C = slots[2]
+			fallthrough
+		case 2:
+			op.B = slots[1]
+			fallthrough
+		case 1:
+			op.A = slots[0]
+		}
+	default:
+		return op, fmt.Errorf("op %s not allowed in afu body", o)
+	}
+	return op, nil
+}
+
+// opByName resolves a mnemonic.
+func opByName(name string) (Op, error) {
+	for op := OpConst; op < opCount; op++ {
+		if op.Info().Name == name {
+			return op, nil
+		}
+	}
+	return OpInvalid, fmt.Errorf("unknown opcode %q", name)
+}
+
+// function parses a function block; header already read.
+func (p *textParser) function(header string) (*Function, error) {
+	h := strings.TrimSuffix(strings.TrimSpace(header), "{")
+	h = strings.TrimSpace(strings.TrimPrefix(h, "func "))
+	lp := strings.IndexByte(h, '(')
+	rp := strings.LastIndexByte(h, ')')
+	if lp < 0 || rp < lp {
+		return nil, fmt.Errorf("malformed func header %q", header)
+	}
+	f := &Function{Name: strings.TrimSpace(h[:lp])}
+	for _, tok := range strings.Split(h[lp+1:rp], ",") {
+		tok = strings.TrimSpace(tok)
+		if tok == "" {
+			continue
+		}
+		r, err := parseReg(tok)
+		if err != nil {
+			return nil, err
+		}
+		f.Params = append(f.Params, r)
+	}
+	tail := strings.TrimSpace(h[rp+1:])
+	if _, err := fmt.Sscanf(tail, "regs=%d", &f.NumRegs); err != nil {
+		return nil, fmt.Errorf("malformed func tail %q", tail)
+	}
+	// Blocks: first pass collects names and raw lines, then terminators
+	// are resolved against the block table.
+	type rawBlock struct {
+		b     *Block
+		term  string
+		tline int
+	}
+	var raws []rawBlock
+	byName := map[string]*Block{}
+	var cur *rawBlock
+	for {
+		line, ok := p.next()
+		if !ok {
+			return nil, fmt.Errorf("unterminated func %s", f.Name)
+		}
+		if line == "}" {
+			break
+		}
+		if name, ok := blockHeaderName(line); ok {
+			b := &Block{Name: name, Index: len(f.Blocks)}
+			rest := strings.TrimSpace(line[len(name)+1:])
+			if rest != "" {
+				if _, err := fmt.Sscanf(rest, "freq=%d", &b.Freq); err != nil {
+					return nil, fmt.Errorf("malformed block header %q", line)
+				}
+			}
+			if byName[b.Name] != nil {
+				return nil, fmt.Errorf("duplicate block %q", b.Name)
+			}
+			byName[b.Name] = b
+			f.Blocks = append(f.Blocks, b)
+			raws = append(raws, rawBlock{b: b})
+			cur = &raws[len(raws)-1]
+			continue
+		}
+		if cur == nil {
+			return nil, fmt.Errorf("instruction outside block: %q", line)
+		}
+		if isTermLine(line) {
+			if cur.term != "" {
+				return nil, fmt.Errorf("second terminator in block %s", cur.b.Name)
+			}
+			cur.term = line
+			cur.tline = p.pos
+			continue
+		}
+		in, err := parseInstr(line)
+		if err != nil {
+			return nil, err
+		}
+		cur.b.Instrs = append(cur.b.Instrs, in)
+	}
+	for i := range raws {
+		if raws[i].term == "" {
+			return nil, fmt.Errorf("block %s has no terminator", raws[i].b.Name)
+		}
+		t, err := parseTerm(raws[i].term, byName)
+		if err != nil {
+			return nil, err
+		}
+		raws[i].b.Term = t
+	}
+	f.RecomputeCFG()
+	return f, nil
+}
+
+// blockHeaderName recognizes "name:" or "name: freq=N" where name is an
+// identifier (so terminator and instruction lines never match).
+func blockHeaderName(line string) (string, bool) {
+	idx := strings.IndexByte(line, ':')
+	if idx <= 0 {
+		return "", false
+	}
+	name := line[:idx]
+	for i, r := range name {
+		ok := r == '_' || (r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if !ok {
+			return "", false
+		}
+	}
+	rest := strings.TrimSpace(line[idx+1:])
+	if rest != "" && !strings.HasPrefix(rest, "freq=") {
+		return "", false
+	}
+	return name, true
+}
+
+func isTermLine(line string) bool {
+	return strings.HasPrefix(line, "jump ") || strings.HasPrefix(line, "branch ") ||
+		line == "ret" || strings.HasPrefix(line, "ret ")
+}
+
+func parseReg(tok string) (Reg, error) {
+	if !strings.HasPrefix(tok, "r") {
+		return 0, fmt.Errorf("bad register %q", tok)
+	}
+	v, err := strconv.Atoi(tok[1:])
+	if err != nil {
+		return 0, fmt.Errorf("bad register %q", tok)
+	}
+	return Reg(v), nil
+}
+
+// parseInstr reads one instruction in Instr.String() syntax.
+func parseInstr(line string) (Instr, error) {
+	var in Instr
+	rest := line
+	if eq := strings.Index(line, " = "); eq >= 0 {
+		for _, tok := range strings.Split(line[:eq], ",") {
+			r, err := parseReg(strings.TrimSpace(tok))
+			if err != nil {
+				return in, fmt.Errorf("%v in %q", err, line)
+			}
+			in.Dsts = append(in.Dsts, r)
+		}
+		rest = line[eq+3:]
+	}
+	fields := strings.Fields(strings.ReplaceAll(strings.NewReplacer("(", " ", ")", " ", ",", " ").Replace(rest), "  ", " "))
+	if len(fields) == 0 {
+		return in, fmt.Errorf("empty instruction %q", line)
+	}
+	op, err := opByName(fields[0])
+	if err != nil {
+		return in, fmt.Errorf("%v in %q", err, line)
+	}
+	in.Op = op
+	args := fields[1:]
+	switch op {
+	case OpConst, OpAlloca:
+		if len(args) != 1 {
+			return in, fmt.Errorf("%s needs an immediate in %q", op, line)
+		}
+		imm, err := strconv.ParseInt(args[0], 10, 64)
+		if err != nil {
+			return in, err
+		}
+		in.Imm = imm
+		return in, nil
+	case OpGlobal, OpCall:
+		if len(args) < 1 || !strings.HasPrefix(args[0], "@") {
+			return in, fmt.Errorf("%s needs a @symbol in %q", op, line)
+		}
+		in.Sym = args[0][1:]
+		args = args[1:]
+		if op == OpGlobal && len(args) != 0 {
+			return in, fmt.Errorf("global takes no registers in %q", line)
+		}
+	case OpCustom:
+		if len(args) < 1 || !strings.HasPrefix(args[0], "#") {
+			return in, fmt.Errorf("custom needs #index in %q", line)
+		}
+		n, err := strconv.Atoi(args[0][1:])
+		if err != nil {
+			return in, err
+		}
+		in.AFU = n
+		args = args[1:]
+	}
+	for _, a := range args {
+		r, err := parseReg(a)
+		if err != nil {
+			return in, fmt.Errorf("%v in %q", err, line)
+		}
+		in.Args = append(in.Args, r)
+	}
+	info := op.Info()
+	if info.Arity >= 0 && len(in.Args) != info.Arity {
+		return in, fmt.Errorf("%s takes %d args, got %d in %q", op, info.Arity, len(in.Args), line)
+	}
+	return in, nil
+}
+
+// parseTerm reads a terminator in Term.String() syntax.
+func parseTerm(line string, blocks map[string]*Block) (Term, error) {
+	switch {
+	case strings.HasPrefix(line, "jump "):
+		name := strings.TrimSpace(strings.TrimPrefix(line, "jump "))
+		b := blocks[name]
+		if b == nil {
+			return Term{}, fmt.Errorf("jump to unknown block %q", name)
+		}
+		return Term{Kind: TermJump, Targets: []*Block{b}}, nil
+	case strings.HasPrefix(line, "branch "):
+		// branch rN ? a : b
+		rest := strings.TrimPrefix(line, "branch ")
+		var regTok, thenName, elseName string
+		parts := strings.Split(rest, "?")
+		if len(parts) != 2 {
+			return Term{}, fmt.Errorf("malformed branch %q", line)
+		}
+		regTok = strings.TrimSpace(parts[0])
+		arms := strings.Split(parts[1], ":")
+		if len(arms) != 2 {
+			return Term{}, fmt.Errorf("malformed branch %q", line)
+		}
+		thenName = strings.TrimSpace(arms[0])
+		elseName = strings.TrimSpace(arms[1])
+		r, err := parseReg(regTok)
+		if err != nil {
+			return Term{}, err
+		}
+		tb, eb := blocks[thenName], blocks[elseName]
+		if tb == nil || eb == nil {
+			return Term{}, fmt.Errorf("branch to unknown block in %q", line)
+		}
+		return Term{Kind: TermBranch, Cond: r, Targets: []*Block{tb, eb}}, nil
+	case line == "ret":
+		return Term{Kind: TermRet}, nil
+	case strings.HasPrefix(line, "ret "):
+		r, err := parseReg(strings.TrimSpace(strings.TrimPrefix(line, "ret ")))
+		if err != nil {
+			return Term{}, err
+		}
+		return Term{Kind: TermRet, Val: r, HasVal: true}, nil
+	}
+	return Term{}, fmt.Errorf("unknown terminator %q", line)
+}

@@ -1,0 +1,166 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// sampleModule exercises every construct the text format supports.
+func sampleModule(t *testing.T) *Module {
+	t.Helper()
+	m := &Module{
+		Globals: []Global{
+			{Name: "tab", Size: 4, Init: []int32{1, -2, 3}},
+			{Name: "out", Size: 8},
+		},
+	}
+	m.AddAFU(AFUDef{
+		Name: "sat_add", NumIn: 2, NumSlots: 5, Latency: 1, Area: 0.53,
+		Body: []AFUOp{
+			{Op: OpAdd, A: 0, B: 1, Dst: 2},
+			{Op: OpConst, Imm: 32767, Dst: 3},
+			{Op: OpMin, A: 2, B: 3, Dst: 4},
+		},
+		OutSlots: []int{4},
+	})
+	b := NewBuilder("f", 2)
+	x, y := b.Fn.Params[0], b.Fn.Params[1]
+	sum := b.Op(OpAdd, x, y)
+	g := b.Global("tab")
+	v := b.Load(b.Op(OpAdd, g, sum))
+	d := b.Fn.NewReg()
+	b.Emit(Instr{Op: OpCustom, AFU: 0, Dsts: []Reg{d}, Args: []Reg{v, sum}})
+	loop := b.NewBlock("loop")
+	exit := b.NewBlock("exit")
+	b.Branch(d, loop, exit)
+	b.SetBlock(loop)
+	b.Store(g, d)
+	al := b.Alloca(4)
+	b.Store(al, b.Const(-9))
+	b.Jump(exit)
+	b.SetBlock(exit)
+	b.Ret(d)
+	fn := b.Finish()
+	fn.Blocks[1].Freq = 42
+	m.Funcs = append(m.Funcs, fn)
+
+	vb := NewBuilder("voidfn", 1)
+	r := vb.Fn.NewReg()
+	vb.Call("f", []Reg{r}, vb.Fn.Params[0], vb.Fn.Params[0])
+	vb.Call("voidhelper", nil)
+	vb.RetVoid()
+	m.Funcs = append(m.Funcs, vb.Finish())
+
+	hb := NewBuilder("voidhelper", 0)
+	hb.RetVoid()
+	m.Funcs = append(m.Funcs, hb.Finish())
+
+	if err := VerifyModule(m); err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestSerializeParseRoundTrip(t *testing.T) {
+	m := sampleModule(t)
+	text := Serialize(m)
+	m2, err := ParseModule(text)
+	if err != nil {
+		t.Fatalf("parse: %v\ntext:\n%s", err, text)
+	}
+	text2 := Serialize(m2)
+	if text != text2 {
+		t.Fatalf("round trip diverged:\n--- first ---\n%s--- second ---\n%s", text, text2)
+	}
+	// Structure checks.
+	if len(m2.Globals) != 2 || len(m2.AFUs) != 1 || len(m2.Funcs) != 3 {
+		t.Fatalf("structure lost: %d globals, %d afus, %d funcs",
+			len(m2.Globals), len(m2.AFUs), len(m2.Funcs))
+	}
+	if m2.Funcs[0].Blocks[1].Freq != 42 {
+		t.Error("freq lost")
+	}
+	if got := m2.AFUs[0]; got.Name != "sat_add" || got.Latency != 1 || got.Area != 0.53 {
+		t.Errorf("afu metadata lost: %+v", got)
+	}
+	// Semantics: the AFU executes identically.
+	out1, err1 := m.AFUs[0].Exec([]int32{100, 200})
+	out2, err2 := m2.AFUs[0].Exec([]int32{100, 200})
+	if err1 != nil || err2 != nil || out1[0] != out2[0] {
+		t.Errorf("afu semantics lost: %v/%v %v/%v", out1, err1, out2, err2)
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct{ name, src string }{
+		{"junk", "hello world"},
+		{"bad global", "global tab[4]"},
+		{"bad global size", "global @t[zero]"},
+		{"unterminated func", "func f() regs=1 {\n  e:\n    ret"},
+		{"no terminator", "func f() regs=1 {\n  e:\n}"},
+		{"unknown op", "func f() regs=2 {\n  e:\n    r1 = frobnicate r0\n    ret\n}"},
+		{"bad arity", "func f() regs=3 {\n  e:\n    r2 = add r0\n    ret\n}"},
+		{"jump to nowhere", "func f() regs=1 {\n  e:\n    jump nirvana\n}"},
+		{"branch malformed", "func f() regs=1 {\n  e:\n    branch r0 ? only\n}"},
+		{"instr outside block", "func f() regs=2 {\n    r1 = const 0\n  e:\n    ret\n}"},
+		{"double terminator", "func f() regs=1 {\n  e:\n    ret\n    ret\n}"},
+		{"dup block", "func f() regs=1 {\n  e:\n    ret\n  e:\n    ret\n}"},
+		{"bad reg", "func f() regs=2 {\n  e:\n    rX = const 0\n    ret\n}"},
+		{"unterminated afu", "afu #0 \"a\" in=1 slots=1 latency=1 area=0 {\n    out s0"},
+		{"bad afu op", "afu #0 \"a\" in=1 slots=2 latency=1 area=0 {\n    s1 = load s0\n    out s1\n}"},
+		// Verifier catches semantic problems post-parse.
+		{"reg out of range", "func f() regs=1 {\n  e:\n    r5 = const 0\n    ret\n}"},
+		{"call to missing fn", "func f() regs=1 {\n  e:\n    r0 = call @ghost\n    ret\n}"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := ParseModule(c.src); err == nil {
+				t.Errorf("ParseModule accepted %q", c.src)
+			}
+		})
+	}
+}
+
+func TestParseIgnoresCommentsAndBlanks(t *testing.T) {
+	src := `
+# a comment
+global @g[2] = {5, 6}
+
+# another
+func main() regs=2 {
+  entry:
+    r0 = global @g
+    r1 = load r0
+
+    ret r1
+}
+`
+	m, err := ParseModule(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Funcs) != 1 || len(m.Funcs[0].Blocks) != 1 {
+		t.Fatalf("parse structure wrong")
+	}
+}
+
+func TestSerializeHumanStable(t *testing.T) {
+	m := sampleModule(t)
+	text := Serialize(m)
+	for _, want := range []string{
+		"global @tab[4] = {1, -2, 3}",
+		"global @out[8]",
+		`afu #0 "sat_add" in=2 slots=5 latency=1 area=0.53 {`,
+		"s2 = add s0, s1",
+		"s3 = const 32767",
+		"out s4",
+		"func f(r0, r1) regs=",
+		"loop: freq=42",
+		"branch r",
+		"ret",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("serialization missing %q:\n%s", want, text)
+		}
+	}
+}

@@ -1,0 +1,145 @@
+package ir
+
+import "fmt"
+
+// VerifyModule checks structural well-formedness of a whole module.
+func VerifyModule(m *Module) error {
+	seen := map[string]bool{}
+	for _, g := range m.Globals {
+		if g.Name == "" {
+			return fmt.Errorf("ir: unnamed global")
+		}
+		if seen[g.Name] {
+			return fmt.Errorf("ir: duplicate global %q", g.Name)
+		}
+		seen[g.Name] = true
+		if len(g.Init) > g.Size {
+			return fmt.Errorf("ir: global %q: %d initializers for %d words", g.Name, len(g.Init), g.Size)
+		}
+	}
+	fnames := map[string]bool{}
+	for _, f := range m.Funcs {
+		if fnames[f.Name] {
+			return fmt.Errorf("ir: duplicate function %q", f.Name)
+		}
+		fnames[f.Name] = true
+		if err := VerifyFunction(f, m); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// VerifyFunction checks structural well-formedness of one function: block
+// indices, register bounds, per-op arity and destination counts, and
+// terminator targets. m may be nil, in which case symbol references are
+// not resolved.
+func VerifyFunction(f *Function, m *Module) error {
+	if len(f.Blocks) == 0 {
+		return fmt.Errorf("ir: %s: no blocks", f.Name)
+	}
+	inFn := map[*Block]bool{}
+	for i, b := range f.Blocks {
+		if b.Index != i {
+			return fmt.Errorf("ir: %s: block %s has stale index %d (want %d)", f.Name, b.Name, b.Index, i)
+		}
+		inFn[b] = true
+	}
+	checkReg := func(b *Block, r Reg, what string) error {
+		if r < 0 || int(r) >= f.NumRegs {
+			return fmt.Errorf("ir: %s/%s: %s register r%d out of range [0,%d)", f.Name, b.Name, what, r, f.NumRegs)
+		}
+		return nil
+	}
+	for _, r := range f.Params {
+		if r < 0 || int(r) >= f.NumRegs {
+			return fmt.Errorf("ir: %s: parameter register r%d out of range", f.Name, r)
+		}
+	}
+	for _, b := range f.Blocks {
+		for j := range b.Instrs {
+			in := &b.Instrs[j]
+			info := in.Op.Info()
+			if in.Op == OpInvalid || in.Op >= opCount {
+				return fmt.Errorf("ir: %s/%s[%d]: invalid opcode", f.Name, b.Name, j)
+			}
+			if info.Arity >= 0 && len(in.Args) != info.Arity {
+				return fmt.Errorf("ir: %s/%s[%d]: %s takes %d args, got %d", f.Name, b.Name, j, in.Op, info.Arity, len(in.Args))
+			}
+			switch in.Op {
+			case OpCall:
+				if len(in.Dsts) > 1 {
+					return fmt.Errorf("ir: %s/%s[%d]: call defines %d values", f.Name, b.Name, j, len(in.Dsts))
+				}
+				if m != nil && m.Func(in.Sym) == nil {
+					return fmt.Errorf("ir: %s/%s[%d]: call to undefined %q", f.Name, b.Name, j, in.Sym)
+				}
+			case OpCustom:
+				if in.AFU < 0 || (m != nil && in.AFU >= len(m.AFUs)) {
+					return fmt.Errorf("ir: %s/%s[%d]: custom references AFU %d", f.Name, b.Name, j, in.AFU)
+				}
+				if m != nil {
+					d := &m.AFUs[in.AFU]
+					if len(in.Args) != d.NumIn || len(in.Dsts) != len(d.OutSlots) {
+						return fmt.Errorf("ir: %s/%s[%d]: custom %s arity mismatch", f.Name, b.Name, j, d.Name)
+					}
+				}
+			case OpGlobal:
+				if m != nil && m.GlobalIndex(in.Sym) < 0 {
+					return fmt.Errorf("ir: %s/%s[%d]: unknown global %q", f.Name, b.Name, j, in.Sym)
+				}
+			case OpAlloca:
+				if in.Imm <= 0 {
+					return fmt.Errorf("ir: %s/%s[%d]: alloca of %d words", f.Name, b.Name, j, in.Imm)
+				}
+			default:
+				if info.HasDst && len(in.Dsts) != 1 {
+					return fmt.Errorf("ir: %s/%s[%d]: %s must define exactly one register", f.Name, b.Name, j, in.Op)
+				}
+				if !info.HasDst && len(in.Dsts) != 0 {
+					return fmt.Errorf("ir: %s/%s[%d]: %s defines no register", f.Name, b.Name, j, in.Op)
+				}
+			}
+			for _, r := range in.Args {
+				if err := checkReg(b, r, "arg"); err != nil {
+					return err
+				}
+			}
+			for _, r := range in.Dsts {
+				if err := checkReg(b, r, "dst"); err != nil {
+					return err
+				}
+			}
+		}
+		switch b.Term.Kind {
+		case TermJump:
+			if len(b.Term.Targets) != 1 {
+				return fmt.Errorf("ir: %s/%s: jump needs 1 target", f.Name, b.Name)
+			}
+		case TermBranch:
+			if len(b.Term.Targets) != 2 {
+				return fmt.Errorf("ir: %s/%s: branch needs 2 targets", f.Name, b.Name)
+			}
+			if err := checkReg(b, b.Term.Cond, "branch cond"); err != nil {
+				return err
+			}
+		case TermRet:
+			if len(b.Term.Targets) != 0 {
+				return fmt.Errorf("ir: %s/%s: return has targets", f.Name, b.Name)
+			}
+			if b.Term.HasVal {
+				if err := checkReg(b, b.Term.Val, "ret val"); err != nil {
+					return err
+				}
+			}
+		default:
+			return fmt.Errorf("ir: %s/%s: missing terminator", f.Name, b.Name)
+		}
+		for _, t := range b.Term.Targets {
+			if !inFn[t] {
+				return fmt.Errorf("ir: %s/%s: branch to foreign block", f.Name, b.Name)
+			}
+		}
+	}
+	return nil
+}

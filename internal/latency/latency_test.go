@@ -1,0 +1,94 @@
+package latency
+
+import (
+	"testing"
+
+	"isex/internal/ir"
+)
+
+func TestDefaultCoversAllPureOps(t *testing.T) {
+	m := Default()
+	for _, op := range []ir.Op{
+		ir.OpConst, ir.OpCopy, ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpDiv, ir.OpRem,
+		ir.OpNeg, ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpNot, ir.OpShl, ir.OpAShr,
+		ir.OpLShr, ir.OpEq, ir.OpNe, ir.OpLt, ir.OpLe, ir.OpGt, ir.OpGe,
+		ir.OpULt, ir.OpULe, ir.OpUGt, ir.OpUGe, ir.OpSelect, ir.OpMin, ir.OpMax,
+		ir.OpAbs, ir.OpSExt8, ir.OpSExt16, ir.OpZExt8, ir.OpZExt16,
+	} {
+		if op != ir.OpConst && m.SW(op) <= 0 {
+			t.Errorf("%s: SW latency %d", op, m.SW(op))
+		}
+		if op != ir.OpConst && op != ir.OpCopy && m.HW(op) <= 0 {
+			t.Errorf("%s: HW delay %v", op, m.HW(op))
+		}
+	}
+	// Barriers have software cost (the simulator accounts them).
+	for _, op := range []ir.Op{ir.OpLoad, ir.OpStore, ir.OpCall, ir.OpGlobal, ir.OpAlloca} {
+		if m.SW(op) <= 0 {
+			t.Errorf("%s: barrier SW latency %d", op, m.SW(op))
+		}
+	}
+}
+
+func TestRelativeDelays(t *testing.T) {
+	m := Default()
+	// Key ratios the paper's motivation depends on: several adds chain
+	// within one MAC-normalized cycle; logic is nearly free; a multiplier
+	// nearly fills a cycle.
+	if !(m.HW(ir.OpAnd) < m.HW(ir.OpSelect) && m.HW(ir.OpSelect) < m.HW(ir.OpAdd)) {
+		t.Error("logic < mux < add ordering violated")
+	}
+	if !(m.HW(ir.OpAdd) < m.HW(ir.OpMul) && m.HW(ir.OpMul) <= 1.0) {
+		t.Error("add < mul <= MAC ordering violated")
+	}
+	if 3*m.HW(ir.OpAdd) > 1.0 {
+		t.Error("three chained adds should fit in one normalized cycle")
+	}
+}
+
+func TestCyclesOf(t *testing.T) {
+	cases := []struct {
+		d    float64
+		want int
+	}{
+		{0, 0}, {-1, 0}, {0.1, 1}, {0.9, 1}, {1.0, 1}, {1.0000001, 2},
+		{1.5, 2}, {2.0, 2}, {2.3, 3}, {3.999, 4},
+	}
+	for _, c := range cases {
+		if got := CyclesOf(c.d); got != c.want {
+			t.Errorf("CyclesOf(%v) = %d, want %d", c.d, got, c.want)
+		}
+	}
+}
+
+func TestPerturbed(t *testing.T) {
+	m := Default()
+	p := m.Perturbed(42, 0.3)
+	if p.SW(ir.OpMul) != m.SW(ir.OpMul) {
+		t.Error("perturbation must not change software latencies")
+	}
+	changed := false
+	for _, op := range []ir.Op{ir.OpAdd, ir.OpMul, ir.OpShl, ir.OpSelect} {
+		r := p.HW(op) / m.HW(op)
+		if r < 0.7-1e-9 || r > 1.3+1e-9 {
+			t.Errorf("%s: perturbation ratio %v out of bounds", op, r)
+		}
+		if r != 1 {
+			changed = true
+		}
+	}
+	if !changed {
+		t.Error("perturbation changed nothing")
+	}
+	// Determinism.
+	p2 := m.Perturbed(42, 0.3)
+	if p.HW(ir.OpAdd) != p2.HW(ir.OpAdd) {
+		t.Error("perturbation not deterministic")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("bad eps accepted")
+		}
+	}()
+	m.Perturbed(1, 1.5)
+}

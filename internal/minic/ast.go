@@ -1,0 +1,183 @@
+package minic
+
+// Pos is a source position used in diagnostics.
+type Pos struct{ Line, Col int }
+
+// Program is a parsed translation unit.
+type Program struct {
+	Globals []*GlobalDecl
+	Funcs   []*FuncDecl
+}
+
+// GlobalDecl declares a module-level scalar or array.
+type GlobalDecl struct {
+	Pos     Pos
+	Name    string
+	IsArray bool
+	Size    int     // array length; 1 for scalars
+	Init    []int64 // constant initializers (may be shorter than Size)
+}
+
+// Param is a function parameter; array parameters receive a base address.
+type Param struct {
+	Pos     Pos
+	Name    string
+	IsArray bool
+}
+
+// FuncDecl is a function definition.
+type FuncDecl struct {
+	Pos        Pos
+	Name       string
+	ReturnsInt bool
+	Params     []Param
+	Body       *BlockStmt
+}
+
+// Stmt is implemented by all statement nodes.
+type Stmt interface{ stmtPos() Pos }
+
+// BlockStmt is a brace-delimited statement list introducing a scope.
+type BlockStmt struct {
+	Pos   Pos
+	Stmts []Stmt
+}
+
+// DeclStmt declares a local scalar or array, optionally initialized
+// (scalars only).
+type DeclStmt struct {
+	Pos     Pos
+	Name    string
+	IsArray bool
+	Size    int
+	Init    Expr // nil if absent
+}
+
+// AssignStmt assigns to a scalar variable or an array element. Op is ""
+// for plain assignment or the arithmetic part of a compound assignment
+// ("+", "<<", ...). x++ and x-- parse as compound assignments with an
+// implicit 1.
+type AssignStmt struct {
+	Pos    Pos
+	Target *LValue
+	Op     string
+	Value  Expr
+}
+
+// LValue is an assignable location.
+type LValue struct {
+	Pos   Pos
+	Name  string
+	Index Expr // nil for scalars
+}
+
+// ExprStmt evaluates an expression for its effect (a call).
+type ExprStmt struct {
+	Pos Pos
+	X   Expr
+}
+
+// IfStmt is if/else.
+type IfStmt struct {
+	Pos  Pos
+	Cond Expr
+	Then Stmt
+	Else Stmt // nil if absent
+}
+
+// WhileStmt is a while loop.
+type WhileStmt struct {
+	Pos  Pos
+	Cond Expr
+	Body Stmt
+}
+
+// ForStmt is a C-style for loop. Init and Post are assignment or
+// expression statements (or nil); Cond may be nil (infinite).
+type ForStmt struct {
+	Pos        Pos
+	Init, Post Stmt
+	Cond       Expr
+	Body       Stmt
+}
+
+// ReturnStmt returns from the function.
+type ReturnStmt struct {
+	Pos Pos
+	X   Expr // nil for void return
+}
+
+// BreakStmt exits the innermost loop.
+type BreakStmt struct{ Pos Pos }
+
+// ContinueStmt jumps to the innermost loop's post/condition.
+type ContinueStmt struct{ Pos Pos }
+
+func (s *BlockStmt) stmtPos() Pos    { return s.Pos }
+func (s *DeclStmt) stmtPos() Pos     { return s.Pos }
+func (s *AssignStmt) stmtPos() Pos   { return s.Pos }
+func (s *ExprStmt) stmtPos() Pos     { return s.Pos }
+func (s *IfStmt) stmtPos() Pos       { return s.Pos }
+func (s *WhileStmt) stmtPos() Pos    { return s.Pos }
+func (s *ForStmt) stmtPos() Pos      { return s.Pos }
+func (s *ReturnStmt) stmtPos() Pos   { return s.Pos }
+func (s *BreakStmt) stmtPos() Pos    { return s.Pos }
+func (s *ContinueStmt) stmtPos() Pos { return s.Pos }
+
+// Expr is implemented by all expression nodes.
+type Expr interface{ exprPos() Pos }
+
+// NumberExpr is an integer literal.
+type NumberExpr struct {
+	Pos Pos
+	Val int64
+}
+
+// VarExpr reads a scalar variable, or names an array (only as a call
+// argument, where it denotes the base address).
+type VarExpr struct {
+	Pos  Pos
+	Name string
+}
+
+// IndexExpr reads an array element.
+type IndexExpr struct {
+	Pos   Pos
+	Name  string
+	Index Expr
+}
+
+// UnaryExpr applies -, ~ or !.
+type UnaryExpr struct {
+	Pos Pos
+	Op  string
+	X   Expr
+}
+
+// BinaryExpr applies a binary operator.
+type BinaryExpr struct {
+	Pos  Pos
+	Op   string
+	L, R Expr
+}
+
+// CondExpr is the ternary ?: operator; it lowers to an IR select (SEL).
+type CondExpr struct {
+	Pos              Pos
+	Cond, Then, Else Expr
+}
+
+// CallExpr calls a function or intrinsic.
+type CallExpr struct {
+	Pos  Pos
+	Name string
+	Args []Expr
+}
+
+func (e *NumberExpr) exprPos() Pos { return e.Pos }
+func (e *VarExpr) exprPos() Pos    { return e.Pos }
+func (e *IndexExpr) exprPos() Pos  { return e.Pos }
+func (e *UnaryExpr) exprPos() Pos  { return e.Pos }
+func (e *BinaryExpr) exprPos() Pos { return e.Pos }
+func (e *CondExpr) exprPos() Pos   { return e.Pos }
+func (e *CallExpr) exprPos() Pos   { return e.Pos }

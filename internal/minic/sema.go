@@ -1,0 +1,315 @@
+package minic
+
+import "fmt"
+
+// Intrinsics are builtin functions lowered to single IR operations.
+// lshr is the logical (unsigned) right shift, which C expresses via
+// unsigned types that MiniC does not have.
+var intrinsicArity = map[string]int{"min": 2, "max": 2, "abs": 1, "lshr": 2}
+
+// symKind distinguishes what a name denotes.
+type symKind uint8
+
+const (
+	symScalar symKind = iota
+	symArray
+)
+
+type symbol struct {
+	kind     symKind
+	isGlobal bool
+}
+
+type scope struct {
+	parent *scope
+	names  map[string]symbol
+}
+
+func (s *scope) lookup(name string) (symbol, bool) {
+	for sc := s; sc != nil; sc = sc.parent {
+		if sym, ok := sc.names[name]; ok {
+			return sym, true
+		}
+	}
+	return symbol{}, false
+}
+
+type funcSig struct {
+	returnsInt bool
+	params     []Param
+}
+
+// checker validates a program before lowering.
+type checker struct {
+	globals map[string]*GlobalDecl
+	funcs   map[string]funcSig
+}
+
+// Check performs semantic analysis: name resolution, scalar/array usage,
+// call signatures, loop-context of break/continue, return consistency,
+// and the purity restriction on ?: arms (they lower to an eager select).
+func Check(prog *Program) error {
+	c := &checker{globals: map[string]*GlobalDecl{}, funcs: map[string]funcSig{}}
+	for _, g := range prog.Globals {
+		if _, dup := c.globals[g.Name]; dup {
+			return errf(g.Pos.Line, g.Pos.Col, "global %s redeclared", g.Name)
+		}
+		c.globals[g.Name] = g
+	}
+	for _, f := range prog.Funcs {
+		if _, dup := c.funcs[f.Name]; dup {
+			return errf(f.Pos.Line, f.Pos.Col, "function %s redeclared", f.Name)
+		}
+		if _, isIntr := intrinsicArity[f.Name]; isIntr {
+			return errf(f.Pos.Line, f.Pos.Col, "%s is a builtin and cannot be redefined", f.Name)
+		}
+		if _, isG := c.globals[f.Name]; isG {
+			return errf(f.Pos.Line, f.Pos.Col, "%s already declared as a global", f.Name)
+		}
+		c.funcs[f.Name] = funcSig{returnsInt: f.ReturnsInt, params: f.Params}
+	}
+	for _, f := range prog.Funcs {
+		if err := c.checkFunc(f); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+type funcCtx struct {
+	fn        *FuncDecl
+	loopDepth int
+}
+
+func (c *checker) checkFunc(f *FuncDecl) error {
+	top := &scope{names: map[string]symbol{}}
+	for name, g := range c.globals {
+		kind := symScalar
+		if g.IsArray {
+			kind = symArray
+		}
+		top.names[name] = symbol{kind: kind, isGlobal: true}
+	}
+	params := &scope{parent: top, names: map[string]symbol{}}
+	for _, p := range f.Params {
+		if _, dup := params.names[p.Name]; dup {
+			return errf(p.Pos.Line, p.Pos.Col, "parameter %s redeclared", p.Name)
+		}
+		kind := symScalar
+		if p.IsArray {
+			kind = symArray
+		}
+		params.names[p.Name] = symbol{kind: kind}
+	}
+	ctx := &funcCtx{fn: f}
+	return c.checkBlock(ctx, f.Body, params)
+}
+
+func (c *checker) checkBlock(ctx *funcCtx, b *BlockStmt, parent *scope) error {
+	sc := &scope{parent: parent, names: map[string]symbol{}}
+	for _, s := range b.Stmts {
+		if err := c.checkStmt(ctx, s, sc); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (c *checker) checkStmt(ctx *funcCtx, s Stmt, sc *scope) error {
+	switch st := s.(type) {
+	case *BlockStmt:
+		return c.checkBlock(ctx, st, sc)
+	case *DeclStmt:
+		if _, dup := sc.names[st.Name]; dup {
+			return errf(st.Pos.Line, st.Pos.Col, "%s redeclared in this scope", st.Name)
+		}
+		if st.Init != nil {
+			if err := c.checkExpr(ctx, st.Init, sc, false); err != nil {
+				return err
+			}
+		}
+		kind := symScalar
+		if st.IsArray {
+			kind = symArray
+		}
+		sc.names[st.Name] = symbol{kind: kind}
+		return nil
+	case *AssignStmt:
+		if err := c.checkLValue(ctx, st.Target, sc); err != nil {
+			return err
+		}
+		return c.checkExpr(ctx, st.Value, sc, false)
+	case *ExprStmt:
+		call, ok := st.X.(*CallExpr)
+		if !ok {
+			return errf(st.Pos.Line, st.Pos.Col, "expression statement must be a call")
+		}
+		return c.checkExpr(ctx, call, sc, false)
+	case *IfStmt:
+		if err := c.checkExpr(ctx, st.Cond, sc, false); err != nil {
+			return err
+		}
+		if err := c.checkStmt(ctx, st.Then, sc); err != nil {
+			return err
+		}
+		if st.Else != nil {
+			return c.checkStmt(ctx, st.Else, sc)
+		}
+		return nil
+	case *WhileStmt:
+		if err := c.checkExpr(ctx, st.Cond, sc, false); err != nil {
+			return err
+		}
+		ctx.loopDepth++
+		defer func() { ctx.loopDepth-- }()
+		return c.checkStmt(ctx, st.Body, sc)
+	case *ForStmt:
+		inner := &scope{parent: sc, names: map[string]symbol{}}
+		if st.Init != nil {
+			if err := c.checkStmt(ctx, st.Init, inner); err != nil {
+				return err
+			}
+		}
+		if st.Cond != nil {
+			if err := c.checkExpr(ctx, st.Cond, inner, false); err != nil {
+				return err
+			}
+		}
+		if st.Post != nil {
+			if err := c.checkStmt(ctx, st.Post, inner); err != nil {
+				return err
+			}
+		}
+		ctx.loopDepth++
+		defer func() { ctx.loopDepth-- }()
+		return c.checkStmt(ctx, st.Body, inner)
+	case *ReturnStmt:
+		if ctx.fn.ReturnsInt && st.X == nil {
+			return errf(st.Pos.Line, st.Pos.Col, "%s must return a value", ctx.fn.Name)
+		}
+		if !ctx.fn.ReturnsInt && st.X != nil {
+			return errf(st.Pos.Line, st.Pos.Col, "void %s cannot return a value", ctx.fn.Name)
+		}
+		if st.X != nil {
+			return c.checkExpr(ctx, st.X, sc, false)
+		}
+		return nil
+	case *BreakStmt:
+		if ctx.loopDepth == 0 {
+			return errf(st.Pos.Line, st.Pos.Col, "break outside loop")
+		}
+		return nil
+	case *ContinueStmt:
+		if ctx.loopDepth == 0 {
+			return errf(st.Pos.Line, st.Pos.Col, "continue outside loop")
+		}
+		return nil
+	}
+	return fmt.Errorf("minic: unknown statement %T", s)
+}
+
+func (c *checker) checkLValue(ctx *funcCtx, lv *LValue, sc *scope) error {
+	sym, ok := sc.lookup(lv.Name)
+	if !ok {
+		return errf(lv.Pos.Line, lv.Pos.Col, "undeclared variable %s", lv.Name)
+	}
+	if lv.Index != nil {
+		if sym.kind != symArray {
+			return errf(lv.Pos.Line, lv.Pos.Col, "%s is not an array", lv.Name)
+		}
+		return c.checkExpr(ctx, lv.Index, sc, false)
+	}
+	if sym.kind == symArray {
+		return errf(lv.Pos.Line, lv.Pos.Col, "cannot assign to array %s", lv.Name)
+	}
+	return nil
+}
+
+// checkExpr validates an expression. pureOnly forbids calls (inside ?:
+// arms, which are evaluated eagerly before the select).
+func (c *checker) checkExpr(ctx *funcCtx, e Expr, sc *scope, pureOnly bool) error {
+	switch ex := e.(type) {
+	case *NumberExpr:
+		return nil
+	case *VarExpr:
+		sym, ok := sc.lookup(ex.Name)
+		if !ok {
+			return errf(ex.Pos.Line, ex.Pos.Col, "undeclared variable %s", ex.Name)
+		}
+		if sym.kind == symArray {
+			return errf(ex.Pos.Line, ex.Pos.Col, "array %s used as a value (index it, or pass it as an array argument)", ex.Name)
+		}
+		return nil
+	case *IndexExpr:
+		sym, ok := sc.lookup(ex.Name)
+		if !ok {
+			return errf(ex.Pos.Line, ex.Pos.Col, "undeclared variable %s", ex.Name)
+		}
+		if sym.kind != symArray {
+			return errf(ex.Pos.Line, ex.Pos.Col, "%s is not an array", ex.Name)
+		}
+		return c.checkExpr(ctx, ex.Index, sc, pureOnly)
+	case *UnaryExpr:
+		return c.checkExpr(ctx, ex.X, sc, pureOnly)
+	case *BinaryExpr:
+		if err := c.checkExpr(ctx, ex.L, sc, pureOnly); err != nil {
+			return err
+		}
+		return c.checkExpr(ctx, ex.R, sc, pureOnly)
+	case *CondExpr:
+		if err := c.checkExpr(ctx, ex.Cond, sc, pureOnly); err != nil {
+			return err
+		}
+		// Arms are evaluated eagerly, so side effects are disallowed.
+		if err := c.checkExpr(ctx, ex.Then, sc, true); err != nil {
+			return err
+		}
+		return c.checkExpr(ctx, ex.Else, sc, true)
+	case *CallExpr:
+		// Intrinsics are pure single operations and are fine inside
+		// eagerly evaluated ?: arms; only user-function calls (which may
+		// have side effects) are barred there.
+		if _, isIntrinsic := intrinsicArity[ex.Name]; pureOnly && !isIntrinsic {
+			return errf(ex.Pos.Line, ex.Pos.Col, "call to %s not allowed inside ?: arms (they evaluate eagerly)", ex.Name)
+		}
+		if arity, ok := intrinsicArity[ex.Name]; ok {
+			if len(ex.Args) != arity {
+				return errf(ex.Pos.Line, ex.Pos.Col, "%s takes %d arguments, got %d", ex.Name, arity, len(ex.Args))
+			}
+			for _, a := range ex.Args {
+				if err := c.checkExpr(ctx, a, sc, pureOnly); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		sig, ok := c.funcs[ex.Name]
+		if !ok {
+			return errf(ex.Pos.Line, ex.Pos.Col, "call to undefined function %s", ex.Name)
+		}
+		if len(ex.Args) != len(sig.params) {
+			return errf(ex.Pos.Line, ex.Pos.Col, "%s takes %d arguments, got %d", ex.Name, len(sig.params), len(ex.Args))
+		}
+		for i, a := range ex.Args {
+			if sig.params[i].IsArray {
+				v, ok := a.(*VarExpr)
+				if !ok {
+					return errf(a.exprPos().Line, a.exprPos().Col, "argument %d of %s must be an array name", i+1, ex.Name)
+				}
+				sym, found := sc.lookup(v.Name)
+				if !found {
+					return errf(v.Pos.Line, v.Pos.Col, "undeclared variable %s", v.Name)
+				}
+				if sym.kind != symArray {
+					return errf(v.Pos.Line, v.Pos.Col, "argument %d of %s must be an array, %s is a scalar", i+1, ex.Name, v.Name)
+				}
+				continue
+			}
+			if err := c.checkExpr(ctx, a, sc, pureOnly); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	return fmt.Errorf("minic: unknown expression %T", e)
+}

@@ -1,0 +1,217 @@
+// Package minic implements a small C-like language — the front end of the
+// tool chain. It substitutes for the SUIF C front end used by the paper:
+// MediaBench-style fixed-point kernels are written in MiniC, compiled to
+// the ir package's three-address form, and then preprocessed (notably by
+// if-conversion) before ISE identification.
+//
+// The language: 32-bit int is the only scalar type; one-dimensional int
+// arrays (global, local, or passed as parameters); functions returning
+// int or void; if/else, while, for, break, continue, return; the usual C
+// operator set including ?: and compound assignment. Logical && and ||
+// are evaluated eagerly (kernels keep conditions side-effect-free), which
+// keeps basic blocks large, as the paper's if-converted code is. min(a,b),
+// max(a,b) and abs(a) are intrinsics that map to single IR operations.
+package minic
+
+import (
+	"fmt"
+	"strings"
+)
+
+// TokKind enumerates token kinds.
+type TokKind uint8
+
+const (
+	TokEOF TokKind = iota
+	TokIdent
+	TokNumber
+	TokKeyword
+	TokPunct
+)
+
+// Token is one lexical token.
+type Token struct {
+	Kind TokKind
+	Text string
+	Val  int64 // TokNumber value
+	Line int
+	Col  int
+}
+
+func (t Token) String() string {
+	switch t.Kind {
+	case TokEOF:
+		return "end of input"
+	case TokNumber:
+		return fmt.Sprintf("number %s", t.Text)
+	default:
+		return fmt.Sprintf("%q", t.Text)
+	}
+}
+
+var keywords = map[string]bool{
+	"int": true, "void": true, "if": true, "else": true, "while": true,
+	"for": true, "return": true, "break": true, "continue": true,
+}
+
+// multi-character punctuation, longest first.
+var puncts = []string{
+	"<<=", ">>=",
+	"==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+	"+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "++", "--",
+	"+", "-", "*", "/", "%", "&", "|", "^", "~", "!", "<", ">", "=",
+	"(", ")", "{", "}", "[", "]", ";", ",", "?", ":",
+}
+
+// Error is a front-end diagnostic carrying a source position.
+type Error struct {
+	Line, Col int
+	Msg       string
+}
+
+func (e *Error) Error() string { return fmt.Sprintf("%d:%d: %s", e.Line, e.Col, e.Msg) }
+
+func errf(line, col int, format string, args ...any) *Error {
+	return &Error{Line: line, Col: col, Msg: fmt.Sprintf(format, args...)}
+}
+
+// Lex tokenizes src. It supports decimal and hexadecimal integer
+// literals, character literals, // line comments and /* */ comments.
+func Lex(src string) ([]Token, error) {
+	var toks []Token
+	line, col := 1, 1
+	i := 0
+	n := len(src)
+	advance := func(k int) {
+		for j := 0; j < k; j++ {
+			if src[i] == '\n' {
+				line++
+				col = 1
+			} else {
+				col++
+			}
+			i++
+		}
+	}
+	for i < n {
+		c := src[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\r' || c == '\n':
+			advance(1)
+		case c == '/' && i+1 < n && src[i+1] == '/':
+			for i < n && src[i] != '\n' {
+				advance(1)
+			}
+		case c == '/' && i+1 < n && src[i+1] == '*':
+			sl, sc := line, col
+			advance(2)
+			for {
+				if i+1 >= n {
+					return nil, errf(sl, sc, "unterminated comment")
+				}
+				if src[i] == '*' && src[i+1] == '/' {
+					advance(2)
+					break
+				}
+				advance(1)
+			}
+		case c >= '0' && c <= '9':
+			sl, sc := line, col
+			start := i
+			base := int64(10)
+			if c == '0' && i+1 < n && (src[i+1] == 'x' || src[i+1] == 'X') {
+				base = 16
+				advance(2)
+			}
+			var v int64
+			digits := 0
+			for i < n {
+				d := int64(-1)
+				ch := src[i]
+				switch {
+				case ch >= '0' && ch <= '9':
+					d = int64(ch - '0')
+				case base == 16 && ch >= 'a' && ch <= 'f':
+					d = int64(ch-'a') + 10
+				case base == 16 && ch >= 'A' && ch <= 'F':
+					d = int64(ch-'A') + 10
+				}
+				if d < 0 || d >= base {
+					break
+				}
+				v = v*base + d
+				digits++
+				advance(1)
+				if v > 1<<40 {
+					return nil, errf(sl, sc, "integer literal too large")
+				}
+			}
+			if digits == 0 {
+				return nil, errf(sl, sc, "malformed number")
+			}
+			if i < n && (isIdentChar(src[i]) || src[i] == '.') {
+				return nil, errf(sl, sc, "malformed number")
+			}
+			toks = append(toks, Token{Kind: TokNumber, Text: src[start:i], Val: v, Line: sl, Col: sc})
+		case c == '\'':
+			sl, sc := line, col
+			if i+2 < n && src[i+1] == '\\' && src[i+3] == '\'' {
+				var v int64
+				switch src[i+2] {
+				case 'n':
+					v = '\n'
+				case 't':
+					v = '\t'
+				case '0':
+					v = 0
+				case '\\':
+					v = '\\'
+				case '\'':
+					v = '\''
+				default:
+					return nil, errf(sl, sc, "unknown escape")
+				}
+				toks = append(toks, Token{Kind: TokNumber, Text: src[i : i+4], Val: v, Line: sl, Col: sc})
+				advance(4)
+			} else if i+2 < n && src[i+2] == '\'' {
+				toks = append(toks, Token{Kind: TokNumber, Text: src[i : i+3], Val: int64(src[i+1]), Line: sl, Col: sc})
+				advance(3)
+			} else {
+				return nil, errf(sl, sc, "malformed character literal")
+			}
+		case isIdentStart(c):
+			sl, sc := line, col
+			start := i
+			for i < n && isIdentChar(src[i]) {
+				advance(1)
+			}
+			text := src[start:i]
+			kind := TokIdent
+			if keywords[text] {
+				kind = TokKeyword
+			}
+			toks = append(toks, Token{Kind: kind, Text: text, Line: sl, Col: sc})
+		default:
+			matched := false
+			for _, p := range puncts {
+				if strings.HasPrefix(src[i:], p) {
+					toks = append(toks, Token{Kind: TokPunct, Text: p, Line: line, Col: col})
+					advance(len(p))
+					matched = true
+					break
+				}
+			}
+			if !matched {
+				return nil, errf(line, col, "unexpected character %q", string(c))
+			}
+		}
+	}
+	toks = append(toks, Token{Kind: TokEOF, Line: line, Col: col})
+	return toks, nil
+}
+
+func isIdentStart(c byte) bool {
+	return c == '_' || (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z')
+}
+
+func isIdentChar(c byte) bool { return isIdentStart(c) || (c >= '0' && c <= '9') }

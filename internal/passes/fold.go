@@ -1,0 +1,340 @@
+package passes
+
+import (
+	"fmt"
+
+	"isex/internal/ir"
+)
+
+// LocalOptimize performs, per basic block, an integrated local value
+// numbering pass with constant folding, algebraic simplification and copy
+// propagation. It returns true if anything changed.
+//
+// The IR is not SSA; value numbers are attached to registers and
+// invalidated on redefinition, in the classic LVN manner. Loads are value
+// numbered within a "memory epoch" that every store, call, custom
+// instruction or alloca advances.
+func LocalOptimize(f *ir.Function) bool {
+	changed := false
+	for _, b := range f.Blocks {
+		if optimizeBlock(f, b) {
+			changed = true
+		}
+	}
+	return changed
+}
+
+// vnState is the per-block value-numbering state.
+type vnState struct {
+	next     int
+	regVN    map[ir.Reg]int // current value number of each register
+	exprVN   map[string]int // expression key -> value number
+	vnRep    map[int]ir.Reg // value number -> representative register
+	vnConst  map[int]int32  // value number -> constant, if known
+	memEpoch int
+}
+
+func newVNState() *vnState {
+	return &vnState{
+		regVN:   map[ir.Reg]int{},
+		exprVN:  map[string]int{},
+		vnRep:   map[int]ir.Reg{},
+		vnConst: map[int]int32{},
+	}
+}
+
+// vnOf returns the value number of r, creating a fresh one if unknown.
+func (s *vnState) vnOf(r ir.Reg) int {
+	if vn, ok := s.regVN[r]; ok {
+		return vn
+	}
+	s.next++
+	vn := s.next
+	s.regVN[r] = vn
+	s.vnRep[vn] = r
+	return vn
+}
+
+// setReg records that r now holds value number vn.
+func (s *vnState) setReg(r ir.Reg, vn int) {
+	s.regVN[r] = vn
+	if rep, ok := s.vnRep[vn]; !ok || rep == r {
+		s.vnRep[vn] = r
+	}
+}
+
+// repOf returns a register currently holding vn, if any.
+func (s *vnState) repOf(vn int) (ir.Reg, bool) {
+	rep, ok := s.vnRep[vn]
+	if !ok {
+		return 0, false
+	}
+	if cur, ok2 := s.regVN[rep]; !ok2 || cur != vn {
+		return 0, false // representative was overwritten
+	}
+	return rep, true
+}
+
+func optimizeBlock(f *ir.Function, b *ir.Block) bool {
+	s := newVNState()
+	changed := false
+	out := b.Instrs[:0]
+	for i := range b.Instrs {
+		in := b.Instrs[i]
+		// Propagate: replace every argument by the representative of its
+		// value number when that is a different register (copy/CSE prop).
+		// Constant-valued arguments are deliberately NOT unified: each use
+		// keeps its own materialized constant, as an ISA's inline
+		// immediates would. Sharing one constant register across the block
+		// would entangle unrelated dataflow (a cut containing the shared
+		// node would export it as an output), which neither real code nor
+		// the paper's graphs (Fig. 3 draws constants per use) exhibit.
+		for j, a := range in.Args {
+			vn := s.vnOf(a)
+			if _, isConst := s.vnConst[vn]; isConst {
+				continue
+			}
+			if rep, ok := s.repOf(vn); ok && rep != a {
+				in.Args[j] = rep
+				changed = true
+			}
+		}
+		if rewritten, didChange := s.process(f, &in); didChange {
+			changed = true
+			in = *rewritten
+		}
+		out = append(out, in)
+	}
+	b.Instrs = out
+	return changed
+}
+
+// process value-numbers one instruction, possibly rewriting it to a
+// simpler form. It returns (newInstr, true) when the instruction was
+// rewritten and (nil, false) when it is kept as is.
+func (s *vnState) process(f *ir.Function, in *ir.Instr) (*ir.Instr, bool) {
+	switch {
+	case in.Op == ir.OpStore, in.Op == ir.OpCall, in.Op == ir.OpCustom, in.Op == ir.OpAlloca:
+		s.memEpoch++
+		for _, d := range in.Dsts {
+			s.killReg(d)
+			s.next++
+			s.setReg(d, s.next)
+		}
+		return nil, false
+	case in.Op == ir.OpCopy:
+		vn := s.vnOf(in.Args[0])
+		s.killReg(in.Dsts[0])
+		s.setReg(in.Dsts[0], vn)
+		return nil, false
+	case in.Op == ir.OpConst:
+		// Equal constants share a value number (so expressions over them
+		// CSE), but every constant instruction is kept: see the
+		// propagation comment above.
+		v := int32(in.Imm)
+		key := fmt.Sprintf("const:%d", v)
+		vn, known := s.exprVN[key]
+		if !known {
+			s.next++
+			vn = s.next
+			s.exprVN[key] = vn
+			s.vnConst[vn] = v
+		}
+		s.killReg(in.Dsts[0])
+		s.setReg(in.Dsts[0], vn)
+		return nil, false
+	case in.Op == ir.OpLoad:
+		key := fmt.Sprintf("load:%d@%d", s.vnOf(in.Args[0]), s.memEpoch)
+		return s.finishExpr(in, key)
+	case in.Op == ir.OpGlobal:
+		key := "global:" + in.Sym
+		return s.finishExpr(in, key)
+	case in.Op.Pure():
+		return s.processPure(f, in)
+	}
+	// Unknown/defensive: kill destinations.
+	for _, d := range in.Dsts {
+		s.killReg(d)
+		s.next++
+		s.setReg(d, s.next)
+	}
+	return nil, false
+}
+
+// finishExpr assigns dst the value number of key, reusing an existing
+// representative when possible (rewriting to a copy). The boolean
+// reports whether the instruction was rewritten.
+func (s *vnState) finishExpr(in *ir.Instr, key string) (*ir.Instr, bool) {
+	dst := in.Dsts[0]
+	if vn, ok := s.exprVN[key]; ok {
+		if rep, live := s.repOf(vn); live && rep != dst {
+			ni := ir.Instr{Op: ir.OpCopy, Dsts: in.Dsts, Args: []ir.Reg{rep}}
+			s.killReg(dst)
+			s.setReg(dst, vn)
+			return &ni, true
+		}
+		s.killReg(dst)
+		s.setReg(dst, vn)
+		return nil, false
+	}
+	s.next++
+	vn := s.next
+	s.exprVN[key] = vn
+	s.killReg(dst)
+	s.setReg(dst, vn)
+	return nil, false
+}
+
+// processPure folds, simplifies and value-numbers a pure operation.
+func (s *vnState) processPure(f *ir.Function, in *ir.Instr) (*ir.Instr, bool) {
+	dst := in.Dsts[0]
+	argVNs := make([]int, len(in.Args))
+	consts := make([]int32, len(in.Args))
+	allConst := true
+	for j, a := range in.Args {
+		argVNs[j] = s.vnOf(a)
+		if c, ok := s.vnConst[argVNs[j]]; ok {
+			consts[j] = c
+		} else {
+			allConst = false
+		}
+	}
+	// Full constant folding.
+	if allConst {
+		if v, err := ir.Eval(in.Op, in.Imm, consts...); err == nil {
+			ni := ir.Instr{Op: ir.OpConst, Dsts: in.Dsts, Imm: int64(v)}
+			ret, _ := s.process(f, &ni)
+			if ret == nil {
+				return &ni, true
+			}
+			return ret, true
+		}
+	}
+	// Algebraic simplification to a copy of an argument, where valid.
+	if src, ok := simplify(in.Op, in.Args, argVNs, s.vnConst); ok {
+		vn := s.vnOf(src)
+		s.killReg(dst)
+		s.setReg(dst, vn)
+		ni := ir.Instr{Op: ir.OpCopy, Dsts: in.Dsts, Args: []ir.Reg{src}}
+		return &ni, true
+	}
+	// Simplification to a constant (e.g. x-x, x^x, x*0).
+	if c, ok := simplifyToConst(in.Op, argVNs, s.vnConst); ok {
+		ni := ir.Instr{Op: ir.OpConst, Dsts: in.Dsts, Imm: int64(c)}
+		ret, _ := s.process(f, &ni)
+		if ret == nil {
+			return &ni, true
+		}
+		return ret, true
+	}
+	// Canonicalize commutative operand order by value number for better
+	// CSE hits.
+	a0, a1 := -1, -1
+	if len(argVNs) == 2 {
+		a0, a1 = argVNs[0], argVNs[1]
+		if in.Op.Info().Commutative && a0 > a1 {
+			a0, a1 = a1, a0
+		}
+	}
+	var key string
+	switch len(argVNs) {
+	case 1:
+		key = fmt.Sprintf("%d:(%d)", in.Op, argVNs[0])
+	case 2:
+		key = fmt.Sprintf("%d:(%d,%d)", in.Op, a0, a1)
+	case 3:
+		key = fmt.Sprintf("%d:(%d,%d,%d)", in.Op, argVNs[0], argVNs[1], argVNs[2])
+	default:
+		key = fmt.Sprintf("%d:!", in.Op)
+	}
+	return s.finishExpr(in, key)
+}
+
+func (s *vnState) killReg(r ir.Reg) {
+	delete(s.regVN, r)
+}
+
+// simplify returns an argument register the instruction is equivalent to.
+func simplify(op ir.Op, args []ir.Reg, vns []int, consts map[int]int32) (ir.Reg, bool) {
+	c := func(i int) (int32, bool) {
+		v, ok := consts[vns[i]]
+		return v, ok
+	}
+	switch op {
+	case ir.OpAdd, ir.OpOr, ir.OpXor:
+		if v, ok := c(1); ok && v == 0 {
+			return args[0], true
+		}
+		if v, ok := c(0); ok && v == 0 {
+			return args[1], true
+		}
+	case ir.OpSub, ir.OpShl, ir.OpAShr, ir.OpLShr:
+		if v, ok := c(1); ok && v == 0 {
+			return args[0], true
+		}
+	case ir.OpMul:
+		if v, ok := c(1); ok && v == 1 {
+			return args[0], true
+		}
+		if v, ok := c(0); ok && v == 1 {
+			return args[1], true
+		}
+	case ir.OpDiv:
+		if v, ok := c(1); ok && v == 1 {
+			return args[0], true
+		}
+	case ir.OpAnd:
+		if v, ok := c(1); ok && v == -1 {
+			return args[0], true
+		}
+		if v, ok := c(0); ok && v == -1 {
+			return args[1], true
+		}
+		if vns[0] == vns[1] {
+			return args[0], true
+		}
+	case ir.OpSelect:
+		if v, ok := c(0); ok {
+			if v != 0 {
+				return args[1], true
+			}
+			return args[2], true
+		}
+		if vns[1] == vns[2] {
+			return args[1], true
+		}
+	case ir.OpMin, ir.OpMax:
+		if vns[0] == vns[1] {
+			return args[0], true
+		}
+	}
+	if op == ir.OpOr && vns[0] == vns[1] {
+		return args[0], true
+	}
+	return 0, false
+}
+
+// simplifyToConst recognizes identities that yield a constant.
+func simplifyToConst(op ir.Op, vns []int, consts map[int]int32) (int32, bool) {
+	switch op {
+	case ir.OpSub, ir.OpXor:
+		if len(vns) == 2 && vns[0] == vns[1] {
+			return 0, true
+		}
+	case ir.OpMul, ir.OpAnd:
+		for i := range vns {
+			if v, ok := consts[vns[i]]; ok && v == 0 {
+				return 0, true
+			}
+		}
+	case ir.OpEq, ir.OpLe, ir.OpGe, ir.OpULe, ir.OpUGe:
+		if vns[0] == vns[1] {
+			return 1, true
+		}
+	case ir.OpNe, ir.OpLt, ir.OpGt, ir.OpULt, ir.OpUGt:
+		if vns[0] == vns[1] {
+			return 0, true
+		}
+	}
+	return 0, false
+}

@@ -1,0 +1,104 @@
+// Package passes implements the IR transformations that prepare MiniC
+// programs for ISE identification, mirroring the paper's MachSUIF
+// preprocessing (§8): a classic if-conversion pass that turns acyclic
+// conditionals into SEL operations, plus the scalar cleanups (constant
+// folding, local value numbering, copy coalescing, dead-code elimination)
+// that a production compiler would have applied before identification.
+package passes
+
+import "isex/internal/ir"
+
+// RemoveUnreachable deletes blocks not reachable from the entry.
+// It reports whether anything changed.
+func RemoveUnreachable(f *ir.Function) bool {
+	reach := map[*ir.Block]bool{}
+	var stack []*ir.Block
+	stack = append(stack, f.Entry())
+	reach[f.Entry()] = true
+	for len(stack) > 0 {
+		b := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, s := range b.Succs() {
+			if !reach[s] {
+				reach[s] = true
+				stack = append(stack, s)
+			}
+		}
+	}
+	if len(reach) == len(f.Blocks) {
+		return false
+	}
+	kept := f.Blocks[:0]
+	for _, b := range f.Blocks {
+		if reach[b] {
+			kept = append(kept, b)
+		}
+	}
+	f.Blocks = kept
+	f.RecomputeCFG()
+	return true
+}
+
+// MergeBlocks performs jump threading and straight-line merging:
+//
+//   - a conditional branch whose two targets are equal becomes a jump;
+//   - a block ending in a jump to a block with exactly one predecessor
+//     absorbs that block;
+//   - a jump to an empty block that itself ends in a jump is redirected.
+//
+// It iterates to a fixpoint and reports whether anything changed.
+func MergeBlocks(f *ir.Function) bool {
+	changed := false
+	for {
+		RemoveUnreachable(f)
+		stepChanged := false
+		// Equal-target branches become jumps.
+		for _, b := range f.Blocks {
+			if b.Term.Kind == ir.TermBranch && b.Term.Targets[0] == b.Term.Targets[1] {
+				b.Term = ir.Term{Kind: ir.TermJump, Targets: []*ir.Block{b.Term.Targets[0]}}
+				stepChanged = true
+			}
+		}
+		if stepChanged {
+			f.RecomputeCFG()
+		}
+		// Redirect jumps through empty forwarding blocks.
+		for _, b := range f.Blocks {
+			for ti, tgt := range b.Term.Targets {
+				// The hop bound guards against cycles of empty blocks.
+				for hops := 0; len(tgt.Instrs) == 0 && tgt.Term.Kind == ir.TermJump &&
+					tgt != b && tgt.Term.Targets[0] != tgt && hops < len(f.Blocks); hops++ {
+					tgt = tgt.Term.Targets[0]
+				}
+				if tgt != b.Term.Targets[ti] {
+					b.Term.Targets[ti] = tgt
+					stepChanged = true
+				}
+			}
+		}
+		if stepChanged {
+			f.RecomputeCFG()
+		}
+		// Absorb single-predecessor jump targets.
+		for _, b := range f.Blocks {
+			for b.Term.Kind == ir.TermJump {
+				t := b.Term.Targets[0]
+				if t == b || len(t.Preds) != 1 || t == f.Entry() {
+					break
+				}
+				b.Instrs = append(b.Instrs, t.Instrs...)
+				b.Term = t.Term
+				t.Instrs = nil
+				t.Term = ir.Term{Kind: ir.TermJump, Targets: []*ir.Block{t}} // orphan self-loop; removed below
+				f.RecomputeCFG()
+				stepChanged = true
+			}
+		}
+		if stepChanged {
+			RemoveUnreachable(f)
+			changed = true
+			continue
+		}
+		return changed
+	}
+}

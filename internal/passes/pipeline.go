@@ -1,0 +1,45 @@
+package passes
+
+import "isex/internal/ir"
+
+// Options configure the standard pipeline.
+type Options struct {
+	// NoIfConvert disables if-conversion (for ablation experiments; the
+	// paper always if-converts).
+	NoIfConvert bool
+	// IfConvert options (MaxArmOps bound).
+	IfConvert IfConvertOptions
+	// MaxRounds bounds optimize iterations (default 8).
+	MaxRounds int
+}
+
+// Run applies the standard preprocessing pipeline to every function:
+// CFG cleanup, if-conversion to SEL operations, then rounds of local
+// value numbering, copy coalescing and dead-code elimination until a
+// fixpoint. The module is re-verified afterwards.
+func Run(m *ir.Module, opt Options) error {
+	rounds := opt.MaxRounds
+	if rounds == 0 {
+		rounds = 8
+	}
+	for _, f := range m.Funcs {
+		MergeBlocks(f)
+		if !opt.NoIfConvert {
+			IfConvert(f, opt.IfConvert)
+		}
+		for r := 0; r < rounds; r++ {
+			changed := LocalOptimize(f)
+			if Coalesce(f) {
+				changed = true
+			}
+			if DeadCodeElim(f) {
+				changed = true
+			}
+			if !changed {
+				break
+			}
+		}
+		MergeBlocks(f)
+	}
+	return ir.VerifyModule(m)
+}

@@ -1,0 +1,285 @@
+// Package progen generates random — but always valid and terminating —
+// MiniC programs. It powers the repository's differential tests: a
+// generated program must compute identical results (return values and
+// global memory) when interpreted straight from the front end, after the
+// full optimization pipeline, and after ISE identification and patching.
+//
+// Generated programs are C-like kernels over power-of-two-sized global
+// arrays (indices are masked, so no access can go out of bounds), with
+// counted loops only (trip counts are literals, so every program
+// terminates) and an acyclic call graph (helpers may only call
+// previously generated helpers).
+package progen
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+)
+
+// Config bounds the generated program.
+type Config struct {
+	Seed int64
+	// Helpers is the number of helper functions (each may call earlier
+	// ones). Default 3.
+	Helpers int
+	// Arrays is the number of global arrays. Default 3.
+	Arrays int
+	// MaxStmts bounds statements per block. Default 6.
+	MaxStmts int
+	// MaxDepth bounds expression depth. Default 4.
+	MaxDepth int
+	// MaxTrip bounds loop trip counts. Default 6.
+	MaxTrip int
+	// AllowDiv permits guarded division/modulo. Default true-ish via
+	// NoDiv.
+	NoDiv bool
+}
+
+func (c *Config) fill() {
+	if c.Helpers == 0 {
+		c.Helpers = 3
+	}
+	if c.Arrays == 0 {
+		c.Arrays = 3
+	}
+	if c.MaxStmts == 0 {
+		c.MaxStmts = 6
+	}
+	if c.MaxDepth == 0 {
+		c.MaxDepth = 4
+	}
+	if c.MaxTrip == 0 {
+		c.MaxTrip = 6
+	}
+}
+
+// Program is a generated program plus the metadata tests need.
+type Program struct {
+	Source string
+	// Globals lists the global arrays (all power-of-two sizes).
+	Globals []string
+	// Entry is always "main" with no parameters, returning a checksum.
+	Entry string
+}
+
+type gen struct {
+	rng      *rand.Rand
+	cfg      Config
+	sb       strings.Builder
+	arrays   []string
+	arrSize  map[string]int
+	funcs    []string // previously generated helpers (callable)
+	fnArity  map[string]int
+	scope    []string // visible scalar variables
+	loopVars map[string]bool
+	depth    int
+	nameSeq  int
+}
+
+// Generate produces a random program for the configuration.
+func Generate(cfg Config) Program {
+	cfg.fill()
+	g := &gen{
+		rng:      rand.New(rand.NewSource(cfg.Seed)),
+		cfg:      cfg,
+		arrSize:  map[string]int{},
+		fnArity:  map[string]int{},
+		loopVars: map[string]bool{},
+	}
+	// Global arrays with power-of-two sizes and random initializers.
+	for i := 0; i < cfg.Arrays; i++ {
+		name := fmt.Sprintf("g%d", i)
+		size := 1 << (3 + g.rng.Intn(3)) // 8, 16, 32
+		g.arrays = append(g.arrays, name)
+		g.arrSize[name] = size
+		fmt.Fprintf(&g.sb, "int %s[%d] = {", name, size)
+		for j := 0; j < size; j++ {
+			if j > 0 {
+				g.sb.WriteString(", ")
+			}
+			fmt.Fprintf(&g.sb, "%d", g.rng.Intn(2001)-1000)
+		}
+		g.sb.WriteString("};\n")
+	}
+	g.sb.WriteString("\n")
+	// Helper functions.
+	for i := 0; i < cfg.Helpers; i++ {
+		g.helper(i)
+	}
+	// main: call every helper, fold results into a checksum.
+	g.sb.WriteString("int main() {\n    int sum = 0;\n")
+	for i, fn := range g.funcs {
+		var args []string
+		for a := 0; a < g.fnArity[fn]; a++ {
+			args = append(args, fmt.Sprintf("%d", g.rng.Intn(201)-100))
+		}
+		fmt.Fprintf(&g.sb, "    sum = sum ^ (%s(%s) + %d);\n", fn, strings.Join(args, ", "), i)
+	}
+	// Fold some array state into the checksum too.
+	for _, a := range g.arrays {
+		fmt.Fprintf(&g.sb, "    sum = sum + %s[%d] - %s[%d];\n",
+			a, g.rng.Intn(g.arrSize[a]), a, g.rng.Intn(g.arrSize[a]))
+	}
+	g.sb.WriteString("    return sum;\n}\n")
+	return Program{Source: g.sb.String(), Globals: g.arrays, Entry: "main"}
+}
+
+func (g *gen) fresh(prefix string) string {
+	g.nameSeq++
+	return fmt.Sprintf("%s%d", prefix, g.nameSeq)
+}
+
+func (g *gen) helper(i int) {
+	name := fmt.Sprintf("f%d", i)
+	arity := 1 + g.rng.Intn(3)
+	g.scope = g.scope[:0]
+	var params []string
+	for a := 0; a < arity; a++ {
+		p := fmt.Sprintf("p%d", a)
+		params = append(params, "int "+p)
+		g.scope = append(g.scope, p)
+	}
+	fmt.Fprintf(&g.sb, "int %s(%s) {\n", name, strings.Join(params, ", "))
+	g.block(1, g.cfg.MaxStmts)
+	fmt.Fprintf(&g.sb, "    return %s;\n}\n\n", g.expr(g.cfg.MaxDepth))
+	g.funcs = append(g.funcs, name)
+	g.fnArity[name] = arity
+}
+
+func (g *gen) indent(level int) string { return strings.Repeat("    ", level) }
+
+// block emits up to n statements at the given indent level.
+func (g *gen) block(level, n int) {
+	scopeMark := len(g.scope)
+	stmts := 1 + g.rng.Intn(n)
+	for s := 0; s < stmts; s++ {
+		g.stmt(level)
+	}
+	g.scope = g.scope[:scopeMark]
+}
+
+func (g *gen) stmt(level int) {
+	ind := g.indent(level)
+	switch g.rng.Intn(10) {
+	case 0, 1: // declaration
+		v := g.fresh("v")
+		fmt.Fprintf(&g.sb, "%sint %s = %s;\n", ind, v, g.expr(g.cfg.MaxDepth))
+		g.scope = append(g.scope, v)
+	case 2, 3: // scalar assignment (never to a loop variable)
+		if v := g.pickAssignable(); v != "" {
+			op := []string{"=", "+=", "-=", "^=", "&=", "|="}[g.rng.Intn(6)]
+			fmt.Fprintf(&g.sb, "%s%s %s %s;\n", ind, v, op, g.expr(g.cfg.MaxDepth))
+			return
+		}
+		g.stmt(level) // nothing assignable yet; try another statement
+	case 4, 5: // array store with masked index
+		a := g.arrays[g.rng.Intn(len(g.arrays))]
+		fmt.Fprintf(&g.sb, "%s%s[(%s) & %d] = %s;\n",
+			ind, a, g.expr(2), g.arrSize[a]-1, g.expr(g.cfg.MaxDepth))
+	case 6, 7: // if / if-else
+		fmt.Fprintf(&g.sb, "%sif (%s) {\n", ind, g.expr(2))
+		g.block(level+1, g.cfg.MaxStmts/2+1)
+		if g.rng.Intn(2) == 0 {
+			fmt.Fprintf(&g.sb, "%s} else {\n", ind)
+			g.block(level+1, g.cfg.MaxStmts/2+1)
+		}
+		fmt.Fprintf(&g.sb, "%s}\n", ind)
+	case 8: // counted loop (bounded literal trip count, untouched IV)
+		if level >= 3 {
+			g.stmt(level) // avoid deep loop nests
+			return
+		}
+		iv := g.fresh("i")
+		trip := 1 + g.rng.Intn(g.cfg.MaxTrip)
+		fmt.Fprintf(&g.sb, "%sint %s;\n", ind, iv)
+		fmt.Fprintf(&g.sb, "%sfor (%s = 0; %s < %d; %s++) {\n", ind, iv, iv, trip, iv)
+		g.scope = append(g.scope, iv)
+		g.loopVars[iv] = true
+		g.block(level+1, g.cfg.MaxStmts/2+1)
+		g.loopVars[iv] = false
+		fmt.Fprintf(&g.sb, "%s}\n", ind)
+	default: // call an earlier helper for its side effects
+		if len(g.funcs) == 0 {
+			g.stmt(level)
+			return
+		}
+		fn := g.funcs[g.rng.Intn(len(g.funcs))]
+		var args []string
+		for a := 0; a < g.fnArity[fn]; a++ {
+			args = append(args, g.expr(2))
+		}
+		v := g.fresh("c")
+		fmt.Fprintf(&g.sb, "%sint %s = %s(%s);\n", ind, v, fn, strings.Join(args, ", "))
+		g.scope = append(g.scope, v)
+	}
+}
+
+func (g *gen) pickAssignable() string {
+	var cands []string
+	for _, v := range g.scope {
+		if !g.loopVars[v] {
+			cands = append(cands, v)
+		}
+	}
+	if len(cands) == 0 {
+		return ""
+	}
+	return cands[g.rng.Intn(len(cands))]
+}
+
+// expr produces an expression of bounded depth. Division is guarded so it
+// can never trap; shifts rely on the IR's 5-bit masking semantics
+// (matching the interpreter and the hardware).
+func (g *gen) expr(depth int) string {
+	if depth <= 0 || g.rng.Intn(4) == 0 {
+		return g.leaf()
+	}
+	switch g.rng.Intn(12) {
+	case 0:
+		ops := []string{"+", "-", "*", "&", "|", "^"}
+		return fmt.Sprintf("(%s %s %s)", g.expr(depth-1), ops[g.rng.Intn(len(ops))], g.expr(depth-1))
+	case 1:
+		// Shift by a small masked amount.
+		op := []string{"<<", ">>"}[g.rng.Intn(2)]
+		return fmt.Sprintf("(%s %s ((%s) & 15))", g.expr(depth-1), op, g.leaf())
+	case 2:
+		cmp := []string{"<", "<=", ">", ">=", "==", "!="}[g.rng.Intn(6)]
+		return fmt.Sprintf("(%s %s %s)", g.expr(depth-1), cmp, g.expr(depth-1))
+	case 3:
+		return fmt.Sprintf("(%s ? %s : %s)", g.expr(depth-1), g.expr(depth-1), g.expr(depth-1))
+	case 4:
+		a := g.arrays[g.rng.Intn(len(g.arrays))]
+		return fmt.Sprintf("%s[(%s) & %d]", a, g.expr(depth-1), g.arrSize[a]-1)
+	case 5:
+		if g.cfg.NoDiv {
+			return g.expr(depth - 1)
+		}
+		op := []string{"/", "%"}[g.rng.Intn(2)]
+		// abs() keeps the divisor positive and the +1 keeps it non-zero.
+		return fmt.Sprintf("(%s %s (abs(%s & 31) + 1))", g.expr(depth-1), op, g.leaf())
+	case 6:
+		fn := []string{"min", "max"}[g.rng.Intn(2)]
+		return fmt.Sprintf("%s(%s, %s)", fn, g.expr(depth-1), g.expr(depth-1))
+	case 7:
+		return fmt.Sprintf("abs(%s)", g.expr(depth-1))
+	case 8:
+		return fmt.Sprintf("lshr(%s, (%s) & 15)", g.expr(depth-1), g.leaf())
+	case 9:
+		// The space avoids "- -x" lexing as the "--" token.
+		u := []string{"-", "~", "!"}[g.rng.Intn(3)]
+		return fmt.Sprintf("(%s %s)", u, g.expr(depth-1))
+	case 10:
+		ops := []string{"&&", "||"}
+		return fmt.Sprintf("(%s %s %s)", g.expr(depth-1), ops[g.rng.Intn(2)], g.expr(depth-1))
+	default:
+		return g.leaf()
+	}
+}
+
+func (g *gen) leaf() string {
+	if len(g.scope) > 0 && g.rng.Intn(3) != 0 {
+		return g.scope[g.rng.Intn(len(g.scope))]
+	}
+	return fmt.Sprintf("%d", g.rng.Intn(2001)-1000)
+}

@@ -1,0 +1,170 @@
+package progen
+
+import (
+	"strings"
+	"testing"
+
+	"isex/internal/core"
+	"isex/internal/interp"
+	"isex/internal/ir"
+	"isex/internal/minic"
+	"isex/internal/passes"
+)
+
+// run executes a module's main and captures the checksum plus all global
+// images.
+func run(t *testing.T, m *ir.Module, p Program) (int32, map[string][]int32) {
+	t.Helper()
+	env := interp.NewEnv(m)
+	env.StepLimit = 50_000_000
+	ret, _, err := env.Call(p.Entry)
+	if err != nil {
+		t.Fatalf("run: %v\nsource:\n%s", err, p.Source)
+	}
+	state := map[string][]int32{}
+	for _, g := range p.Globals {
+		s, err := env.GlobalSlice(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		state[g] = append([]int32(nil), s...)
+	}
+	return ret, state
+}
+
+func compileRaw(t *testing.T, p Program) *ir.Module {
+	t.Helper()
+	m, err := minic.Compile(p.Source, minic.Options{})
+	if err != nil {
+		t.Fatalf("compile: %v\nsource:\n%s", err, p.Source)
+	}
+	return m
+}
+
+func compileOpt(t *testing.T, p Program, unroll int) *ir.Module {
+	t.Helper()
+	m, err := minic.Compile(p.Source, minic.Options{UnrollLimit: unroll})
+	if err != nil {
+		t.Fatalf("compile: %v\nsource:\n%s", err, p.Source)
+	}
+	if err := passes.Run(m, passes.Options{}); err != nil {
+		t.Fatalf("passes: %v\nsource:\n%s", err, p.Source)
+	}
+	return m
+}
+
+func compareStates(t *testing.T, p Program, what string, r1, r2 int32, s1, s2 map[string][]int32) {
+	t.Helper()
+	if r1 != r2 {
+		t.Fatalf("%s: checksum %d vs %d\nsource:\n%s", what, r1, r2, p.Source)
+	}
+	for g := range s1 {
+		for i := range s1[g] {
+			if s1[g][i] != s2[g][i] {
+				t.Fatalf("%s: %s[%d] = %d vs %d\nsource:\n%s",
+					what, g, i, s1[g][i], s2[g][i], p.Source)
+			}
+		}
+	}
+}
+
+// TestGeneratedProgramsAreValid: every seed yields a program that parses,
+// checks, lowers, and runs within the step budget.
+func TestGeneratedProgramsAreValid(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		p := Generate(Config{Seed: seed})
+		m := compileRaw(t, p)
+		if err := ir.VerifyModule(m); err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		run(t, m, p)
+	}
+}
+
+// TestDifferentialPasses: the optimization pipeline must preserve the
+// semantics of every generated program.
+func TestDifferentialPasses(t *testing.T) {
+	for seed := int64(0); seed < 60; seed++ {
+		p := Generate(Config{Seed: seed})
+		r1, s1 := run(t, compileRaw(t, p), p)
+		r2, s2 := run(t, compileOpt(t, p, 0), p)
+		compareStates(t, p, "passes", r1, r2, s1, s2)
+		// And with unrolling enabled.
+		r3, s3 := run(t, compileOpt(t, p, 8), p)
+		compareStates(t, p, "passes+unroll", r1, r3, s1, s3)
+	}
+}
+
+// TestDifferentialPatching: identification + patching must preserve the
+// semantics under a spread of port constraints.
+func TestDifferentialPatching(t *testing.T) {
+	constraints := [][2]int{{2, 1}, {3, 2}, {4, 2}, {8, 4}}
+	for seed := int64(0); seed < 40; seed++ {
+		p := Generate(Config{Seed: seed})
+		r1, s1 := run(t, compileRaw(t, p), p)
+		m := compileOpt(t, p, 0)
+		// Profile so selection has frequencies.
+		env := interp.NewEnv(m)
+		env.Profile = true
+		env.StepLimit = 50_000_000
+		if _, _, err := env.Call(p.Entry); err != nil {
+			t.Fatal(err)
+		}
+		c := constraints[seed%int64(len(constraints))]
+		cfg := core.Config{Nin: c[0], Nout: c[1], MaxCuts: 150_000}
+		sel := core.SelectIterative(m, 4, cfg)
+		if len(sel.Instructions) > 0 {
+			if _, _, err := core.ApplySelection(m, sel.Instructions, nil); err != nil {
+				t.Fatalf("seed %d: patch: %v\nsource:\n%s", seed, err, p.Source)
+			}
+		}
+		interp.ClearProfile(m)
+		r2, s2 := run(t, m, p)
+		compareStates(t, p, "patching", r1, r2, s1, s2)
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	a := Generate(Config{Seed: 7})
+	b := Generate(Config{Seed: 7})
+	if a.Source != b.Source {
+		t.Error("same seed produced different programs")
+	}
+	c := Generate(Config{Seed: 8})
+	if a.Source == c.Source {
+		t.Error("different seeds produced identical programs")
+	}
+}
+
+func TestGeneratorKnobs(t *testing.T) {
+	p := Generate(Config{Seed: 3, Helpers: 5, Arrays: 2, NoDiv: true})
+	if strings.Count(p.Source, "int f") != 5 {
+		t.Errorf("helpers knob ignored:\n%s", p.Source)
+	}
+	if len(p.Globals) != 2 {
+		t.Errorf("arrays knob ignored: %v", p.Globals)
+	}
+	if strings.Contains(p.Source, "/") || strings.Contains(p.Source, "%") {
+		t.Errorf("NoDiv ignored:\n%s", p.Source)
+	}
+}
+
+// TestDifferentialTextFormat: serializing the optimized module to the
+// textual IR format and parsing it back must preserve semantics.
+func TestDifferentialTextFormat(t *testing.T) {
+	for seed := int64(0); seed < 25; seed++ {
+		p := Generate(Config{Seed: seed})
+		m := compileOpt(t, p, 0)
+		r1, s1 := run(t, m, p)
+		text := ir.Serialize(m)
+		m2, err := ir.ParseModule(text)
+		if err != nil {
+			t.Fatalf("seed %d: reparse: %v", seed, err)
+		}
+		r2, s2 := run(t, m2, p)
+		compareStates(t, p, "text round trip", r1, r2, s1, s2)
+		if ir.Serialize(m2) != text {
+			t.Fatalf("seed %d: serialization not a fixpoint", seed)
+		}
+	}
+}

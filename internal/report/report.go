@@ -1,0 +1,118 @@
+// Package report renders the experiment harness's tables and series as
+// aligned ASCII, the textual equivalent of the paper's figures.
+package report
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Table is a titled grid of cells.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row of stringified cells.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case string:
+			row[i] = v
+		case float64:
+			row[i] = fmt.Sprintf("%.3f", v)
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	var sb strings.Builder
+	if t.Title != "" {
+		sb.WriteString(t.Title)
+		sb.WriteByte('\n')
+		sb.WriteString(strings.Repeat("=", len(t.Title)))
+		sb.WriteByte('\n')
+	}
+	ncol := len(t.Header)
+	for _, r := range t.Rows {
+		if len(r) > ncol {
+			ncol = len(r)
+		}
+	}
+	width := make([]int, ncol)
+	measure := func(row []string) {
+		for i, c := range row {
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	measure(t.Header)
+	for _, r := range t.Rows {
+		measure(r)
+	}
+	writeRow := func(row []string) {
+		for i := 0; i < ncol; i++ {
+			c := ""
+			if i < len(row) {
+				c = row[i]
+			}
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", width[i], c)
+		}
+		sb.WriteByte('\n')
+	}
+	if len(t.Header) > 0 {
+		writeRow(t.Header)
+		total := 0
+		for _, w := range width {
+			total += w
+		}
+		sb.WriteString(strings.Repeat("-", total+2*(ncol-1)))
+		sb.WriteByte('\n')
+	}
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return sb.String()
+}
+
+// Series is a titled (x, y) sequence for log-log style listings (Fig. 8).
+type Series struct {
+	Title  string
+	XLabel string
+	YLabel string
+	Points []Point
+}
+
+// Point is one sample, optionally annotated.
+type Point struct {
+	X, Y  float64
+	Label string
+}
+
+// Add appends a point.
+func (s *Series) Add(x, y float64, label string) {
+	s.Points = append(s.Points, Point{X: x, Y: y, Label: label})
+}
+
+// String renders the series as a column listing.
+func (s *Series) String() string {
+	var sb strings.Builder
+	if s.Title != "" {
+		fmt.Fprintf(&sb, "%s\n%s\n", s.Title, strings.Repeat("=", len(s.Title)))
+	}
+	fmt.Fprintf(&sb, "%-12s %-14s %s\n", s.XLabel, s.YLabel, "label")
+	for _, p := range s.Points {
+		fmt.Fprintf(&sb, "%-12g %-14g %s\n", p.X, p.Y, p.Label)
+	}
+	return sb.String()
+}

@@ -1,0 +1,71 @@
+package report
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := &Table{
+		Title:  "Demo",
+		Header: []string{"name", "value"},
+	}
+	tb.AddRow("x", 1)
+	tb.AddRow("longer-name", 123456)
+	tb.AddRow("pi", 3.14159)
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// Title, underline, header, separator, 3 rows.
+	if len(lines) != 7 {
+		t.Fatalf("lines = %d:\n%s", len(lines), out)
+	}
+	if lines[0] != "Demo" || !strings.HasPrefix(lines[1], "====") {
+		t.Errorf("title malformed:\n%s", out)
+	}
+	// Columns align: "value" entries start at the same offset.
+	h := strings.Index(lines[2], "value")
+	r1 := strings.Index(lines[4], "1")
+	if h != r1 {
+		t.Errorf("misaligned columns: header at %d, row at %d\n%s", h, r1, out)
+	}
+	if !strings.Contains(out, "3.142") {
+		t.Errorf("float not formatted:\n%s", out)
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tb := &Table{Header: []string{"a"}}
+	tb.AddRow("x", "extra", "cells")
+	tb.AddRow("y")
+	out := tb.String()
+	if !strings.Contains(out, "extra") || !strings.Contains(out, "cells") {
+		t.Errorf("ragged row dropped cells:\n%s", out)
+	}
+}
+
+func TestTableNoHeader(t *testing.T) {
+	tb := &Table{}
+	tb.AddRow("only", "row")
+	out := tb.String()
+	if strings.Contains(out, "---") {
+		t.Errorf("separator without header:\n%s", out)
+	}
+	if !strings.Contains(out, "only") {
+		t.Errorf("row missing:\n%s", out)
+	}
+}
+
+func TestSeries(t *testing.T) {
+	s := &Series{Title: "T", XLabel: "n", YLabel: "cuts"}
+	s.Add(2, 3, "blockA")
+	s.Add(100, 1e6, "blockB (budget)")
+	out := s.String()
+	for _, want := range []string{"T", "n", "cuts", "blockA", "blockB (budget)", "2", "1e+06"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("series missing %q:\n%s", want, out)
+		}
+	}
+	if len(s.Points) != 2 || s.Points[1].X != 100 {
+		t.Errorf("points stored wrong: %+v", s.Points)
+	}
+}

@@ -1,0 +1,183 @@
+package rtl
+
+import (
+	"strings"
+	"testing"
+
+	"isex/internal/core"
+	"isex/internal/ir"
+	"isex/internal/minic"
+	"isex/internal/passes"
+)
+
+func sampleAFU() *ir.AFUDef {
+	// out0 = sel(a > b, a - b, b - a); out1 = (a + b) >> 1
+	return &ir.AFUDef{
+		Name:     "afu0_f_entry",
+		NumIn:    2,
+		NumSlots: 8,
+		Body: []ir.AFUOp{
+			{Op: ir.OpGt, A: 0, B: 1, Dst: 2},
+			{Op: ir.OpSub, A: 0, B: 1, Dst: 3},
+			{Op: ir.OpSub, A: 1, B: 0, Dst: 4},
+			{Op: ir.OpSelect, A: 2, B: 3, C: 4, Dst: 5},
+			{Op: ir.OpAdd, A: 0, B: 1, Dst: 6},
+			{Op: ir.OpConst, Imm: 1, Dst: 7},
+			{Op: ir.OpAShr, A: 6, B: 7, Dst: 7},
+		},
+		OutSlots: []int{5, 7},
+		Latency:  1,
+		Area:     0.2,
+	}
+}
+
+func TestVerilogStructure(t *testing.T) {
+	v, err := Verilog(sampleAFU())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"module afu0_f_entry (",
+		"input  wire [31:0] in0",
+		"input  wire [31:0] in1",
+		"output wire [31:0] out0",
+		"output wire [31:0] out1",
+		"wire [31:0] s2 = {31'b0, $signed(in0) > $signed(in1)};",
+		"wire [31:0] s5 = (s2 != 32'b0) ? s3 : s4;",
+		"32'h00000001",
+		">>>",
+		"assign out0 = s5;",
+		"assign out1 = s7;",
+		"endmodule",
+	} {
+		if !strings.Contains(v, want) {
+			t.Errorf("Verilog missing %q:\n%s", want, v)
+		}
+	}
+	// Balanced module/endmodule, no undefined op leaked.
+	if strings.Count(v, "\nmodule ") != 1 || strings.Count(v, "\nendmodule") != 1 {
+		t.Error("module structure wrong")
+	}
+}
+
+func TestVerilogAllOps(t *testing.T) {
+	ops := []ir.Op{
+		ir.OpConst, ir.OpCopy, ir.OpAdd, ir.OpSub, ir.OpMul, ir.OpDiv, ir.OpRem,
+		ir.OpNeg, ir.OpAnd, ir.OpOr, ir.OpXor, ir.OpNot, ir.OpShl, ir.OpAShr,
+		ir.OpLShr, ir.OpEq, ir.OpNe, ir.OpLt, ir.OpLe, ir.OpGt, ir.OpGe,
+		ir.OpULt, ir.OpULe, ir.OpUGt, ir.OpUGe, ir.OpSelect, ir.OpMin, ir.OpMax,
+		ir.OpAbs, ir.OpSExt8, ir.OpSExt16, ir.OpZExt8, ir.OpZExt16,
+	}
+	d := &ir.AFUDef{Name: "all_ops", NumIn: 3}
+	slot := 3
+	for _, op := range ops {
+		d.Body = append(d.Body, ir.AFUOp{Op: op, A: 0, B: 1, C: 2, Imm: 42, Dst: slot})
+		slot++
+	}
+	d.NumSlots = slot
+	d.OutSlots = []int{slot - 1}
+	d.Latency = 1
+	v, err := Verilog(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Count(v, "wire [31:0] s") != len(ops) {
+		t.Errorf("expected %d wires", len(ops))
+	}
+}
+
+func TestVerilogRejectsBarrier(t *testing.T) {
+	d := &ir.AFUDef{Name: "bad", NumIn: 1, NumSlots: 2,
+		Body:     []ir.AFUOp{{Op: ir.OpLoad, A: 0, Dst: 1}},
+		OutSlots: []int{1}}
+	if _, err := Verilog(d); err == nil {
+		t.Error("load lowered to Verilog")
+	}
+}
+
+func TestTestbench(t *testing.T) {
+	d := sampleAFU()
+	vectors := [][]int32{{5, 3}, {-7, 9}, {0, 0}, {2147483647, -1}}
+	tb, err := Testbench(d, vectors)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"module afu0_f_entry_tb;",
+		"afu0_f_entry dut (.in0(in0), .in1(in1), .out0(out0), .out1(out1));",
+		"$finish;",
+		"PASS",
+	} {
+		if !strings.Contains(tb, want) {
+			t.Errorf("testbench missing %q", want)
+		}
+	}
+	// One assertion pair per vector per output.
+	if got := strings.Count(tb, "errors = errors + 1"); got != len(vectors)*len(d.OutSlots) {
+		t.Errorf("assertions = %d, want %d", got, len(vectors)*len(d.OutSlots))
+	}
+	// Expected values come from the reference interpreter: spot check
+	// vector {5,3}: out0 = 2, out1 = 4.
+	if !strings.Contains(tb, "32'h00000002") || !strings.Contains(tb, "32'h00000004") {
+		t.Error("expected values not embedded")
+	}
+	if _, err := Testbench(d, [][]int32{{1}}); err == nil {
+		t.Error("short vector accepted")
+	}
+}
+
+func TestSanitize(t *testing.T) {
+	cases := map[string]string{
+		"afu0_f_entry": "afu0_f_entry",
+		"afu 0/f":      "afu_0_f",
+		"0abc":         "afu_0abc",
+		"":             "afu",
+	}
+	for in, want := range cases {
+		if got := sanitize(in); got != want {
+			t.Errorf("sanitize(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+// TestEndToEndAFUVerilog: run identification on a real kernel and emit
+// Verilog + testbench for every AFU created.
+func TestEndToEndAFUVerilog(t *testing.T) {
+	src := `
+int f(int a, int b) {
+    int s = a + b;
+    if (s > 32767) s = 32767;
+    if (s < -32768) s = -32768;
+    return s;
+}`
+	m, err := minic.Compile(src, minic.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := passes.Run(m, passes.Options{}); err != nil {
+		t.Fatal(err)
+	}
+	sel := core.SelectIterative(m, 1, core.Config{Nin: 2, Nout: 1})
+	if len(sel.Instructions) == 0 {
+		t.Fatal("nothing selected")
+	}
+	if _, _, err := core.ApplySelection(m, sel.Instructions, nil); err != nil {
+		t.Fatal(err)
+	}
+	for i := range m.AFUs {
+		v, err := Verilog(&m.AFUs[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(v, "module ") {
+			t.Error("no module emitted")
+		}
+		tb, err := Testbench(&m.AFUs[i], [][]int32{{1, 2}, {30000, 30000}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(tb, "dut (") {
+			t.Error("no dut instantiated")
+		}
+	}
+}

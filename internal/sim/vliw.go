@@ -1,0 +1,173 @@
+package sim
+
+import (
+	"fmt"
+
+	"isex/internal/ir"
+	"isex/internal/latency"
+)
+
+// The paper's merit model assumes a single-issue processor and §9 notes
+// it "is not suitable" for VLIWs, where independent operations overlap
+// anyway and a collapsed instruction saves less. This file provides a
+// static width-k list scheduler so the repository can quantify that
+// effect: ScheduleBlock computes a block's execution length on a machine
+// issuing up to `width` operations per cycle, and VLIWCycles weights the
+// lengths with profile counts.
+
+// ScheduleBlock returns the number of cycles a width-wide in-order VLIW
+// needs for one execution of the block: greedy list scheduling over the
+// block's data and memory-order dependences, with unit issue and
+// model-given latencies (custom instructions take their AFU latency).
+// One extra cycle accounts for the terminator, matching Runner.
+func ScheduleBlock(m *ir.Module, b *ir.Block, model *latency.Model, width int) (int64, error) {
+	if width < 1 {
+		return 0, fmt.Errorf("sim: width %d", width)
+	}
+	n := len(b.Instrs)
+	if n == 0 {
+		return 1, nil
+	}
+	// Dependence edges (same construction as the patcher's scheduler).
+	preds := make([][]int, n)
+	addDep := func(from, to int) {
+		if from != to {
+			preds[to] = append(preds[to], from)
+		}
+	}
+	defIdx := map[ir.Reg]int{}
+	for i := range b.Instrs {
+		for _, d := range b.Instrs[i].Dsts {
+			if prev, ok := defIdx[d]; ok {
+				addDep(prev, i) // output dependence
+			}
+			defIdx[d] = i
+		}
+	}
+	lastDef := map[ir.Reg]int{}
+	lastWriter := -1
+	var readers []int
+	for i := range b.Instrs {
+		in := &b.Instrs[i]
+		for _, a := range in.Args {
+			if d, ok := lastDef[a]; ok {
+				addDep(d, i) // true dependence
+			}
+		}
+		switch in.Op {
+		case ir.OpLoad:
+			if lastWriter >= 0 {
+				addDep(lastWriter, i)
+			}
+			readers = append(readers, i)
+		case ir.OpStore, ir.OpCall:
+			if lastWriter >= 0 {
+				addDep(lastWriter, i)
+			}
+			for _, r := range readers {
+				addDep(r, i)
+			}
+			readers = readers[:0]
+			lastWriter = i
+		}
+		for _, d := range in.Dsts {
+			lastDef[d] = i
+		}
+	}
+	// Anti-dependence pass (read-before-write on the same register).
+	lastReads := map[ir.Reg][]int{}
+	for i := range b.Instrs {
+		in := &b.Instrs[i]
+		for _, d := range in.Dsts {
+			for _, r := range lastReads[d] {
+				addDep(r, i)
+			}
+		}
+		for _, a := range in.Args {
+			lastReads[a] = append(lastReads[a], i)
+		}
+	}
+
+	lat := func(i int) int64 {
+		in := &b.Instrs[i]
+		if in.Op == ir.OpCustom {
+			l := int64(m.AFUs[in.AFU].Latency)
+			if l < 1 {
+				l = 1
+			}
+			return l
+		}
+		l := int64(model.SW(in.Op))
+		if l < 1 {
+			l = 1 // even free ops occupy an issue slot for a cycle
+		}
+		return l
+	}
+
+	// Greedy list scheduling in program order priority.
+	ready := make([]int64, n) // earliest cycle operands are available
+	indeg := make([]int, n)
+	for i := range preds {
+		indeg[i] = len(preds[i])
+	}
+	succs := make([][]int, n)
+	for i := range preds {
+		for _, p := range preds[i] {
+			succs[p] = append(succs[p], i)
+		}
+	}
+	scheduled := make([]bool, n)
+	finish := make([]int64, n)
+	var cycle, done int64
+	var makespan int64
+	for done < int64(n) {
+		issued := 0
+		for i := 0; i < n && issued < width; i++ {
+			if scheduled[i] || indeg[i] != 0 || ready[i] > cycle {
+				continue
+			}
+			scheduled[i] = true
+			done++
+			issued++
+			finish[i] = cycle + lat(i)
+			if finish[i] > makespan {
+				makespan = finish[i]
+			}
+			for _, s := range succs[i] {
+				indeg[s]--
+				if finish[i] > ready[s] {
+					ready[s] = finish[i]
+				}
+			}
+		}
+		cycle++
+		if cycle > int64(n)*64+1024 {
+			return 0, fmt.Errorf("sim: scheduling did not converge (cyclic dependences?)")
+		}
+	}
+	return makespan + 1, nil // +1 for the terminator
+}
+
+// VLIWCycles estimates whole-program cycles on a width-wide machine by
+// weighting every block's static schedule length with its profiled
+// execution count. Blocks with zero frequency contribute nothing, so the
+// module should be profiled first.
+func VLIWCycles(m *ir.Module, model *latency.Model, width int) (int64, error) {
+	if model == nil {
+		model = latency.Default()
+	}
+	var total int64
+	for _, f := range m.Funcs {
+		for _, b := range f.Blocks {
+			if b.Freq <= 0 {
+				continue
+			}
+			c, err := ScheduleBlock(m, b, model, width)
+			if err != nil {
+				return 0, fmt.Errorf("%s/%s: %w", f.Name, b.Name, err)
+			}
+			total += c * b.Freq
+		}
+	}
+	return total, nil
+}

@@ -1,0 +1,168 @@
+package workload
+
+// The IMA ADPCM coder of MediaBench (adpcm/rawcaudio, rawdaudio) —
+// transliterated from Jack Jansen's classic adpcm.c. Differences from the
+// C original: nibbles are stored one per word instead of packed two per
+// byte (the packing loop contributes nothing to the hot dataflow), and
+// the coder state lives in globals. The decoder's hottest block after
+// if-conversion is the motivational example of Fig. 3: the vpdiff
+// reconstruction (M1), the accumulate/saturate chain (M2) and the step
+// update (M3).
+
+const adpcmTables = `
+int indexTable[16] = {
+    -1, -1, -1, -1, 2, 4, 6, 8,
+    -1, -1, -1, -1, 2, 4, 6, 8,
+};
+
+int stepsizeTable[89] = {
+    7, 8, 9, 10, 11, 12, 13, 14, 16, 17,
+    19, 21, 23, 25, 28, 31, 34, 37, 41, 45,
+    50, 55, 60, 66, 73, 80, 88, 97, 107, 118,
+    130, 143, 157, 173, 190, 209, 230, 253, 279, 307,
+    337, 371, 408, 449, 494, 544, 598, 658, 724, 796,
+    876, 963, 1060, 1166, 1282, 1411, 1552, 1707, 1878, 2066,
+    2272, 2499, 2749, 3024, 3327, 3660, 4026, 4428, 4871, 5358,
+    5894, 6484, 7132, 7845, 8630, 9493, 10442, 11487, 12635, 13899,
+    15289, 16818, 18500, 20350, 22385, 24623, 27086, 29794, 32767,
+};
+
+int valprev = 0;
+int index = 0;
+`
+
+const adpcmDecodeSource = adpcmTables + `
+int deltas[1024];
+int pcm[1024];
+
+void adpcm_decoder(int len) {
+    int valpred = valprev;
+    int idx = index;
+    int step = stepsizeTable[idx];
+    int outp = 0;
+    int i;
+    for (i = 0; i < len; i++) {
+        // Step 1 - get the delta value (one nibble per word here).
+        int delta = deltas[i] & 15;
+
+        // Step 2 - find new index value (for later).
+        idx = idx + indexTable[delta];
+        if (idx < 0) idx = 0;
+        if (idx > 88) idx = 88;
+
+        // Step 3 - separate sign and magnitude.
+        int sign = delta & 8;
+        int dmag = delta & 7;
+
+        // Step 4 - compute difference and new predicted value.
+        // Computes 'vpdiff = (delta+0.5)*step/4' with fixed shifts,
+        // an approximate 16x4-bit multiplication (M1 of Fig. 3).
+        int vpdiff = step >> 3;
+        if (dmag & 4) vpdiff = vpdiff + step;
+        if (dmag & 2) vpdiff = vpdiff + (step >> 1);
+        if (dmag & 1) vpdiff = vpdiff + (step >> 2);
+
+        if (sign) { valpred = valpred - vpdiff; }
+        else      { valpred = valpred + vpdiff; }
+
+        // Step 5 - clamp output value (the saturation of M2).
+        if (valpred > 32767) valpred = 32767;
+        if (valpred < -32768) valpred = -32768;
+
+        // Step 6 - update step value (M3).
+        step = stepsizeTable[idx];
+
+        // Step 7 - output value.
+        pcm[outp] = valpred;
+        outp = outp + 1;
+    }
+    valprev = valpred;
+    index = idx;
+}
+`
+
+const adpcmEncodeSource = adpcmTables + `
+int samples[1024];
+int code[1024];
+
+void adpcm_coder(int len) {
+    int valpred = valprev;
+    int idx = index;
+    int step = stepsizeTable[idx];
+    int outp = 0;
+    int i;
+    for (i = 0; i < len; i++) {
+        int val = samples[i];
+
+        // Step 1 - compute difference with previous value.
+        int diff = val - valpred;
+        int sign = 0;
+        if (diff < 0) { sign = 8; diff = 0 - diff; }
+
+        // Step 2 - divide and clamp: delta = diff*4/step computed with
+        // shifts and compares only.
+        int delta = 0;
+        int vpdiff = step >> 3;
+        int st = step;
+        if (diff >= st) { delta = 4; diff = diff - st; vpdiff = vpdiff + st; }
+        st = st >> 1;
+        if (diff >= st) { delta = delta | 2; diff = diff - st; vpdiff = vpdiff + st; }
+        st = st >> 1;
+        if (diff >= st) { delta = delta | 1; vpdiff = vpdiff + st; }
+
+        // Step 3 - update previous value.
+        if (sign) { valpred = valpred - vpdiff; }
+        else      { valpred = valpred + vpdiff; }
+
+        // Step 4 - clamp previous value to 16 bits.
+        if (valpred > 32767) valpred = 32767;
+        if (valpred < -32768) valpred = -32768;
+
+        // Step 5 - assemble value, update index and step.
+        delta = delta | sign;
+        idx = idx + indexTable[delta];
+        if (idx < 0) idx = 0;
+        if (idx > 88) idx = 88;
+        step = stepsizeTable[idx];
+
+        // Step 6 - output value (one nibble per word).
+        code[outp] = delta;
+        outp = outp + 1;
+    }
+    valprev = valpred;
+    index = idx;
+}
+`
+
+// adpcmLen is the number of samples/nibbles each driver run processes.
+const adpcmLen = 1024
+
+// AdpcmDecode is the adpcmdecode benchmark of Fig. 11 (and Fig. 3).
+func AdpcmDecode() *Kernel {
+	nib := testSignal(adpcmLen, 0xD, 0)
+	// Deterministic nibble stream in [0,15].
+	raw := testSignal(adpcmLen, 0xDEC0DE, 1<<30)
+	for i := range nib {
+		nib[i] = (raw[i] >> 5) & 15
+	}
+	return &Kernel{
+		Name:    "adpcmdecode",
+		Source:  adpcmDecodeSource,
+		Entry:   "adpcm_decoder",
+		Args:    []int32{adpcmLen},
+		Inputs:  map[string][]int32{"deltas": nib},
+		Outputs: []string{"pcm", "valprev", "index"},
+	}
+}
+
+// AdpcmEncode is the adpcmencode benchmark of Fig. 11.
+func AdpcmEncode() *Kernel {
+	return &Kernel{
+		Name:    "adpcmencode",
+		Source:  adpcmEncodeSource,
+		Entry:   "adpcm_coder",
+		Args:    []int32{adpcmLen},
+		Inputs:  map[string][]int32{"samples": testSignal(adpcmLen, 0xE2C, 30000)},
+		Outputs: []string{"code", "valprev", "index"},
+	}
+}

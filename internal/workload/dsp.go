@@ -1,0 +1,168 @@
+package workload
+
+// DSP kernels: a saturating FIR filter, a Viterbi add-compare-select
+// butterfly (the decoder core of pegwit/gsm-style channel code), and a
+// fixed-point radix-2 FFT butterfly pass. These widen the basic-block
+// population for the Fig. 8 sweep and exercise multi-output and
+// disconnected cuts (the ACS butterfly produces two results per step).
+
+const firSource = `
+int x[256];
+int h[16];
+int y[256];
+
+void fir(int n, int taps) {
+    int i;
+    for (i = 0; i < n; i++) {
+        int acc = 0;
+        int j;
+        for (j = 0; j < taps; j++) {
+            int k = i - j;
+            int vv = x[max(k, 0)];
+            int v = k >= 0 ? vv : 0;
+            acc = acc + ((v * h[j]) >> 8);
+        }
+        if (acc > 32767) acc = 32767;
+        if (acc < -32768) acc = -32768;
+        y[i] = acc;
+    }
+}
+`
+
+// FIR is a 16-tap saturating FIR filter.
+func FIR() *Kernel {
+	taps := testSignal(16, 0xF1, 120)
+	return &Kernel{
+		Name:   "fir",
+		Source: firSource,
+		Entry:  "fir",
+		Args:   []int32{256, 16},
+		Inputs: map[string][]int32{
+			"x": testSignal(256, 0xF1B, 20000),
+			"h": taps,
+		},
+		Outputs: []string{"y"},
+	}
+}
+
+const viterbiSource = `
+int bm[256];
+int pm[64];
+int npm[64];
+int decisions[1024];
+
+// One trellis step of a 64-state Viterbi decoder: for each new state,
+// add branch metrics to the two predecessor path metrics, compare, and
+// select (two results per butterfly: the survivor metric and the
+// decision bit).
+void viterbi_step(int t) {
+    int s;
+    for (s = 0; s < 32; s++) {
+        int p0 = pm[2 * s];
+        int p1 = pm[2 * s + 1];
+        int b0 = bm[((t << 6) + 2 * s) & 255];
+        int b1 = bm[((t << 6) + 2 * s + 1) & 255];
+
+        int m00 = p0 + b0;
+        int m10 = p1 + b1;
+        int d0 = m10 < m00 ? 1 : 0;
+        int v0 = m10 < m00 ? m10 : m00;
+
+        int m01 = p0 + b1;
+        int m11 = p1 + b0;
+        int d1 = m11 < m01 ? 1 : 0;
+        int v1 = m11 < m01 ? m11 : m01;
+
+        npm[s] = v0;
+        npm[s + 32] = v1;
+        decisions[(t & 15) * 64 + s] = d0;
+        decisions[(t & 15) * 64 + s + 32] = d1;
+    }
+    for (s = 0; s < 64; s++) { pm[s] = npm[s]; }
+}
+
+void viterbi(int steps) {
+    int t;
+    for (t = 0; t < steps; t++) { viterbi_step(t); }
+}
+`
+
+// Viterbi is a 64-state add-compare-select decoder loop.
+func Viterbi() *Kernel {
+	return &Kernel{
+		Name:   "viterbi",
+		Source: viterbiSource,
+		Entry:  "viterbi",
+		Args:   []int32{16},
+		Inputs: map[string][]int32{
+			"bm": testSignal(256, 0xB7, 100),
+			"pm": testSignal(64, 0x97, 50),
+		},
+		Outputs: []string{"pm", "decisions"},
+	}
+}
+
+const fftSource = `
+int re[64];
+int im[64];
+int wre[32];
+int wim[32];
+
+// One radix-2 decimation-in-time pass over 64 points, fixed point Q14.
+void fft_pass(int span) {
+    int i;
+    for (i = 0; i < 32; i++) {
+        int grp = i / span;
+        int pos = i % span;
+        int a = grp * span * 2 + pos;
+        int b = a + span;
+        int tw = (pos * (32 / span)) & 31;
+
+        int wr = wre[tw];
+        int wi = wim[tw];
+        int tr = ((re[b] * wr) >> 14) - ((im[b] * wi) >> 14);
+        int ti = ((re[b] * wi) >> 14) + ((im[b] * wr) >> 14);
+
+        int ar = re[a];
+        int ai = im[a];
+        re[a] = (ar + tr) >> 1;
+        im[a] = (ai + ti) >> 1;
+        re[b] = (ar - tr) >> 1;
+        im[b] = (ai - ti) >> 1;
+    }
+}
+
+void fft64() {
+    int span;
+    for (span = 1; span <= 32; span = span * 2) {
+        fft_pass(span);
+    }
+}
+`
+
+// FFT is a 64-point fixed-point FFT (butterfly passes only; input in
+// bit-reversed order is the caller's concern, irrelevant to the DFG).
+func FFT() *Kernel {
+	// Q14 twiddles: crude integer cosine table (exact values are
+	// irrelevant to identification; the interpreter only needs
+	// determinism).
+	wre := make([]int32, 32)
+	wim := make([]int32, 32)
+	cosTab := []int32{16384, 16069, 15137, 13623, 11585, 9102, 6270, 3196}
+	for i := 0; i < 32; i++ {
+		wre[i] = cosTab[i%8] - int32(i)*17
+		wim[i] = -cosTab[(i+4)%8] + int32(i)*13
+	}
+	return &Kernel{
+		Name:   "fft",
+		Source: fftSource,
+		Entry:  "fft64",
+		Inputs: map[string][]int32{
+			"re":  testSignal(64, 0xFF7, 8000),
+			"im":  testSignal(64, 0xFF8, 8000),
+			"wre": wre,
+			"wim": wim,
+		},
+		Outputs: []string{"re", "im"},
+	}
+}

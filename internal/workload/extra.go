@@ -1,0 +1,266 @@
+package workload
+
+// Additional MediaBench-representative kernels widening the suite:
+// a G.721-style ADPCM codec step (quantize / inverse-quantize / sign-LMS
+// predictor update, as in MediaBench's g721), an 8×8 fixed-point DCT
+// (the jpeg/mpeg2 transform), and SAD-based motion estimation (mpeg2
+// encoder). They enrich the Fig. 8 block population with shapes the
+// first eight kernels lack: table-threshold scans, butterfly networks
+// and abs-difference reduction trees.
+
+const g721Source = `
+// Quantization thresholds and reconstruction levels (Q10-ish fixed point).
+int qtab[7] = {124, 256, 388, 520, 650, 780, 910};
+int rlevels[8] = {60, 190, 320, 450, 580, 710, 840, 970};
+int wtab[8] = {-12, 18, 41, 64, 112, 198, 355, 1122};
+
+int g721_in[512];
+int g721_code[512];
+int g721_rec[512];
+
+int pred0 = 0;
+int pred1 = 0;
+int stepg = 256;
+
+// quan: index of the first threshold above v (linear scan, as in g721.c).
+int quan(int v) {
+    int i;
+    for (i = 0; i < 7; i++) {
+        if (v < (qtab[i] * stepg) >> 8) {
+            return i;
+        }
+    }
+    return 7;
+}
+
+void g721_encode(int n) {
+    int i;
+    for (i = 0; i < n; i++) {
+        int x = g721_in[i];
+        // Prediction from two poles (shift-based leaky predictor).
+        int pr = (pred0 * 3 - pred1) >> 1;
+        int d = x - pr;
+        int sign = 0;
+        if (d < 0) { sign = 8; d = 0 - d; }
+        int q = quan(d);
+        g721_code[i] = q | sign;
+
+        // Inverse quantization.
+        int dq = (rlevels[q] * stepg) >> 8;
+        if (sign) dq = 0 - dq;
+
+        // Reconstruction and clamping.
+        int rec = pr + dq;
+        if (rec > 32767) rec = 32767;
+        if (rec < -32768) rec = -32768;
+        g721_rec[i] = rec;
+
+        // Sign-sign LMS pole update with leakage.
+        int e = dq;
+        int g0 = pred0 - (pred0 >> 8);
+        if (e > 0) { g0 = g0 + 32; }
+        if (e < 0) { g0 = g0 - 32; }
+        if (g0 > 12288) g0 = 12288;
+        if (g0 < -12288) g0 = -12288;
+        int g1 = pred1 - (pred1 >> 8);
+        int ep = e * (pred0 < 0 ? -1 : 1);
+        if (ep > 0) { g1 = g1 + 16; }
+        if (ep < 0) { g1 = g1 - 16; }
+        if (g1 > 8192) g1 = 8192;
+        if (g1 < -8192) g1 = -8192;
+        pred1 = g1;
+        pred0 = g0 + (rec >> 4);
+
+        // Step-size adaptation from the W table with leakage.
+        int st = stepg + ((wtab[q] * stepg) >> 11) - (stepg >> 7);
+        if (st < 64) st = 64;
+        if (st > 16384) st = 16384;
+        stepg = st;
+    }
+}
+`
+
+// G721 is the g721-style codec step.
+func G721() *Kernel {
+	return &Kernel{
+		Name:    "g721",
+		Source:  g721Source,
+		Entry:   "g721_encode",
+		Args:    []int32{512},
+		Inputs:  map[string][]int32{"g721_in": testSignal(512, 0x721, 12000)},
+		Outputs: []string{"g721_code", "g721_rec", "pred0", "pred1", "stepg"},
+	}
+}
+
+const dctSource = `
+int block[64];
+
+// One dimension of the LLM-style integer DCT, applied to rows then
+// columns (jpeg fdct, 13-bit fixed-point constants).
+void dct_1d(int base, int stride) {
+    int s0 = block[base + 0 * stride];
+    int s1 = block[base + 1 * stride];
+    int s2 = block[base + 2 * stride];
+    int s3 = block[base + 3 * stride];
+    int s4 = block[base + 4 * stride];
+    int s5 = block[base + 5 * stride];
+    int s6 = block[base + 6 * stride];
+    int s7 = block[base + 7 * stride];
+
+    int t0 = s0 + s7;
+    int t7 = s0 - s7;
+    int t1 = s1 + s6;
+    int t6 = s1 - s6;
+    int t2 = s2 + s5;
+    int t5 = s2 - s5;
+    int t3 = s3 + s4;
+    int t4 = s3 - s4;
+
+    int u0 = t0 + t3;
+    int u3 = t0 - t3;
+    int u1 = t1 + t2;
+    int u2 = t1 - t2;
+
+    block[base + 0 * stride] = (u0 + u1) >> 1;
+    block[base + 4 * stride] = (u0 - u1) >> 1;
+    block[base + 2 * stride] = (u2 * 4433 + u3 * 10703) >> 13;
+    block[base + 6 * stride] = (u3 * 4433 - u2 * 10703) >> 13;
+
+    int v0 = (t4 * 2446 + t7 * 16819) >> 13;
+    int v1 = (t5 * 6813 + t6 * 13623) >> 13;
+    int v2 = (t6 * 6813 - t5 * 13623) >> 13;
+    int v3 = (t7 * 2446 - t4 * 16819) >> 13;
+
+    block[base + 1 * stride] = v0 + v1;
+    block[base + 7 * stride] = v3 - v2;
+    block[base + 5 * stride] = v0 - v1;
+    block[base + 3 * stride] = v3 + v2;
+}
+
+void dct8x8() {
+    int i;
+    for (i = 0; i < 8; i++) { dct_1d(i * 8, 1); }
+    for (i = 0; i < 8; i++) { dct_1d(i, 8); }
+}
+`
+
+// DCT is the 8×8 integer DCT (rows then columns).
+func DCT() *Kernel {
+	px := testSignal(64, 0xDC7, 128)
+	return &Kernel{
+		Name:    "dct",
+		Source:  dctSource,
+		Entry:   "dct8x8",
+		Inputs:  map[string][]int32{"block": px},
+		Outputs: []string{"block"},
+	}
+}
+
+const sadSource = `
+int ref[400];
+int cur[256];
+int sads[9];
+int bestoff[2];
+
+// Sum of absolute differences over a 16x16 block for the nine candidate
+// motion vectors (-1..1)^2 within a 20x20 reference window; keeps the
+// best offset (mpeg2 motion estimation inner loop).
+void motion_search() {
+    int best = 0x7FFFFFFF;
+    int dy;
+    int dx;
+    for (dy = 0; dy < 3; dy++) {
+        for (dx = 0; dx < 3; dx++) {
+            int acc = 0;
+            int y;
+            for (y = 0; y < 16; y++) {
+                int x;
+                for (x = 0; x < 16; x++) {
+                    int a = cur[y * 16 + x];
+                    int b = ref[(y + dy) * 20 + (x + dx)];
+                    acc = acc + abs(a - b);
+                }
+            }
+            sads[dy * 3 + dx] = acc;
+            if (acc < best) {
+                best = acc;
+                bestoff[0] = dx - 1;
+                bestoff[1] = dy - 1;
+            }
+        }
+    }
+}
+`
+
+// SAD is the motion-estimation kernel.
+func SAD() *Kernel {
+	return &Kernel{
+		Name:   "sad",
+		Source: sadSource,
+		Entry:  "motion_search",
+		Inputs: map[string][]int32{
+			"ref": testSignal(400, 0x5AD, 255),
+			"cur": testSignal(256, 0x5AE, 255),
+		},
+		Outputs: []string{"sads", "bestoff"},
+	}
+}
+
+const vlcSource = `
+// Variable-length coding (mpeg2-style bit packing): each symbol looks up
+// a (code, length) pair and appends it to a 32-bit big-endian bit buffer
+// that is flushed word-wise. The hot dataflow is the shift/or/compare
+// bit-buffer update.
+int vlc_codes[16] = {2, 6, 14, 30, 62, 126, 254, 510, 3, 7, 15, 31, 63, 127, 255, 511};
+int vlc_lens[16] = {2, 3, 4, 5, 6, 7, 8, 9, 2, 3, 4, 5, 6, 7, 8, 9};
+
+int symbols[512];
+int packed[256];
+int packedcount[1];
+
+void vlc_pack(int n) {
+    int acc = 0;       // holds exactly nbits valid low bits
+    int nbits = 0;
+    int outp = 0;
+    int i;
+    for (i = 0; i < n; i++) {
+        int s = symbols[i] & 15;
+        int code = vlc_codes[s];
+        int len = vlc_lens[s];
+        int room = 32 - nbits;
+        if (len >= room) {
+            // Flush: the top 'room' bits of the code complete a word.
+            int spill = len - room;
+            int word = (acc << (room & 31)) | lshr(code, spill);
+            packed[outp] = word;
+            outp = outp + 1;
+            acc = code & ((1 << spill) - 1);
+            nbits = spill;
+        } else {
+            acc = (acc << len) | code;
+            nbits = nbits + len;
+        }
+    }
+    if (nbits > 0) {
+        packed[outp] = acc << (32 - nbits);
+        outp = outp + 1;
+    }
+    packedcount[0] = outp;
+}
+`
+
+// VLC is the variable-length-coding bit packer.
+func VLC() *Kernel {
+	syms := testSignal(512, 0x71C, 1<<30)
+	for i := range syms {
+		syms[i] &= 15
+	}
+	return &Kernel{
+		Name:    "vlc",
+		Source:  vlcSource,
+		Entry:   "vlc_pack",
+		Args:    []int32{512},
+		Inputs:  map[string][]int32{"symbols": syms},
+		Outputs: []string{"packed", "packedcount"},
+	}
+}

@@ -1,0 +1,322 @@
+package workload
+
+import (
+	"testing"
+)
+
+// referenceDCT1D mirrors dct_1d on a Go slice.
+func referenceDCT1D(b []int32, base, stride int) {
+	s := make([]int32, 8)
+	for i := range s {
+		s[i] = b[base+i*stride]
+	}
+	t0, t7 := s[0]+s[7], s[0]-s[7]
+	t1, t6 := s[1]+s[6], s[1]-s[6]
+	t2, t5 := s[2]+s[5], s[2]-s[5]
+	t3, t4 := s[3]+s[4], s[3]-s[4]
+	u0, u3 := t0+t3, t0-t3
+	u1, u2 := t1+t2, t1-t2
+	b[base+0*stride] = (u0 + u1) >> 1
+	b[base+4*stride] = (u0 - u1) >> 1
+	b[base+2*stride] = (u2*4433 + u3*10703) >> 13
+	b[base+6*stride] = (u3*4433 - u2*10703) >> 13
+	v0 := (t4*2446 + t7*16819) >> 13
+	v1 := (t5*6813 + t6*13623) >> 13
+	v2 := (t6*6813 - t5*13623) >> 13
+	v3 := (t7*2446 - t4*16819) >> 13
+	b[base+1*stride] = v0 + v1
+	b[base+7*stride] = v3 - v2
+	b[base+5*stride] = v0 - v1
+	b[base+3*stride] = v3 + v2
+}
+
+func TestDCTAgainstReference(t *testing.T) {
+	k := DCT()
+	m, err := k.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := k.OutputImage(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := append([]int32(nil), k.Inputs["block"]...)
+	for i := 0; i < 8; i++ {
+		referenceDCT1D(want, i*8, 1)
+	}
+	for i := 0; i < 8; i++ {
+		referenceDCT1D(want, i, 8)
+	}
+	for i := range want {
+		if img["block"][i] != want[i] {
+			t.Fatalf("block[%d] = %d, want %d", i, img["block"][i], want[i])
+		}
+	}
+	// The DC coefficient dominates a smooth block: sanity structure check
+	// on an all-equal input.
+	m2, _ := k.Build()
+	env, err := k.NewEnv(m2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flat := make([]int32, 64)
+	for i := range flat {
+		flat[i] = 100
+	}
+	if err := env.SetGlobal("block", flat); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := env.Call("dct8x8"); err != nil {
+		t.Fatal(err)
+	}
+	out, _ := env.GlobalSlice("block")
+	for i := 1; i < 64; i++ {
+		if out[i] != 0 {
+			t.Fatalf("AC coefficient %d = %d on a flat block", i, out[i])
+		}
+	}
+	if out[0] != 100*8*8>>2 { // two >>1 stages of the DC path
+		t.Fatalf("DC = %d", out[0])
+	}
+}
+
+func TestSADAgainstReference(t *testing.T) {
+	k := SAD()
+	m, err := k.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := k.OutputImage(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, cur := k.Inputs["ref"], k.Inputs["cur"]
+	best := int32(0x7FFFFFFF)
+	var bx, by int32
+	var sads [9]int32
+	for dy := int32(0); dy < 3; dy++ {
+		for dx := int32(0); dx < 3; dx++ {
+			var acc int32
+			for y := int32(0); y < 16; y++ {
+				for x := int32(0); x < 16; x++ {
+					d := cur[y*16+x] - ref[(y+dy)*20+(x+dx)]
+					if d < 0 {
+						d = -d
+					}
+					acc += d
+				}
+			}
+			sads[dy*3+dx] = acc
+			if acc < best {
+				best = acc
+				bx, by = dx-1, dy-1
+			}
+		}
+	}
+	for i := range sads {
+		if img["sads"][i] != sads[i] {
+			t.Fatalf("sads[%d] = %d, want %d", i, img["sads"][i], sads[i])
+		}
+	}
+	if img["bestoff"][0] != bx || img["bestoff"][1] != by {
+		t.Fatalf("bestoff = %v, want (%d,%d)", img["bestoff"], bx, by)
+	}
+}
+
+// referenceG721 mirrors g721_encode in Go.
+func referenceG721(in []int32) (code, rec []int32, p0, p1, step int32) {
+	qtab := []int32{124, 256, 388, 520, 650, 780, 910}
+	rlevels := []int32{60, 190, 320, 450, 580, 710, 840, 970}
+	wtab := []int32{-12, 18, 41, 64, 112, 198, 355, 1122}
+	step = 256
+	quan := func(v int32) int32 {
+		for i := int32(0); i < 7; i++ {
+			if v < (qtab[i]*step)>>8 {
+				return i
+			}
+		}
+		return 7
+	}
+	for _, x := range in {
+		pr := (p0*3 - p1) >> 1
+		d := x - pr
+		var sign int32
+		if d < 0 {
+			sign = 8
+			d = -d
+		}
+		q := quan(d)
+		code = append(code, q|sign)
+		dq := (rlevels[q] * step) >> 8
+		if sign != 0 {
+			dq = -dq
+		}
+		r := pr + dq
+		if r > 32767 {
+			r = 32767
+		}
+		if r < -32768 {
+			r = -32768
+		}
+		rec = append(rec, r)
+		e := dq
+		g0 := p0 - (p0 >> 8)
+		if e > 0 {
+			g0 += 32
+		}
+		if e < 0 {
+			g0 -= 32
+		}
+		if g0 > 12288 {
+			g0 = 12288
+		}
+		if g0 < -12288 {
+			g0 = -12288
+		}
+		g1 := p1 - (p1 >> 8)
+		sgn := int32(1)
+		if p0 < 0 {
+			sgn = -1
+		}
+		ep := e * sgn
+		if ep > 0 {
+			g1 += 16
+		}
+		if ep < 0 {
+			g1 -= 16
+		}
+		if g1 > 8192 {
+			g1 = 8192
+		}
+		if g1 < -8192 {
+			g1 = -8192
+		}
+		p1 = g1
+		p0 = g0 + (r >> 4)
+		st := step + ((wtab[q] * step) >> 11) - (step >> 7)
+		if st < 64 {
+			st = 64
+		}
+		if st > 16384 {
+			st = 16384
+		}
+		step = st
+	}
+	return code, rec, p0, p1, step
+}
+
+func TestG721AgainstReference(t *testing.T) {
+	k := G721()
+	m, err := k.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := k.OutputImage(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	code, rec, p0, p1, step := referenceG721(k.Inputs["g721_in"])
+	for i := range code {
+		if img["g721_code"][i] != code[i] {
+			t.Fatalf("code[%d] = %d, want %d", i, img["g721_code"][i], code[i])
+		}
+		if img["g721_rec"][i] != rec[i] {
+			t.Fatalf("rec[%d] = %d, want %d", i, img["g721_rec"][i], rec[i])
+		}
+	}
+	if img["pred0"][0] != p0 || img["pred1"][0] != p1 || img["stepg"][0] != step {
+		t.Fatalf("state = (%d,%d,%d), want (%d,%d,%d)",
+			img["pred0"][0], img["pred1"][0], img["stepg"][0], p0, p1, step)
+	}
+}
+
+func TestG721TracksSignal(t *testing.T) {
+	// The reconstruction must roughly track a slow signal.
+	k := G721()
+	m, err := k.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	env, err := k.NewEnv(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sig := make([]int32, 512)
+	for i := range sig {
+		v := int32(i%256) - 128
+		if v < 0 {
+			v = -v
+		}
+		sig[i] = v * 60
+	}
+	if err := env.SetGlobal("g721_in", sig); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := env.Call("g721_encode", 512); err != nil {
+		t.Fatal(err)
+	}
+	rec, _ := env.GlobalSlice("g721_rec")
+	var worst int32
+	for i := 128; i < 512; i++ {
+		d := rec[i] - sig[i]
+		if d < 0 {
+			d = -d
+		}
+		if d > worst {
+			worst = d
+		}
+	}
+	// The simplified predictor tracks a 7680-amplitude ramp within ~4.2k;
+	// the bound below is a coarse sanity envelope (divergence or sign
+	// errors would blow far past it), not a codec-quality claim.
+	if worst > 6000 {
+		t.Errorf("reconstruction error %d too large", worst)
+	}
+}
+
+// TestVLCAgainstBitstreamReference validates the packer against an
+// independent bit-by-bit stream builder.
+func TestVLCAgainstBitstreamReference(t *testing.T) {
+	k := VLC()
+	m, err := k.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := k.OutputImage(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	codes := []uint32{2, 6, 14, 30, 62, 126, 254, 510, 3, 7, 15, 31, 63, 127, 255, 511}
+	lens := []int{2, 3, 4, 5, 6, 7, 8, 9, 2, 3, 4, 5, 6, 7, 8, 9}
+	// Independent reference: append bits MSB-first to a flat bit slice,
+	// then pack words left-aligned.
+	var bits []byte
+	for _, sRaw := range k.Inputs["symbols"] {
+		s := sRaw & 15
+		c, l := codes[s], lens[s]
+		for b := l - 1; b >= 0; b-- {
+			bits = append(bits, byte((c>>uint(b))&1))
+		}
+	}
+	var want []uint32
+	for i := 0; i < len(bits); i += 32 {
+		var w uint32
+		for j := 0; j < 32; j++ {
+			w <<= 1
+			if i+j < len(bits) {
+				w |= uint32(bits[i+j])
+			}
+		}
+		want = append(want, w)
+	}
+	got := img["packed"]
+	count := int(img["packedcount"][0])
+	if count != len(want) {
+		t.Fatalf("packed words = %d, want %d", count, len(want))
+	}
+	for i := range want {
+		if uint32(got[i]) != want[i] {
+			t.Fatalf("packed[%d] = %08x, want %08x", i, uint32(got[i]), want[i])
+		}
+	}
+}

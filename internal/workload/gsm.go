@@ -1,0 +1,106 @@
+package workload
+
+// A GSM 06.10-style LPC front end: windowed autocorrelation with
+// saturating fixed-point arithmetic followed by a Schur-like reflection
+// update, modeled on the gsm benchmark of MediaBench (lpc.c). The
+// saturating add/multiply idiom (clamp to the 31-bit range after every
+// accumulation) yields exactly the SEL-rich dataflow blocks the paper's
+// identification thrives on.
+
+const gsmLPCSource = `
+int smp[160];
+int acf[9];
+int refl[8];
+int pvals[9];
+
+int sat_add(int a, int b) {
+    int s = a + b;
+    if (s > 1073741823) s = 1073741823;
+    if (s < -1073741824) s = -1073741824;
+    return s;
+}
+
+// mult_r: fixed-point rounded multiply, Q15.
+int mult_r(int a, int b) {
+    int p = a * b + 16384;
+    int r = p >> 15;
+    if (r > 32767) r = 32767;
+    if (r < -32768) r = -32768;
+    return r;
+}
+
+void autocorrelation(int n) {
+    int k;
+    for (k = 0; k < 9; k++) {
+        int sum = 0;
+        int i;
+        for (i = k; i < n; i++) {
+            int a = smp[i];
+            int b = smp[i - k];
+            int p = (a * b) >> 6;
+            sum = sum + p;
+            if (sum > 1073741823) sum = 1073741823;
+            if (sum < -1073741824) sum = -1073741824;
+        }
+        acf[k] = sum;
+    }
+}
+
+// schur computes 8 reflection coefficients from the autocorrelation,
+// following the fixed-point structure of GSM's Reflection_coefficients.
+void schur() {
+    int p[9];
+    int k[9];
+    int i;
+    for (i = 0; i < 9; i++) { p[i] = acf[i] >> 10; k[i] = acf[i] >> 10; }
+    int n;
+    for (n = 0; n < 8; n++) {
+        int denom = p[0];
+        if (denom < 0) denom = 0 - denom;
+        if (denom == 0) denom = 1;
+        int num = p[1];
+        int r = 0;
+        int neg = 0;
+        if (num < 0) { num = 0 - num; neg = 1; }
+        if (num < denom) {
+            r = (num << 12) / denom;
+        } else {
+            r = 4095;
+        }
+        if (neg) r = 0 - r;
+        refl[n] = r;
+        // Schur recursion update with rounding.
+        int m;
+        for (m = 0; m < 8 - n; m++) {
+            int t = p[m + 1] + ((r * k[m + 1]) >> 12);
+            int u = k[m + 1] + ((r * p[m + 1]) >> 12);
+            p[m] = t;
+            k[m] = u;
+        }
+    }
+    for (i = 0; i < 9; i++) pvals[i] = p[i];
+}
+
+void lpc_analysis(int n) {
+    // Hann-like window via shifts (no floating point).
+    int i;
+    for (i = 0; i < n; i++) {
+        int w = i < 80 ? i : 159 - i;
+        smp[i] = (smp[i] * (16 + w)) >> 7;
+    }
+    autocorrelation(n);
+    schur();
+}
+`
+
+// GSMLPC is the gsm benchmark stand-in of Fig. 11.
+func GSMLPC() *Kernel {
+	return &Kernel{
+		Name:    "gsmlpc",
+		Source:  gsmLPCSource,
+		Entry:   "lpc_analysis",
+		Args:    []int32{160},
+		Inputs:  map[string][]int32{"smp": testSignal(160, 0x65A, 16000)},
+		Outputs: []string{"acf", "refl", "pvals"},
+	}
+}

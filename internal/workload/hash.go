@@ -1,0 +1,109 @@
+package workload
+
+// Bit-twiddling kernels: a bitwise CRC-32 (the pegwit/ghostscript style
+// checksum loop) and the SHA-1 compression round of MediaBench's pegwit.
+// Their long xor/shift/rotate chains contain no memory accesses at all,
+// so nearly the whole block is coverable by a cut — the opposite extreme
+// from adpcm's load-interleaved blocks.
+
+const crcSource = `
+int data[256];
+int crcout[1];
+
+void crc32(int n) {
+    int crc = 0 - 1;             // 0xFFFFFFFF
+    int i;
+    for (i = 0; i < n; i++) {
+        crc = crc ^ (data[i] & 255);
+        int k;
+        for (k = 0; k < 8; k++) {
+            int lsb = crc & 1;
+            int sh = lshr(crc, 1);
+            crc = lsb ? sh ^ 0xEDB88320 : sh;
+        }
+    }
+    crcout[0] = crc ^ (0 - 1);
+}
+`
+
+// CRC32 computes the standard reflected CRC-32 over a byte stream. The
+// 8-bit inner loop is fully unrolled (constant trip count), giving a
+// single ~50-node pure block.
+func CRC32() *Kernel {
+	bytes := testSignal(256, 0xC2C, 1<<30)
+	for i := range bytes {
+		bytes[i] &= 255
+	}
+	return &Kernel{
+		Name:    "crc32",
+		Source:  crcSource,
+		Entry:   "crc32",
+		Args:    []int32{256},
+		Inputs:  map[string][]int32{"data": bytes},
+		Outputs: []string{"crcout"},
+		Unroll:  8,
+	}
+}
+
+const shaSource = `
+int msg[16];
+int state[5];
+
+int rol(int x, int s) {
+    return (x << s) | lshr(x, 32 - s);
+}
+
+void sha1_block() {
+    int w[80];
+    int i;
+    for (i = 0; i < 16; i++) { w[i] = msg[i]; }
+    for (i = 16; i < 80; i++) {
+        int t = w[i-3] ^ w[i-8] ^ w[i-14] ^ w[i-16];
+        w[i] = (t << 1) | lshr(t, 31);
+    }
+    int a = state[0];
+    int b = state[1];
+    int c = state[2];
+    int d = state[3];
+    int e = state[4];
+    for (i = 0; i < 80; i++) {
+        int f = 0;
+        int kk = 0;
+        if (i < 20) { f = (b & c) | ((~b) & d); kk = 0x5A827999; }
+        else { if (i < 40) { f = b ^ c ^ d; kk = 0x6ED9EBA1; }
+        else { if (i < 60) { f = (b & c) | (b & d) | (c & d); kk = 0x8F1BBCDC; }
+        else { f = b ^ c ^ d; kk = 0xCA62C1D6; } } }
+        int tmp = ((a << 5) | lshr(a, 27)) + f + e + kk + w[i];
+        e = d;
+        d = c;
+        c = (b << 30) | lshr(b, 2);
+        b = a;
+        a = tmp;
+    }
+    state[0] = state[0] + a;
+    state[1] = state[1] + b;
+    state[2] = state[2] + c;
+    state[3] = state[3] + d;
+    state[4] = state[4] + e;
+}
+`
+
+// SHA1Round is the SHA-1 compression function on one 512-bit block.
+func SHA1Round() *Kernel {
+	return &Kernel{
+		Name:   "sha",
+		Source: shaSource,
+		Entry:  "sha1_block",
+		Inputs: map[string][]int32{
+			"msg": testSignal(16, 0x5AA, 1<<30),
+			"state": {
+				0x67452301,
+				-271733879,  // 0xEFCDAB89
+				-1732584194, // 0x98BADCFE
+				0x10325476,
+				-1009589776, // 0xC3D2E1F0
+			},
+		},
+		Outputs: []string{"state"},
+	}
+}

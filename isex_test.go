@@ -1,0 +1,226 @@
+package isex
+
+import (
+	"strings"
+	"testing"
+)
+
+const facadeSrc = `
+int data[32];
+int out[32];
+
+void kernel(int n, int gain) {
+    int i;
+    for (i = 0; i < n; i++) {
+        int v = (data[i & 31] * gain) >> 6;
+        if (v > 4095) v = 4095;
+        if (v < -4096) v = -4096;
+        out[i & 31] = v;
+    }
+}
+`
+
+func facadeInputs() []int32 {
+	in := make([]int32, 32)
+	for i := range in {
+		in[i] = int32(i*123%500 - 250)
+	}
+	return in
+}
+
+func TestFacadeEndToEnd(t *testing.T) {
+	p, err := Compile(facadeSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetInput("data", facadeInputs())
+	if err := p.Profile("kernel", 32, 9); err != nil {
+		t.Fatal(err)
+	}
+	before, err := p.MeasureCycles("kernel", 32, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, refState, err := p.RunAndRead("kernel", []string{"out"}, 32, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	sel, err := p.Identify(Constraints{Nin: 2, Nout: 1}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sel.Count() == 0 || sel.EstimatedGain() <= 0 {
+		t.Fatalf("identified nothing: %d / %d", sel.Count(), sel.EstimatedGain())
+	}
+	if len(sel.Describe()) != sel.Count() {
+		t.Error("Describe length mismatch")
+	}
+	n, err := p.Apply(sel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n == 0 {
+		t.Fatal("nothing applied")
+	}
+	after, err := p.MeasureCycles("kernel", 32, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after >= before {
+		t.Errorf("cycles %d -> %d: no gain", before, after)
+	}
+	_, gotState, err := p.RunAndRead("kernel", []string{"out"}, 32, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range refState["out"] {
+		if gotState["out"][i] != refState["out"][i] {
+			t.Fatalf("out[%d] changed after patching", i)
+		}
+	}
+
+	vs, err := p.Verilog()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vs) != n {
+		t.Errorf("verilog modules = %d, want %d", len(vs), n)
+	}
+	for _, v := range vs {
+		if !strings.Contains(v, "module ") {
+			t.Error("bad verilog")
+		}
+	}
+}
+
+func TestFacadeIRRoundTrip(t *testing.T) {
+	p, err := Compile(facadeSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := p.SerializeIR()
+	p2, err := LoadIR(text)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetInput("data", facadeInputs())
+	p2.SetInput("data", facadeInputs())
+	r1, s1, err := p.RunAndRead("kernel", []string{"out"}, 32, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, s2, err := p2.RunAndRead("kernel", []string{"out"}, 32, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Fatalf("round-trip return %d vs %d", r1, r2)
+	}
+	for i := range s1["out"] {
+		if s1["out"][i] != s2["out"][i] {
+			t.Fatalf("round-trip out[%d] differs", i)
+		}
+	}
+}
+
+func TestFacadeOptimal(t *testing.T) {
+	p, err := Compile(facadeSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetInput("data", facadeInputs())
+	if err := p.Profile("kernel", 16, 3); err != nil {
+		t.Fatal(err)
+	}
+	it, err := p.Identify(Constraints{Nin: 2, Nout: 1, MaxCuts: 200_000}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opt, err := p.IdentifyOptimal(Constraints{Nin: 2, Nout: 1, MaxCuts: 200_000}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if opt.EstimatedGain() < it.EstimatedGain() {
+		t.Errorf("optimal %d < iterative %d", opt.EstimatedGain(), it.EstimatedGain())
+	}
+}
+
+func TestFacadeErrors(t *testing.T) {
+	if _, err := Compile("int f( {"); err == nil {
+		t.Error("bad source accepted")
+	}
+	p, err := Compile(facadeSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := p.Identify(Constraints{Nin: 0, Nout: 1}, 2); err == nil {
+		t.Error("zero ports accepted")
+	}
+	if _, err := p.Run("nosuch"); err == nil {
+		t.Error("unknown entry accepted")
+	}
+	if _, err := LoadIR("garbage"); err == nil {
+		t.Error("garbage IR accepted")
+	}
+	if DefaultModel() == nil {
+		t.Error("no default model")
+	}
+}
+
+func TestFacadeSkipOptimize(t *testing.T) {
+	p1, err := CompileWith(facadeSrc, CompileOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := CompileWith(facadeSrc, CompileOptions{SkipOptimize: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same behaviour either way.
+	p1.SetInput("data", facadeInputs())
+	p2.SetInput("data", facadeInputs())
+	for _, p := range []*Program{p1, p2} {
+		if _, err := p.Run("kernel", 8, 2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// The unoptimized version is bigger (copies, branches intact).
+	if len(p2.SerializeIR()) <= len(p1.SerializeIR()) {
+		t.Error("SkipOptimize produced smaller IR than the optimized build")
+	}
+}
+
+func TestFacadeAreaConstrainedAndOptions(t *testing.T) {
+	p, err := Compile(facadeSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetInput("data", facadeInputs())
+	if err := p.Profile("kernel", 32, 9); err != nil {
+		t.Fatal(err)
+	}
+	full, err := p.Identify(Constraints{Nin: 4, Nout: 2, MaxCuts: 300_000}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tight, err := p.IdentifyAreaConstrained(Constraints{Nin: 4, Nout: 2, MaxCuts: 300_000}, 4, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tight.EstimatedGain() > full.EstimatedGain() {
+		t.Errorf("area-constrained gain %d beats unconstrained %d",
+			tight.EstimatedGain(), full.EstimatedGain())
+	}
+	if _, err := p.IdentifyAreaConstrained(Constraints{}, 4, 1); err == nil {
+		t.Error("zero ports accepted")
+	}
+	// Windowed + parallel options run and stay sound.
+	win, err := p.Identify(Constraints{Nin: 4, Nout: 2, Window: 8, Parallel: true}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if win.EstimatedGain() > full.EstimatedGain() {
+		t.Errorf("windowed gain %d beats exact %d", win.EstimatedGain(), full.EstimatedGain())
+	}
+}
