@@ -16,17 +16,19 @@ import (
 	"fmt"
 	"os"
 	"strings"
+	"time"
 
 	"isex/internal/experiments"
 )
 
 func main() {
 	var (
-		fig     = flag.String("fig", "all", "which figure to regenerate: 3, 5, 7, 8, 11, runtime, area, tradeoff, vliw, ifconv, ablation, all")
-		budget  = flag.Int64("budget", experiments.DefaultBudget, "cut budget per identification call")
-		measure = flag.Bool("measure", false, "Fig. 11: additionally patch and measure on the cycle simulator")
-		optimal = flag.Bool("optimal", false, "Fig. 11: include the Optimal selection (slow on large blocks)")
-		benches = flag.String("benchmarks", "adpcmdecode,adpcmencode,gsmlpc", "comma-separated benchmark list for Fig. 11")
+		fig      = flag.String("fig", "all", "which figure to regenerate: 3, 5, 7, 8, 11, runtime, area, tradeoff, vliw, ifconv, ablation, all")
+		budget   = flag.Int64("budget", experiments.DefaultBudget, "cut budget per identification call")
+		measure  = flag.Bool("measure", false, "Fig. 11: additionally patch and measure on the cycle simulator")
+		optimal  = flag.Bool("optimal", false, "Fig. 11: include the Optimal selection (slow on large blocks)")
+		benches  = flag.String("benchmarks", "adpcmdecode,adpcmencode,gsmlpc", "comma-separated benchmark list for Fig. 11")
+		deadline = flag.Duration("deadline", 0, "Fig. 11: wall-clock budget per selection call (e.g. 2s; 0 = none); tripped cells are marked * as lower bounds")
 	)
 	flag.Parse()
 	want := func(name string) bool { return *fig == "all" || *fig == name }
@@ -36,13 +38,13 @@ func main() {
 			benchList = append(benchList, b)
 		}
 	}
-	if err := run(want, *budget, *measure, *optimal, benchList); err != nil {
+	if err := run(want, *budget, *measure, *optimal, benchList, *deadline); err != nil {
 		fmt.Fprintln(os.Stderr, "isebench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(want func(string) bool, budget int64, measure, optimal bool, benchList []string) error {
+func run(want func(string) bool, budget int64, measure, optimal bool, benchList []string, deadline time.Duration) error {
 	section := func(s string) { fmt.Println(); fmt.Println(s); fmt.Println() }
 
 	if want("3") {
@@ -60,7 +62,11 @@ func run(want func(string) bool, budget int64, measure, optimal bool, benchList 
 		section("Fig. 5/7 — the search tree on the Fig. 4 example (Nout=1)\n\n" + tree)
 	}
 	if want("7") {
-		section(experiments.Fig7Table(experiments.Fig7()))
+		r, err := experiments.Fig7()
+		if err != nil {
+			return err
+		}
+		section(experiments.Fig7Table(r))
 	}
 	if want("8") {
 		points, err := experiments.Fig8(budget)
@@ -76,6 +82,7 @@ func run(want func(string) bool, budget int64, measure, optimal bool, benchList 
 		opt.Benchmarks = benchList
 		opt.Budget = budget
 		opt.Measure = measure
+		opt.Deadline = deadline
 		if !optimal {
 			opt.Methods = []experiments.Method{
 				experiments.MethodIterative, experiments.MethodClubbing, experiments.MethodMaxMISO,

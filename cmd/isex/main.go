@@ -12,6 +12,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -51,6 +52,7 @@ func run() error {
 		ninstr    = flag.Int("ninstr", 8, "maximum number of special instructions to select")
 		method    = flag.String("method", "iterative", "selection algorithm: iterative, optimal, clubbing, maxmiso")
 		budget    = flag.Int64("budget", 2_000_000, "cut budget per identification call (0 = unlimited)")
+		deadline  = flag.Duration("deadline", 0, "wall-clock budget for identification (e.g. 500ms; 0 = none); on expiry the best selection found so far is reported")
 		unroll    = flag.Int("unroll", 0, "fully unroll counted loops up to this trip count (-src mode)")
 		simulate  = flag.Bool("simulate", false, "patch the selection in and measure the speedup on the cycle simulator")
 		verilogTo = flag.String("verilog", "", "directory to write one Verilog file (+ testbench) per AFU")
@@ -122,12 +124,18 @@ func run() error {
 
 	model := latency.Default()
 	cfg := core.Config{Nin: *nin, Nout: *nout, Model: model, MaxCuts: *budget}
+	ctx := context.Background()
+	if *deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *deadline)
+		defer cancel()
+	}
 	var sel core.SelectionResult
 	switch *method {
 	case "iterative":
-		sel = core.SelectIterative(m, *ninstr, cfg)
+		sel = core.SelectIterativeCtx(ctx, m, *ninstr, cfg)
 	case "optimal":
-		sel = core.SelectOptimal(m, *ninstr, cfg)
+		sel = core.SelectOptimalCtx(ctx, m, *ninstr, cfg)
 	case "clubbing":
 		sel = baseline.SelectClubbing(m, *ninstr, cfg)
 	case "maxmiso":
@@ -148,15 +156,33 @@ func run() error {
 	fmt.Print(t.String())
 	fmt.Printf("total estimated merit: %d cycles; identification calls: %d; cuts considered: %d",
 		sel.TotalMerit, sel.IdentCalls, sel.Stats.CutsConsidered)
-	if sel.Stats.Aborted {
-		fmt.Printf(" (budget hit: results are lower bounds)")
+	if sel.Degraded() {
+		fmt.Printf(" (search degraded: %s; results are lower bounds)", sel.Status)
 	}
 	fmt.Println()
+	if sel.Degraded() {
+		for _, b := range sel.Blocks {
+			if b.Status == core.Exhaustive {
+				continue
+			}
+			line := fmt.Sprintf("  block %s/%s: %s", b.Fn, b.Block, b.Status)
+			if b.Fallback {
+				line += " (rescued with the windowed heuristic)"
+			}
+			if b.Err != nil {
+				line += fmt.Sprintf(" — %v", b.Err)
+			}
+			fmt.Println(line)
+		}
+	}
 
 	if *dotTo != "" && len(sel.Instructions) > 0 {
 		s := sel.Instructions[0]
 		li := ir.Liveness(s.Fn)
-		g := dfg.Build(s.Fn, s.Block, li)
+		g, err := dfg.Build(s.Fn, s.Block, li)
+		if err != nil {
+			return fmt.Errorf("dot output: %w", err)
+		}
 		var cut dfg.Cut
 		for _, id := range g.OpOrder {
 			for _, idx := range s.InstrIndexes {
@@ -191,8 +217,12 @@ func run() error {
 
 	var baseCycles int64
 	if *simulate {
+		fresh, err := freshModule(k, *srcPath, *unroll)
+		if err != nil {
+			return fmt.Errorf("baseline build: %w", err)
+		}
 		runner := &sim.Runner{Model: model, Setup: setupFor(k)}
-		rep, err := runner.Run(freshModule(k, *srcPath, *unroll), entryFor(k, *entry), argsFor(k, args)...)
+		rep, err := runner.Run(fresh, entryFor(k, *entry), argsFor(k, args)...)
 		if err != nil {
 			return fmt.Errorf("baseline simulation: %w", err)
 		}
@@ -246,26 +276,22 @@ func run() error {
 
 // freshModule rebuilds an unpatched copy of the program for baseline
 // simulation.
-func freshModule(k *workload.Kernel, srcPath string, unroll int) *ir.Module {
+func freshModule(k *workload.Kernel, srcPath string, unroll int) (*ir.Module, error) {
 	if k != nil {
-		m, err := k.Build()
-		if err != nil {
-			panic(err)
-		}
-		return m
+		return k.Build()
 	}
 	src, err := os.ReadFile(srcPath)
 	if err != nil {
-		panic(err)
+		return nil, err
 	}
 	m, err := minic.Compile(string(src), minic.Options{UnrollLimit: unroll})
 	if err != nil {
-		panic(err)
+		return nil, err
 	}
 	if err := passes.Run(m, passes.Options{}); err != nil {
-		panic(err)
+		return nil, err
 	}
-	return m
+	return m, nil
 }
 
 func setupFor(k *workload.Kernel) func(*interp.Env) error {

@@ -34,7 +34,10 @@ func main() {
 			hot = b
 		}
 	}
-	g := dfg.Build(f, hot, ir.Liveness(f))
+	g, err := dfg.Build(f, hot, ir.Liveness(f))
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Printf("hot block %s: %d operations, executed %d times\n\n",
 		hot.Name, g.NumOps(), hot.Freq)
 

@@ -93,7 +93,10 @@ func main() {
 
 	if len(two.Instructions) == 1 {
 		s := two.Instructions[0]
-		g := dfg.Build(s.Fn, s.Block, ir.Liveness(s.Fn))
+		g, err := dfg.Build(s.Fn, s.Block, ir.Liveness(s.Fn))
+		if err != nil {
+			log.Fatal(err)
+		}
 		var cut dfg.Cut
 		for _, id := range g.OpOrder {
 			for _, idx := range s.InstrIndexes {

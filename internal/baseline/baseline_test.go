@@ -37,7 +37,11 @@ func randomGraph(t testing.TB, rng *rand.Rand, nOps int) *dfg.Graph {
 	}
 	b.Ret(acc)
 	f := b.Finish()
-	return dfg.Build(f, f.Entry(), ir.Liveness(f))
+	g, err := dfg.Build(f, f.Entry(), ir.Liveness(f))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
 }
 
 func TestMaxMISOIsPartition(t *testing.T) {
@@ -140,7 +144,10 @@ func TestMaxMISOChain(t *testing.T) {
 	}
 	b.Ret(v)
 	f := b.Finish()
-	g := dfg.Build(f, f.Entry(), ir.Liveness(f))
+	g, err := dfg.Build(f, f.Entry(), ir.Liveness(f))
+	if err != nil {
+		t.Fatal(err)
+	}
 	cuts := MaxMISODecompose(g)
 	if len(cuts) != 1 || len(cuts[0]) != 5 {
 		t.Errorf("chain decomposition = %v", cuts)
@@ -158,7 +165,10 @@ func TestMaxMISONinBlindness(t *testing.T) {
 	outer := b.Op(ir.OpSub, inner2, p[2]) // the MISO needs 3 inputs
 	b.Ret(outer)
 	f := b.Finish()
-	g := dfg.Build(f, f.Entry(), ir.Liveness(f))
+	g, err := dfg.Build(f, f.Entry(), ir.Liveness(f))
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	cuts := MaxMISODecompose(g)
 	if len(cuts) != 1 || len(cuts[0]) != 3 {
@@ -222,7 +232,10 @@ func TestClubbingMergesChains(t *testing.T) {
 	v = b.Op(ir.OpShl, v, b.Fn.Params[1])
 	b.Ret(v)
 	f := b.Finish()
-	g := dfg.Build(f, f.Entry(), ir.Liveness(f))
+	g, err := dfg.Build(f, f.Entry(), ir.Liveness(f))
+	if err != nil {
+		t.Fatal(err)
+	}
 	cuts := Clubbing(g, 2, 1)
 	if len(cuts) != 1 || len(cuts[0]) != 3 {
 		t.Errorf("chain clubbing = %v", cuts)

@@ -99,7 +99,10 @@ func SelectMaxMISO(m *ir.Module, ninstr int, cfg core.Config) core.SelectionResu
 	for _, f := range m.Funcs {
 		li := ir.Liveness(f)
 		for _, b := range f.Blocks {
-			g := dfg.Build(f, b, li)
+			g, err := dfg.Build(f, b, li)
+			if err != nil {
+				continue // malformed block contributes no MISOs
+			}
 			res.IdentCalls++
 			for _, c := range MaxMISODecompose(g) {
 				est := core.Evaluate(g, c, modelOrDefault(model))

@@ -62,7 +62,10 @@ func SelectRecurrence(m *ir.Module, ninstr int, cfg core.Config, opt RecurrenceO
 	for _, f := range m.Funcs {
 		li := ir.Liveness(f)
 		for _, b := range f.Blocks {
-			g := dfg.Build(f, b, li)
+			g, err := dfg.Build(f, b, li)
+			if err != nil {
+				continue // malformed block contributes no clusters
+			}
 			graphs = append(graphs, g)
 			clusterOf[g] = map[int]*recCluster{}
 			res.IdentCalls++

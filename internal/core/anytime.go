@@ -1,0 +1,178 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"isex/internal/dfg"
+)
+
+// This file makes identification an *anytime* engine: every search accepts
+// a context.Context whose deadline/cancellation is polled periodically,
+// every per-block worker is panic-safe, and an exact search stopped by the
+// cut budget or the deadline is transparently rescued by the §9 windowed
+// heuristic — the engine returns the best sound answer it has, annotated
+// with how it was obtained, and never crashes or comes back empty-handed
+// when anything at all was found.
+
+// SearchStatus classifies how a search ended, so callers know exactly how
+// trustworthy a result is.
+type SearchStatus uint8
+
+const (
+	// Exhaustive: the search ran to completion; the result is exact
+	// (optimal under the configured algorithm).
+	Exhaustive SearchStatus = iota
+	// BudgetStopped: the MaxCuts valve tripped; the result is the best
+	// found so far — a sound lower bound.
+	BudgetStopped
+	// DeadlineExceeded: the context deadline expired mid-search; the
+	// result is the best found so far.
+	DeadlineExceeded
+	// Canceled: the context was canceled; the result is the best found so
+	// far (no windowed rescue is attempted — the caller asked to stop).
+	Canceled
+	// Recovered: the block's worker panicked (or its graph could not be
+	// built); the block contributes nothing, other blocks are unaffected.
+	Recovered
+)
+
+func (s SearchStatus) String() string {
+	switch s {
+	case Exhaustive:
+		return "exhaustive"
+	case BudgetStopped:
+		return "budget-stopped"
+	case DeadlineExceeded:
+		return "deadline-exceeded"
+	case Canceled:
+		return "canceled"
+	case Recovered:
+		return "recovered"
+	}
+	return fmt.Sprintf("SearchStatus(%d)", uint8(s))
+}
+
+// worse returns the more severe of two statuses (severity increases with
+// the constant order above).
+func worse(a, b SearchStatus) SearchStatus {
+	if b > a {
+		return b
+	}
+	return a
+}
+
+// statusOfCtx maps a non-nil context error to its status.
+func statusOfCtx(err error) SearchStatus {
+	if errors.Is(err, context.DeadlineExceeded) {
+		return DeadlineExceeded
+	}
+	return Canceled
+}
+
+// BlockStatus reports how the search of one basic block ended.
+type BlockStatus struct {
+	Fn, Block string
+	Status    SearchStatus
+	// Fallback reports that the §9 windowed heuristic re-ran the block
+	// after the exact search tripped its budget or deadline; the block's
+	// contribution is the better of the two sound answers.
+	Fallback bool
+	// Err carries the recovered panic or graph-construction failure when
+	// Status is Recovered.
+	Err error
+}
+
+// mergeBlockStatus folds a later search of the same block (after a
+// collapse) into its running status.
+func mergeBlockStatus(dst *BlockStatus, s BlockStatus) {
+	dst.Status = worse(dst.Status, s.Status)
+	dst.Fallback = dst.Fallback || s.Fallback
+	if dst.Err == nil {
+		dst.Err = s.Err
+	}
+}
+
+// ctxCheckInterval is the number of 1-branches between context polls in
+// the search loops: rare enough to cost nothing, frequent enough that an
+// expired deadline is noticed within microseconds. Must be a power of two.
+const ctxCheckInterval = 1024
+
+// fallbackWindow sizes the §9 windowed rescue pass that re-runs a block
+// whose exact search tripped its budget or deadline: each window's search
+// is bounded by 2^fallbackWindow cuts, so the rescue is always cheap.
+const fallbackWindow = 12
+
+// searchHook, when non-nil, runs at the start of every per-block search.
+// Tests use it to inject failures into (parallel) block workers.
+var searchHook func(*dfg.Graph)
+
+// searchBlockSafe runs single-cut identification on one block with the
+// full anytime contract: panics become a Recovered status instead of
+// crashing the process, and a budget- or deadline-stopped exact search is
+// rescued with the windowed heuristic, keeping the better of the two
+// sound answers.
+func searchBlockSafe(ctx context.Context, g *dfg.Graph, cfg Config) (res Result, bs BlockStatus) {
+	bs = BlockStatus{Fn: g.Fn.Name, Block: g.Block.Name}
+	defer func() {
+		if r := recover(); r != nil {
+			res = Result{}
+			bs.Status = Recovered
+			bs.Fallback = false
+			bs.Err = fmt.Errorf("core: panic searching %s/%s: %v", bs.Fn, bs.Block, r)
+		}
+	}()
+	if searchHook != nil {
+		searchHook(g)
+	}
+	res = FindBestCutCtx(ctx, g, cfg)
+	bs.Status = res.Status
+	if (res.Status == BudgetStopped || res.Status == DeadlineExceeded) &&
+		cfg.Window == 0 && g.NumOps() > fallbackWindow {
+		w := FindBestCutWindowedCtx(ctx, g, cfg, fallbackWindow)
+		bs.Fallback = true
+		bs.Status = worse(bs.Status, w.Status)
+		res.Status = bs.Status
+		res.Stats.add(w.Stats)
+		if w.Found && (!res.Found || w.Est.Merit > res.Est.Merit) {
+			res.Found, res.Cut, res.Est = true, w.Cut, w.Est
+		}
+	}
+	return res, bs
+}
+
+// searchBlockMultiSafe is searchBlockSafe for the multiple-cut search of
+// §6.2. The windowed rescue contributes a single cut (a valid 1-of-m
+// assignment) when it beats the exact search's best assignment.
+func searchBlockMultiSafe(ctx context.Context, g *dfg.Graph, m int, cfg Config) (res MultiResult, bs BlockStatus) {
+	bs = BlockStatus{Fn: g.Fn.Name, Block: g.Block.Name}
+	defer func() {
+		if r := recover(); r != nil {
+			res = MultiResult{}
+			bs.Status = Recovered
+			bs.Fallback = false
+			bs.Err = fmt.Errorf("core: panic searching %s/%s: %v", bs.Fn, bs.Block, r)
+		}
+	}()
+	if searchHook != nil {
+		searchHook(g)
+	}
+	res = FindBestCutsCtx(ctx, g, m, cfg)
+	bs.Status = res.Status
+	if (res.Status == BudgetStopped || res.Status == DeadlineExceeded) &&
+		cfg.Window == 0 && g.NumOps() > fallbackWindow {
+		w := FindBestCutWindowedCtx(ctx, g, cfg, fallbackWindow)
+		bs.Fallback = true
+		bs.Status = worse(bs.Status, w.Status)
+		res.Status = bs.Status
+		res.Stats.add(w.Stats)
+		if w.Found && (!res.Found || w.Est.Merit > res.TotalMerit) {
+			res.Found = true
+			res.Cuts = []dfg.Cut{w.Cut}
+			res.Ests = []Estimate{w.Est}
+			res.TotalMerit = w.Est.Merit
+		}
+	}
+	return res, bs
+}

@@ -1,0 +1,309 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"isex/internal/dfg"
+)
+
+func TestSearchStatusOrderAndString(t *testing.T) {
+	order := []SearchStatus{Exhaustive, BudgetStopped, DeadlineExceeded, Canceled, Recovered}
+	for i := 1; i < len(order); i++ {
+		if worse(order[i-1], order[i]) != order[i] || worse(order[i], order[i-1]) != order[i] {
+			t.Errorf("worse(%v, %v) must pick the later status", order[i-1], order[i])
+		}
+	}
+	for _, s := range order {
+		if strings.HasPrefix(s.String(), "SearchStatus(") {
+			t.Errorf("missing String case for %d", uint8(s))
+		}
+	}
+	if statusOfCtx(context.DeadlineExceeded) != DeadlineExceeded {
+		t.Error("deadline error misclassified")
+	}
+	if statusOfCtx(context.Canceled) != Canceled {
+		t.Error("cancellation misclassified")
+	}
+}
+
+// TestFindBestCutCtxDeadline: an expiring deadline stops the search
+// quickly, and whatever incumbent the deterministic search order had
+// produced by then is returned — never less than a shorter prefix of the
+// same search.
+func TestFindBestCutCtxDeadline(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	g := randomGraph(t, rng, 80)
+	cfg := Config{Nin: 1 << 20, Nout: 4}
+	// Reference: the incumbent after exactly one poll interval of the same
+	// deterministic search order.
+	ref := FindBestCut(g, Config{Nin: 1 << 20, Nout: 4, MaxCuts: ctxCheckInterval})
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	res := FindBestCutCtx(ctx, g, cfg)
+	elapsed := time.Since(start)
+
+	if res.Status != DeadlineExceeded {
+		t.Fatalf("status = %v, want deadline-exceeded (considered %d cuts in %v)",
+			res.Status, res.Stats.CutsConsidered, elapsed)
+	}
+	if !res.Stats.Aborted {
+		t.Error("Aborted not set on deadline trip")
+	}
+	if elapsed > 5*time.Second {
+		t.Errorf("deadline search took %v, far beyond the 10ms budget", elapsed)
+	}
+	// The search is deterministic, so having considered at least as many
+	// cuts as the reference implies an incumbent at least as good.
+	if res.Stats.CutsConsidered >= ref.Stats.CutsConsidered {
+		if ref.Found && !res.Found {
+			t.Error("deadline search lost the incumbent the budget search had found")
+		}
+		if ref.Found && res.Found && res.Est.Merit < ref.Est.Merit {
+			t.Errorf("deadline incumbent merit %d < budget incumbent %d",
+				res.Est.Merit, ref.Est.Merit)
+		}
+	}
+	if res.Found && !g.Convex(res.Cut) {
+		t.Error("deadline incumbent is not convex")
+	}
+}
+
+// TestFindBestCutCtxCanceled: a pre-canceled context stops the search at
+// the very first poll, before any cut is considered, and no windowed
+// rescue runs — the caller asked to stop.
+func TestFindBestCutCtxCanceled(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	g := randomGraph(t, rng, 30)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := FindBestCutCtx(ctx, g, Config{Nin: 8, Nout: 2})
+	if res.Status != Canceled {
+		t.Fatalf("status = %v, want canceled", res.Status)
+	}
+	if res.Stats.CutsConsidered != 0 || res.Found {
+		t.Errorf("canceled search considered %d cuts, found=%v; want nothing",
+			res.Stats.CutsConsidered, res.Found)
+	}
+	_, bs := searchBlockSafe(ctx, g, Config{Nin: 8, Nout: 2})
+	if bs.Status != Canceled {
+		t.Errorf("block status = %v, want canceled", bs.Status)
+	}
+	if bs.Fallback {
+		t.Error("windowed rescue ran after cancellation")
+	}
+}
+
+// TestSearchBlockSafeWindowedRescue: when MaxCuts trips the exact search
+// on a large block, searchBlockSafe re-runs it with the §9 windowed
+// heuristic and keeps the better of the two sound answers; the rescued
+// merit never exceeds the exhaustive optimum.
+func TestSearchBlockSafeWindowedRescue(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := randomGraph(t, rng, 30)
+	if g.NumOps() <= fallbackWindow {
+		t.Fatalf("graph too small (%d ops) to exercise the rescue", g.NumOps())
+	}
+	cfg := Config{Nin: 6, Nout: 2, MaxCuts: 32}
+	raw := FindBestCutCtx(context.Background(), g, cfg)
+	if raw.Status != BudgetStopped {
+		t.Fatalf("raw search status = %v, want budget-stopped", raw.Status)
+	}
+
+	res, bs := searchBlockSafe(context.Background(), g, cfg)
+	if bs.Status != BudgetStopped {
+		t.Fatalf("block status = %v, want budget-stopped", bs.Status)
+	}
+	if !bs.Fallback {
+		t.Fatal("windowed rescue did not run")
+	}
+	if raw.Found && !res.Found {
+		t.Error("rescue lost the exact search's incumbent")
+	}
+	if raw.Found && res.Found && res.Est.Merit < raw.Est.Merit {
+		t.Errorf("rescued merit %d below exact incumbent %d", res.Est.Merit, raw.Est.Merit)
+	}
+	if res.Found && !g.Convex(res.Cut) {
+		t.Error("rescued cut is not convex")
+	}
+	full := FindBestCut(g, Config{Nin: 6, Nout: 2})
+	if full.Status != Exhaustive {
+		t.Fatalf("reference search did not finish: %v", full.Status)
+	}
+	if res.Found && (!full.Found || res.Est.Merit > full.Est.Merit) {
+		t.Errorf("rescued merit %d exceeds exhaustive optimum — unsound", res.Est.Merit)
+	}
+}
+
+// TestMaxCutsLowerBound: however small the budget, the returned result is
+// a sound lower bound on the exhaustive optimum, and a search that claims
+// Exhaustive matches the optimum exactly.
+func TestMaxCutsLowerBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 15; trial++ {
+		g := randomGraph(t, rng, 10+rng.Intn(6))
+		full := FindBestCut(g, Config{Nin: 4, Nout: 2})
+		for _, mc := range []int64{1, 4, 16, 64} {
+			lim := FindBestCut(g, Config{Nin: 4, Nout: 2, MaxCuts: mc})
+			if lim.Found {
+				if !g.Convex(lim.Cut) {
+					t.Fatalf("trial %d MaxCuts=%d: returned cut not convex", trial, mc)
+				}
+				if !full.Found || lim.Est.Merit > full.Est.Merit {
+					t.Fatalf("trial %d MaxCuts=%d: merit %d exceeds exhaustive optimum — unsound",
+						trial, mc, lim.Est.Merit)
+				}
+			}
+			switch lim.Status {
+			case Exhaustive:
+				if lim.Found != full.Found ||
+					(lim.Found && lim.Est.Merit != full.Est.Merit) {
+					t.Fatalf("trial %d MaxCuts=%d: claims exhaustive but differs from optimum", trial, mc)
+				}
+				if lim.Stats.Aborted {
+					t.Fatalf("trial %d MaxCuts=%d: exhaustive yet aborted", trial, mc)
+				}
+			case BudgetStopped:
+				if !lim.Stats.Aborted {
+					t.Fatalf("trial %d MaxCuts=%d: budget-stopped without Aborted", trial, mc)
+				}
+			default:
+				t.Fatalf("trial %d MaxCuts=%d: unexpected status %v", trial, mc, lim.Status)
+			}
+		}
+	}
+}
+
+// TestPanicInWorkerIsolated: an injected panic while searching one
+// function's blocks becomes a per-block Recovered status; every other
+// block is searched normally and still contributes instructions.
+func TestPanicInWorkerIsolated(t *testing.T) {
+	m := compileAndProfile(t, threeKernels)
+	for _, parallel := range []bool{true, false} {
+		searchHook = func(g *dfg.Graph) {
+			if g.Fn.Name == "warm" {
+				panic("injected failure")
+			}
+		}
+		before := runtime.NumGoroutine()
+		res := SelectIterativeCtx(context.Background(), m, 4,
+			Config{Nin: 4, Nout: 2, Parallel: parallel})
+		searchHook = nil
+
+		if res.Status != Recovered {
+			t.Fatalf("parallel=%v: status = %v, want recovered", parallel, res.Status)
+		}
+		sawWarm := false
+		for _, b := range res.Blocks {
+			if b.Fn == "warm" {
+				sawWarm = true
+				if b.Status != Recovered {
+					t.Errorf("parallel=%v: warm block status = %v", parallel, b.Status)
+				}
+				if b.Err == nil || !strings.Contains(b.Err.Error(), "injected failure") {
+					t.Errorf("parallel=%v: warm block error = %v", parallel, b.Err)
+				}
+			} else if b.Status != Exhaustive {
+				t.Errorf("parallel=%v: block %s/%s status = %v, want exhaustive",
+					parallel, b.Fn, b.Block, b.Status)
+			}
+		}
+		if !sawWarm {
+			t.Fatalf("parallel=%v: no status reported for the panicked function", parallel)
+		}
+		if len(res.Instructions) == 0 {
+			t.Fatalf("parallel=%v: surviving blocks contributed nothing", parallel)
+		}
+		hotSelected := false
+		for _, sel := range res.Instructions {
+			if sel.Fn.Name == "warm" {
+				t.Errorf("parallel=%v: instruction selected from the panicked function", parallel)
+			}
+			if sel.Fn.Name == "hot" {
+				hotSelected = true
+			}
+		}
+		if !hotSelected {
+			t.Errorf("parallel=%v: hot kernel lost its instruction", parallel)
+		}
+		// No leaked workers: allow the runtime a moment to retire them.
+		deadline := time.Now().Add(2 * time.Second)
+		for runtime.NumGoroutine() > before+2 && time.Now().Before(deadline) {
+			time.Sleep(10 * time.Millisecond)
+		}
+		if n := runtime.NumGoroutine(); n > before+2 {
+			t.Errorf("parallel=%v: goroutines %d -> %d, workers leaked", parallel, before, n)
+		}
+	}
+}
+
+// TestSelectIterativeCtxDeadline: program-wide selection under an already
+// tiny deadline still returns promptly with per-block statuses and never
+// panics; the aggregate status says how to read the numbers.
+func TestSelectIterativeCtxDeadline(t *testing.T) {
+	m := compileAndProfile(t, threeKernels)
+	ctx, cancel := context.WithTimeout(context.Background(), time.Nanosecond)
+	defer cancel()
+	start := time.Now()
+	res := SelectIterativeCtx(ctx, m, 4, Config{Nin: 4, Nout: 2})
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("selection under 1ns deadline took %v", elapsed)
+	}
+	if res.Status != DeadlineExceeded {
+		t.Fatalf("status = %v, want deadline-exceeded", res.Status)
+	}
+	if !res.Degraded() {
+		t.Error("Degraded() false on an expired deadline")
+	}
+	if len(res.Blocks) == 0 {
+		t.Error("no per-block statuses reported")
+	}
+	// The pre-canceled variant must not trigger the windowed rescue.
+	cctx, ccancel := context.WithCancel(context.Background())
+	ccancel()
+	cres := SelectIterativeCtx(cctx, m, 4, Config{Nin: 4, Nout: 2})
+	if cres.Status != Canceled {
+		t.Fatalf("canceled selection status = %v", cres.Status)
+	}
+	for _, b := range cres.Blocks {
+		if b.Fallback {
+			t.Errorf("block %s/%s ran the windowed rescue after cancellation", b.Fn, b.Block)
+		}
+	}
+}
+
+// TestMultiSearchAnytime: the multiple-cut searcher of §6.2 honours the
+// same contract — budget trips yield sound assignments, cancellation
+// stops it, and searchBlockMultiSafe recovers panics.
+func TestMultiSearchAnytime(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := randomGraph(t, rng, 14)
+	full := FindBestCuts(g, 2, Config{Nin: 4, Nout: 2})
+	lim := FindBestCuts(g, 2, Config{Nin: 4, Nout: 2, MaxCuts: 8})
+	if lim.Found && (!full.Found || lim.TotalMerit > full.TotalMerit) {
+		t.Errorf("budget-stopped multi merit %d exceeds exhaustive %d",
+			lim.TotalMerit, full.TotalMerit)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	cres := FindBestCutsCtx(ctx, g, 2, Config{Nin: 4, Nout: 2})
+	if cres.Status != Canceled {
+		t.Errorf("canceled multi search status = %v", cres.Status)
+	}
+
+	searchHook = func(*dfg.Graph) { panic("multi boom") }
+	res, bs := searchBlockMultiSafe(context.Background(), g, 2, Config{Nin: 4, Nout: 2})
+	searchHook = nil
+	if bs.Status != Recovered || bs.Err == nil {
+		t.Fatalf("multi panic not recovered: %+v", bs)
+	}
+	if res.Found {
+		t.Error("recovered multi search still claims a result")
+	}
+}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"sort"
 
@@ -20,14 +21,23 @@ import (
 // pass something like 2–4× the instruction count so the knapsack has
 // slack to trade big cuts for several small ones).
 func SelectAreaConstrained(m *ir.Module, ninstr int, areaBudget float64, poolSize int, cfg Config) SelectionResult {
+	return SelectAreaConstrainedCtx(context.Background(), m, ninstr, areaBudget, poolSize, cfg)
+}
+
+// SelectAreaConstrainedCtx is SelectAreaConstrained under a context: the
+// candidate pool is built with SelectIterativeCtx (deadline-aware,
+// panic-safe, windowed rescue), so the knapsack always has the best pool
+// the budget allowed; the per-block statuses of the pool run carry over.
+func SelectAreaConstrainedCtx(ctx context.Context, m *ir.Module, ninstr int, areaBudget float64, poolSize int, cfg Config) SelectionResult {
 	if poolSize <= 0 {
 		poolSize = 2 * ninstr
 	}
 	if poolSize < ninstr {
 		poolSize = ninstr
 	}
-	pool := SelectIterative(m, poolSize, cfg)
-	res := SelectionResult{Stats: pool.Stats, IdentCalls: pool.IdentCalls}
+	pool := SelectIterativeCtx(ctx, m, poolSize, cfg)
+	res := SelectionResult{Stats: pool.Stats, IdentCalls: pool.IdentCalls,
+		Blocks: pool.Blocks, Status: pool.Status}
 	if areaBudget <= 0 || len(pool.Instructions) == 0 {
 		return res
 	}

@@ -1,15 +1,22 @@
 package core
 
 import (
+	"fmt"
+
 	"isex/internal/dfg"
 )
+
+// enumLimit bounds the brute-force reference implementations below; 2^24
+// subsets is already minutes of work.
+const enumLimit = 24
 
 // EnumerateBest is the brute-force reference for FindBestCut: it examines
 // every subset of non-forbidden operation nodes, checks the constraints
 // with the specification predicates of package dfg, and returns the best
 // cut. It is exponential without pruning and is only usable on small
-// graphs; tests use it to validate the pruned search.
-func EnumerateBest(g *dfg.Graph, cfg Config) Result {
+// graphs; tests use it to validate the pruned search. Graphs with more
+// than enumLimit candidate nodes are rejected with an error.
+func EnumerateBest(g *dfg.Graph, cfg Config) (Result, error) {
 	model := cfg.model()
 	var candidates []int
 	for _, id := range g.OpOrder {
@@ -17,8 +24,9 @@ func EnumerateBest(g *dfg.Graph, cfg Config) Result {
 			candidates = append(candidates, id)
 		}
 	}
-	if len(candidates) > 24 {
-		panic("core: EnumerateBest limited to 24 candidate nodes")
+	if len(candidates) > enumLimit {
+		return Result{}, fmt.Errorf("core: EnumerateBest limited to %d candidate nodes (graph has %d)",
+			enumLimit, len(candidates))
 	}
 	var best Result
 	n := len(candidates)
@@ -39,21 +47,23 @@ func EnumerateBest(g *dfg.Graph, cfg Config) Result {
 			best.Est = est
 		}
 	}
-	return best
+	return best, nil
 }
 
 // CountLegalCuts counts, by brute force, the subsets passing the output
 // and convexity checks (any Nin), and the subsets that are fully legal.
-// Used by tests to validate search statistics.
-func CountLegalCuts(g *dfg.Graph, cfg Config) (outConvex, legal int64) {
+// Used by tests to validate search statistics. Graphs with more than
+// enumLimit candidate nodes are rejected with an error.
+func CountLegalCuts(g *dfg.Graph, cfg Config) (outConvex, legal int64, err error) {
 	var candidates []int
 	for _, id := range g.OpOrder {
 		if !g.Nodes[id].Forbidden {
 			candidates = append(candidates, id)
 		}
 	}
-	if len(candidates) > 24 {
-		panic("core: CountLegalCuts limited to 24 candidate nodes")
+	if len(candidates) > enumLimit {
+		return 0, 0, fmt.Errorf("core: CountLegalCuts limited to %d candidate nodes (graph has %d)",
+			enumLimit, len(candidates))
 	}
 	n := len(candidates)
 	for mask := 1; mask < 1<<n; mask++ {
@@ -70,5 +80,5 @@ func CountLegalCuts(g *dfg.Graph, cfg Config) (outConvex, legal int64) {
 			}
 		}
 	}
-	return outConvex, legal
+	return outConvex, legal, nil
 }

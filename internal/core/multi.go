@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"isex/internal/dfg"
 	"isex/internal/latency"
 )
@@ -15,6 +17,9 @@ type MultiResult struct {
 	// TotalMerit is the summed merit.
 	TotalMerit int64
 	Stats      Stats
+	// Status reports how the search ended; anything but Exhaustive means
+	// the assignment is a best-so-far lower bound, not a proven optimum.
+	Status SearchStatus
 }
 
 // FindBestCuts identifies up to m disjoint cuts in one graph that jointly
@@ -29,13 +34,21 @@ type MultiResult struct {
 // not be scheduled as atomic instructions; the paper does not perform
 // this check, so it defaults to off.
 func FindBestCuts(g *dfg.Graph, m int, cfg Config) MultiResult {
+	return FindBestCutsCtx(context.Background(), g, m, cfg)
+}
+
+// FindBestCutsCtx is FindBestCuts under a context: the search polls ctx
+// every ctxCheckInterval explored cuts and, on expiry or cancellation,
+// returns the incumbent assignment with Status set accordingly.
+func FindBestCutsCtx(ctx context.Context, g *dfg.Graph, m int, cfg Config) MultiResult {
 	if m < 1 {
 		return MultiResult{}
 	}
 	s := newMultiSearcher(g, m, cfg)
+	s.ctx = ctx
 	s.visit(0)
-	res := MultiResult{Stats: s.stats}
-	res.Stats.Aborted = s.aborted
+	res := MultiResult{Stats: s.stats, Status: s.stop}
+	res.Stats.Aborted = s.stop != Exhaustive
 	if s.bestFound {
 		res.Found = true
 		model := cfg.model()
@@ -76,7 +89,10 @@ type multiSearcher struct {
 	bestMerit int64
 	bestCuts  []dfg.Cut
 	stats     Stats
-	aborted   bool
+	// ctx is polled every ctxCheckInterval 1-branches; stop records why
+	// the search ended early (Exhaustive while it is still running).
+	ctx  context.Context
+	stop SearchStatus
 }
 
 func newMultiSearcher(g *dfg.Graph, m int, cfg Config) *multiSearcher {
@@ -122,7 +138,7 @@ func (s *multiSearcher) totalMerit() int64 {
 }
 
 func (s *multiSearcher) visit(rank int) {
-	if s.aborted || rank == len(s.order) {
+	if s.stop != Exhaustive || rank == len(s.order) {
 		return
 	}
 	id := s.order[rank]
@@ -138,9 +154,18 @@ func (s *multiSearcher) visit(rank int) {
 			}
 		}
 		for k := 1; k <= maxK; k++ {
-			if s.cfg.MaxCuts > 0 && s.stats.CutsConsidered >= s.cfg.MaxCuts {
-				s.aborted = true
+			if s.stop != Exhaustive {
 				return
+			}
+			if s.cfg.MaxCuts > 0 && s.stats.CutsConsidered >= s.cfg.MaxCuts {
+				s.stop = BudgetStopped
+				return
+			}
+			if s.ctx != nil && s.stats.CutsConsidered&(ctxCheckInterval-1) == 0 {
+				if err := s.ctx.Err(); err != nil {
+					s.stop = statusOfCtx(err)
+					return
+				}
 			}
 			s.stats.CutsConsidered++
 			s.tryInclude(rank, id, k)

@@ -137,7 +137,7 @@ func TestMultiCutFindsDisconnectedPair(t *testing.T) {
 	b.SetBlock(nxt)
 	b.Ret(b.Op(ir.OpOr, x2, y2))
 	f := b.Finish()
-	g := dfg.Build(f, f.Entry(), ir.Liveness(f))
+	g := mustBuildGraph(t, f, f.Entry(), ir.Liveness(f))
 
 	one := FindBestCuts(g, 1, Config{Nin: 2, Nout: 1})
 	two := FindBestCuts(g, 2, Config{Nin: 2, Nout: 1})
@@ -163,7 +163,7 @@ func TestSingleCutTakesDisconnected(t *testing.T) {
 	b.SetBlock(nxt)
 	b.Ret(b.Op(ir.OpOr, x2, y2))
 	f := b.Finish()
-	g := dfg.Build(f, f.Entry(), ir.Liveness(f))
+	g := mustBuildGraph(t, f, f.Entry(), ir.Liveness(f))
 
 	res := FindBestCut(g, Config{Nin: 4, Nout: 2})
 	if !res.Found {
@@ -197,7 +197,7 @@ func TestStrictInterCut(t *testing.T) {
 	bld.SetBlock(nxt)
 	bld.Ret(bld.Op(ir.OpOr, bld.Op(ir.OpOr, b, a2), a))
 	f := bld.Finish()
-	g := dfg.Build(f, f.Entry(), ir.Liveness(f))
+	g := mustBuildGraph(t, f, f.Entry(), ir.Liveness(f))
 
 	// Force the specific assignment via brute check: with strict mode the
 	// total merit can only be lower or equal.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"sync"
@@ -27,6 +28,34 @@ type SelectionResult struct {
 	// IdentCalls counts invocations of the identification algorithm; the
 	// optimal algorithm is proven to need at most Ninstr + Nbb − 1 (§6.2).
 	IdentCalls int
+	// Blocks reports, per basic block, how its search ended (sorted by
+	// function name, then block name). Blocks searched to completion are
+	// listed with Status Exhaustive.
+	Blocks []BlockStatus
+	// Status is the worst per-block status: Exhaustive means every search
+	// ran to completion and the result is exact under the configured
+	// algorithm; anything else means the result is a sound lower bound.
+	Status SearchStatus
+}
+
+// Degraded reports whether any per-block search ended early (budget,
+// deadline, cancellation, or a recovered failure); the result is then a
+// best-effort lower bound rather than the algorithm's exact answer.
+func (r *SelectionResult) Degraded() bool { return r.Status != Exhaustive }
+
+// finalize sorts the per-block statuses deterministically and derives the
+// aggregate Status.
+func (r *SelectionResult) finalize() {
+	sort.SliceStable(r.Blocks, func(i, j int) bool {
+		if r.Blocks[i].Fn != r.Blocks[j].Fn {
+			return r.Blocks[i].Fn < r.Blocks[j].Fn
+		}
+		return r.Blocks[i].Block < r.Blocks[j].Block
+	})
+	r.Status = Exhaustive
+	for _, b := range r.Blocks {
+		r.Status = worse(r.Status, b.Status)
+	}
 }
 
 // instrIndexesOf maps a cut to block instruction positions, expanding
@@ -54,15 +83,26 @@ type blockGraph struct {
 	g  *dfg.Graph
 }
 
-func allBlockGraphs(m *ir.Module) []blockGraph {
+// allBlockGraphs builds every block's graph. A block whose graph cannot
+// be constructed (malformed IR) is excluded and reported as a Recovered
+// status instead of crashing the selection.
+func allBlockGraphs(m *ir.Module) ([]blockGraph, []BlockStatus) {
 	var out []blockGraph
+	var failed []BlockStatus
 	for _, f := range m.Funcs {
 		li := ir.Liveness(f)
 		for _, b := range f.Blocks {
-			out = append(out, blockGraph{fn: f, b: b, g: dfg.Build(f, b, li)})
+			g, err := dfg.Build(f, b, li)
+			if err != nil {
+				failed = append(failed, BlockStatus{
+					Fn: f.Name, Block: b.Name, Status: Recovered, Err: err,
+				})
+				continue
+			}
+			out = append(out, blockGraph{fn: f, b: b, g: g})
 		}
 	}
-	return out
+	return out, failed
 }
 
 // SelectOptimal solves Problem 2 with the optimal selection algorithm of
@@ -71,9 +111,19 @@ func allBlockGraphs(m *ir.Module) []blockGraph {
 // block that won the previous iteration, until ninstr cuts are chosen or
 // no block offers a positive improvement.
 func SelectOptimal(m *ir.Module, ninstr int, cfg Config) SelectionResult {
-	bgs := allBlockGraphs(m)
-	res := SelectionResult{}
+	return SelectOptimalCtx(context.Background(), m, ninstr, cfg)
+}
+
+// SelectOptimalCtx is SelectOptimal under a context: identification runs
+// poll ctx and stop at its deadline, tripped blocks are rescued with the
+// §9 windowed heuristic, per-block workers are panic-safe, and the best
+// selection assembled so far is always returned (see SelectionResult's
+// Blocks/Status for how trustworthy each block's answer is).
+func SelectOptimalCtx(ctx context.Context, m *ir.Module, ninstr int, cfg Config) SelectionResult {
+	bgs, failed := allBlockGraphs(m)
+	res := SelectionResult{Blocks: failed}
 	if ninstr < 1 || len(bgs) == 0 {
+		res.finalize()
 		return res
 	}
 	// Per block: best total merit with M cuts, and the cuts themselves.
@@ -84,13 +134,16 @@ func SelectOptimal(m *ir.Module, ninstr int, cfg Config) SelectionResult {
 		results []MultiResult
 	}
 	states := make([]blockState, len(bgs))
+	blockStat := make([]BlockStatus, len(bgs))
 	identify := func(bi, mm int) MultiResult {
 		res.IdentCalls++
-		r := FindBestCuts(bgs[bi].g, mm, cfg)
+		r, bs := searchBlockMultiSafe(ctx, bgs[bi].g, mm, cfg)
 		res.Stats.add(r.Stats)
+		mergeBlockStatus(&blockStat[bi], bs)
 		return r
 	}
 	for i := range bgs {
+		blockStat[i] = BlockStatus{Fn: bgs[i].fn.Name, Block: bgs[i].b.Name}
 		r := identify(i, 1)
 		states[i].totals = []int64{0, r.TotalMerit}
 		states[i].results = []MultiResult{{}, r}
@@ -113,6 +166,14 @@ func SelectOptimal(m *ir.Module, ninstr int, cfg Config) SelectionResult {
 		chosen++
 		if chosen >= ninstr {
 			break
+		}
+		// Out of time: keep the assignments found so far and stop
+		// re-identifying; the chosen block simply offers no further
+		// improvement.
+		if err := ctx.Err(); err != nil {
+			blockStat[bestB].Status = worse(blockStat[bestB].Status, statusOfCtx(err))
+			st.gain = 0
+			continue
 		}
 		// Identify with M+1 cuts on the block just chosen and refresh its
 		// improvement value.
@@ -142,6 +203,8 @@ func SelectOptimal(m *ir.Module, ninstr int, cfg Config) SelectionResult {
 		}
 	}
 	sortSelected(res.Instructions)
+	res.Blocks = append(res.Blocks, blockStat...)
+	res.finalize()
 	return res
 }
 
@@ -151,9 +214,20 @@ func SelectOptimal(m *ir.Module, ninstr int, cfg Config) SelectionResult {
 // it greedily takes the largest current improvement, exactly like the
 // optimal algorithm's outer loop.
 func SelectIterative(m *ir.Module, ninstr int, cfg Config) SelectionResult {
-	bgs := allBlockGraphs(m)
-	res := SelectionResult{}
+	return SelectIterativeCtx(context.Background(), m, ninstr, cfg)
+}
+
+// SelectIterativeCtx is SelectIterative under a context: identification
+// runs poll ctx and stop at its deadline, a budget- or deadline-stopped
+// exact search is rescued with the §9 windowed heuristic (keeping the
+// better sound answer), and every block worker — parallel or serial — is
+// panic-safe: a panicking block is reported as Recovered and the other
+// blocks' selections survive.
+func SelectIterativeCtx(ctx context.Context, m *ir.Module, ninstr int, cfg Config) SelectionResult {
+	bgs, failed := allBlockGraphs(m)
+	res := SelectionResult{Blocks: failed}
 	if ninstr < 1 || len(bgs) == 0 {
+		res.finalize()
 		return res
 	}
 	type blockState struct {
@@ -161,24 +235,20 @@ func SelectIterative(m *ir.Module, ninstr int, cfg Config) SelectionResult {
 		best Result
 	}
 	states := make([]blockState, len(bgs))
-	identify := func(g *dfg.Graph) Result {
-		res.IdentCalls++
-		r := FindBestCut(g, cfg)
-		res.Stats.add(r.Stats)
-		return r
-	}
+	blockStat := make([]BlockStatus, len(bgs))
 	// The initial identification of every block is independent; with
 	// Parallel set the blocks are searched concurrently (deterministic:
 	// results land in fixed slots, and the stats are merged afterwards).
 	if cfg.Parallel && len(bgs) > 1 {
 		results := make([]Result, len(bgs))
+		stats := make([]BlockStatus, len(bgs))
 		var wg sync.WaitGroup
 		for i := range bgs {
 			states[i].g = bgs[i].g
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
-				results[i] = FindBestCut(states[i].g, cfg)
+				results[i], stats[i] = searchBlockSafe(ctx, states[i].g, cfg)
 			}(i)
 		}
 		wg.Wait()
@@ -186,11 +256,16 @@ func SelectIterative(m *ir.Module, ninstr int, cfg Config) SelectionResult {
 			res.IdentCalls++
 			res.Stats.add(results[i].Stats)
 			states[i].best = results[i]
+			blockStat[i] = stats[i]
 		}
 	} else {
 		for i := range bgs {
 			states[i].g = bgs[i].g
-			states[i].best = identify(states[i].g)
+			r, bs := searchBlockSafe(ctx, states[i].g, cfg)
+			res.IdentCalls++
+			res.Stats.add(r.Stats)
+			states[i].best = r
+			blockStat[i] = bs
 		}
 	}
 	for chosen := 0; chosen < ninstr; chosen++ {
@@ -215,10 +290,31 @@ func SelectIterative(m *ir.Module, ninstr int, cfg Config) SelectionResult {
 		res.TotalMerit += st.best.Est.Merit
 		// Collapse the chosen cut and re-identify on this block only.
 		name := fmt.Sprintf("ise_%s_%d", bgs[bestB].b.Name, chosen)
-		st.g = st.g.Collapse(st.best.Cut, name, st.best.Est.HWCycles)
-		st.best = identify(st.g)
+		ng, err := st.g.Collapse(st.best.Cut, name, st.best.Est.HWCycles)
+		if err != nil {
+			// The collapsed graph is unusable; the block keeps its chosen
+			// cuts but contributes no further ones.
+			mergeBlockStatus(&blockStat[bestB], BlockStatus{Status: Recovered, Err: err})
+			st.best = Result{}
+			continue
+		}
+		st.g = ng
+		// Out of time: keep harvesting the bests already identified on
+		// other blocks, but do not start new searches.
+		if cerr := ctx.Err(); cerr != nil {
+			blockStat[bestB].Status = worse(blockStat[bestB].Status, statusOfCtx(cerr))
+			st.best = Result{}
+			continue
+		}
+		r, bs := searchBlockSafe(ctx, st.g, cfg)
+		res.IdentCalls++
+		res.Stats.add(r.Stats)
+		st.best = r
+		mergeBlockStatus(&blockStat[bestB], bs)
 	}
 	sortSelected(res.Instructions)
+	res.Blocks = append(res.Blocks, blockStat...)
+	res.finalize()
 	return res
 }
 

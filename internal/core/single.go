@@ -1,6 +1,8 @@
 package core
 
 import (
+	"context"
+
 	"isex/internal/dfg"
 	"isex/internal/latency"
 )
@@ -84,6 +86,9 @@ type Result struct {
 	Cut   dfg.Cut
 	Est   Estimate
 	Stats Stats
+	// Status reports how the search ended; anything but Exhaustive means
+	// the result is a best-so-far lower bound, not a proven optimum.
+	Status SearchStatus
 }
 
 // FindBestCut solves Problem 1 (§5) exactly on one graph: it returns the
@@ -91,14 +96,22 @@ type Result struct {
 // using the search-tree algorithm of §6.1 with output-port and convexity
 // subtree elimination. Found is false when no cut has positive merit.
 func FindBestCut(g *dfg.Graph, cfg Config) Result {
+	return FindBestCutCtx(context.Background(), g, cfg)
+}
+
+// FindBestCutCtx is FindBestCut under a context: the search polls
+// ctx every ctxCheckInterval explored cuts and, on expiry or
+// cancellation, returns the incumbent with Status set accordingly.
+func FindBestCutCtx(ctx context.Context, g *dfg.Graph, cfg Config) Result {
 	if cfg.Window > 0 && cfg.Window < g.NumOps() {
 		w := cfg.Window
 		cfg.Window = 0
-		return FindBestCutWindowed(g, cfg, w)
+		return FindBestCutWindowedCtx(ctx, g, cfg, w)
 	}
 	s := newSearcher(g, cfg)
+	s.ctx = ctx
 	s.run()
-	res := Result{Stats: s.stats}
+	res := Result{Stats: s.stats, Status: s.stop}
 	if s.bestFound {
 		res.Found = true
 		res.Cut = s.bestCut.Canon()
@@ -139,7 +152,10 @@ type searcher struct {
 	bestCut   dfg.Cut
 	bestMerit int64
 	stats     Stats
-	aborted   bool
+	// ctx is polled every ctxCheckInterval 1-branches; stop records why
+	// the search ended early (Exhaustive while it is still running).
+	ctx  context.Context
+	stop SearchStatus
 }
 
 func newSearcher(g *dfg.Graph, cfg Config) *searcher {
@@ -168,7 +184,7 @@ func newSearcher(g *dfg.Graph, cfg Config) *searcher {
 
 func (s *searcher) run() {
 	s.visit(0)
-	s.stats.Aborted = s.aborted
+	s.stats.Aborted = s.stop != Exhaustive
 }
 
 // meritOf converts the current (non-empty) cut state into merit. The
@@ -182,7 +198,7 @@ func (s *searcher) meritOf() int64 {
 }
 
 func (s *searcher) visit(rank int) {
-	if s.aborted || rank == len(s.order) {
+	if s.stop != Exhaustive || rank == len(s.order) {
 		return
 	}
 	if s.cfg.PruneMerit && s.bestFound {
@@ -197,8 +213,14 @@ func (s *searcher) visit(rank int) {
 	// 1-branch: include the node (Fig. 5 explores it first).
 	if !node.Forbidden {
 		if s.cfg.MaxCuts > 0 && s.stats.CutsConsidered >= s.cfg.MaxCuts {
-			s.aborted = true
+			s.stop = BudgetStopped
 			return
+		}
+		if s.ctx != nil && s.stats.CutsConsidered&(ctxCheckInterval-1) == 0 {
+			if err := s.ctx.Err(); err != nil {
+				s.stop = statusOfCtx(err)
+				return
+			}
 		}
 		s.stats.CutsConsidered++
 

@@ -9,6 +9,36 @@ import (
 	"isex/internal/latency"
 )
 
+// mustBuildGraph, mustEnumerateBest and mustCountLegalCuts unwrap the
+// error returns of the production API for test inputs that are valid by
+// construction.
+func mustBuildGraph(t testing.TB, f *ir.Function, b *ir.Block, li *ir.LiveInfo) *dfg.Graph {
+	t.Helper()
+	g, err := dfg.Build(f, b, li)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func mustEnumerateBest(t testing.TB, g *dfg.Graph, cfg Config) Result {
+	t.Helper()
+	r, err := EnumerateBest(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func mustCountLegalCuts(t testing.TB, g *dfg.Graph, cfg Config) (outConvex, legal int64) {
+	t.Helper()
+	oc, l, err := CountLegalCuts(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return oc, l
+}
+
 // fig4Graph reconstructs the four-node example of Fig. 4 of the paper:
 //
 //	node 3 (+):  t = a + b      — feeds nodes 1 and 2
@@ -34,7 +64,7 @@ func fig4Graph(t testing.TB) (*dfg.Graph, [4]int) {
 	if err := ir.VerifyFunction(f, nil); err != nil {
 		t.Fatal(err)
 	}
-	g := dfg.Build(f, f.Entry(), ir.Liveness(f))
+	g := mustBuildGraph(t, f, f.Entry(), ir.Liveness(f))
 	// Identify nodes by instruction index: instr 0 is paper-node 3, etc.
 	var ids [4]int
 	for i := range g.Nodes {
@@ -95,7 +125,7 @@ func TestFig7TraceCounts(t *testing.T) {
 		t.Errorf("eliminated = %d, want 4", got)
 	}
 	// Cross-check the passed count against brute force.
-	outConvex, _ := CountLegalCuts(g, cfg)
+	outConvex, _ := mustCountLegalCuts(t, g, cfg)
 	if outConvex != res.Stats.Passed {
 		t.Errorf("brute force says %d cuts pass, search passed %d", outConvex, res.Stats.Passed)
 	}
@@ -115,12 +145,12 @@ func TestFig4BestCuts(t *testing.T) {
 	if res.Est.Saved != 3 {
 		t.Errorf("best cut at (8,2) saves %d cycles, want 3 (cut %v)", res.Est.Saved, res.Cut)
 	}
-	ref := EnumerateBest(g, Config{Nin: 8, Nout: 2, Model: model})
+	ref := mustEnumerateBest(t, g, Config{Nin: 8, Nout: 2, Model: model})
 	if res.Est.Merit != ref.Est.Merit {
 		t.Errorf("merit %d != brute force %d", res.Est.Merit, ref.Est.Merit)
 	}
 	res1 := FindBestCut(g, Config{Nin: 8, Nout: 1, Model: model})
-	ref1 := EnumerateBest(g, Config{Nin: 8, Nout: 1, Model: model})
+	ref1 := mustEnumerateBest(t, g, Config{Nin: 8, Nout: 1, Model: model})
 	if res1.Est.Merit != ref1.Est.Merit {
 		t.Errorf("Nout=1: merit %d != brute force %d", res1.Est.Merit, ref1.Est.Merit)
 	}
@@ -174,7 +204,7 @@ func randomGraph(t testing.TB, rng *rand.Rand, nOps int) *dfg.Graph {
 		t.Fatal(err)
 	}
 	f.Entry().Freq = int64(rng.Intn(1000) + 1)
-	return dfg.Build(f, f.Entry(), ir.Liveness(f))
+	return mustBuildGraph(t, f, f.Entry(), ir.Liveness(f))
 }
 
 // TestSearchMatchesBruteForce is the central correctness property: on
@@ -191,7 +221,7 @@ func TestSearchMatchesBruteForce(t *testing.T) {
 		for _, c := range constraints {
 			cfg := Config{Nin: c.nin, Nout: c.nout}
 			got := FindBestCut(g, cfg)
-			want := EnumerateBest(g, cfg)
+			want := mustEnumerateBest(t, g, cfg)
 			if got.Found != want.Found {
 				t.Fatalf("trial %d (%d,%d): found %v, brute force %v\ncut=%v",
 					trial, c.nin, c.nout, got.Found, want.Found, want.Cut)
@@ -203,7 +233,7 @@ func TestSearchMatchesBruteForce(t *testing.T) {
 			if got.Found && !g.Legal(got.Cut, c.nin, c.nout) {
 				t.Fatalf("trial %d: returned illegal cut %v", trial, got.Cut)
 			}
-			outConvex, _ := CountLegalCuts(g, cfg)
+			outConvex, _ := mustCountLegalCuts(t, g, cfg)
 			if got.Stats.Passed != outConvex {
 				t.Fatalf("trial %d (%d,%d): passed %d, brute force %d",
 					trial, c.nin, c.nout, got.Stats.Passed, outConvex)
@@ -283,7 +313,7 @@ func TestEmptyAndTinyGraphs(t *testing.T) {
 	b.Store(b.Fn.Params[0], v)
 	b.RetVoid()
 	f := b.Finish()
-	g := dfg.Build(f, f.Entry(), ir.Liveness(f))
+	g := mustBuildGraph(t, f, f.Entry(), ir.Liveness(f))
 	res := FindBestCut(g, Config{Nin: 4, Nout: 2})
 	if res.Found {
 		t.Error("found a cut among forbidden nodes")
@@ -294,7 +324,7 @@ func TestEmptyAndTinyGraphs(t *testing.T) {
 	b2 := ir.NewBuilder("g", 2)
 	b2.Ret(b2.Op(ir.OpAdd, b2.Fn.Params[0], b2.Fn.Params[1]))
 	f2 := b2.Finish()
-	g2 := dfg.Build(f2, f2.Entry(), ir.Liveness(f2))
+	g2 := mustBuildGraph(t, f2, f2.Entry(), ir.Liveness(f2))
 	res2 := FindBestCut(g2, Config{Nin: 2, Nout: 1})
 	if res2.Found {
 		t.Errorf("zero-gain single add selected: %+v", res2)
@@ -304,7 +334,7 @@ func TestEmptyAndTinyGraphs(t *testing.T) {
 	s1 := b3.Op(ir.OpAdd, b3.Fn.Params[0], b3.Fn.Params[1])
 	b3.Ret(b3.Op(ir.OpAdd, s1, b3.Fn.Params[2]))
 	f3 := b3.Finish()
-	g3 := dfg.Build(f3, f3.Entry(), ir.Liveness(f3))
+	g3 := mustBuildGraph(t, f3, f3.Entry(), ir.Liveness(f3))
 	res3 := FindBestCut(g3, Config{Nin: 3, Nout: 1})
 	if !res3.Found || len(res3.Cut) != 2 || res3.Est.Saved != 1 {
 		t.Errorf("chained-add graph: %+v", res3)

@@ -1,6 +1,10 @@
 package core
 
-import "isex/internal/dfg"
+import (
+	"context"
+
+	"isex/internal/dfg"
+)
 
 // FindBestCutWindowed is the heuristic §9 sketches for very large basic
 // blocks ("we plan to build heuristic solutions around the presented
@@ -15,9 +19,17 @@ import "isex/internal/dfg"
 // benches measure the quality/effort trade-off on the blocks the exact
 // search cannot finish.
 func FindBestCutWindowed(g *dfg.Graph, cfg Config, window int) Result {
+	return FindBestCutWindowedCtx(context.Background(), g, cfg, window)
+}
+
+// FindBestCutWindowedCtx is FindBestCutWindowed under a context: the
+// deadline is checked between windows (and inside each window's search),
+// and on expiry the best cut over the windows completed so far is
+// returned with Status set accordingly.
+func FindBestCutWindowedCtx(ctx context.Context, g *dfg.Graph, cfg Config, window int) Result {
 	n := g.NumOps()
 	if window <= 0 || window >= n {
-		return FindBestCut(g, cfg)
+		return FindBestCutCtx(ctx, g, cfg)
 	}
 	stride := window / 2
 	if stride < 1 {
@@ -25,13 +37,18 @@ func FindBestCutWindowed(g *dfg.Graph, cfg Config, window int) Result {
 	}
 	var best Result
 	for lo := 0; lo < n; lo += stride {
+		if err := ctx.Err(); err != nil {
+			best.Status = worse(best.Status, statusOfCtx(err))
+			break
+		}
 		hi := lo + window
 		if hi > n {
 			hi = n
 		}
 		view := g.Restrict(lo, hi)
-		r := FindBestCut(view, cfg)
+		r := FindBestCutCtx(ctx, view, cfg)
 		best.Stats.add(r.Stats)
+		best.Status = worse(best.Status, r.Status)
 		if r.Found && (!best.Found || r.Est.Merit > best.Est.Merit) {
 			best.Found = true
 			best.Cut = r.Cut
@@ -41,5 +58,6 @@ func FindBestCutWindowed(g *dfg.Graph, cfg Config, window int) Result {
 			break
 		}
 	}
+	best.Stats.Aborted = best.Status != Exhaustive
 	return best
 }

@@ -175,8 +175,10 @@ func (g *Graph) Components(c Cut) int {
 // §6.3 requires ("previously identified cuts are merged into single graph
 // nodes, and are excluded from forthcoming identification steps").
 // latency records the custom instruction's hardware cycle count on the
-// super-node, and name labels it.
-func (g *Graph) Collapse(c Cut, name string, latency int) *Graph {
+// super-node, and name labels it. Collapsing a non-convex cut would fold
+// a path through outside nodes into a cycle; that is reported as an
+// error, never a panic.
+func (g *Graph) Collapse(c Cut, name string, latency int) (*Graph, error) {
 	in := g.memberSet(c)
 	ng := &Graph{Fn: g.Fn, Block: g.Block}
 	// Map old IDs to new IDs; all cut members map to the super-node.
@@ -261,8 +263,10 @@ func (g *Graph) Collapse(c Cut, name string, latency int) *Graph {
 			ng.Nodes[to].OrderPreds = append(ng.Nodes[to].OrderPreds, from)
 		}
 	}
-	ng.rebuildOrder()
-	return ng
+	if err := ng.rebuildOrder(); err != nil {
+		return nil, err
+	}
+	return ng, nil
 }
 
 // Restrict returns a view of the graph in which every operation node

@@ -84,8 +84,11 @@ func (g *Graph) NumOps() int { return len(g.OpOrder) }
 func (g *Graph) Pos(id int) int { return g.pos[id] }
 
 // Build constructs G+ for block b of f. li must be the result of
-// ir.Liveness(f); it determines the output variable nodes.
-func Build(f *ir.Function, b *ir.Block, li *ir.LiveInfo) *Graph {
+// ir.Liveness(f); it determines the output variable nodes. It returns an
+// error (instead of crashing) when the resulting operation graph is not
+// acyclic — which cannot happen for IR produced by the front end, but can
+// for hand-written or corrupted textual IR.
+func Build(f *ir.Function, b *ir.Block, li *ir.LiveInfo) (*Graph, error) {
 	g := &Graph{Fn: f, Block: b}
 	// lastDef tracks, during the forward walk, the node currently
 	// defining each register.
@@ -208,27 +211,37 @@ func Build(f *ir.Function, b *ir.Block, li *ir.LiveInfo) *Graph {
 		addEdge(def, id)
 	}
 
-	g.rebuildOrder()
-	return g
+	if err := g.rebuildOrder(); err != nil {
+		return nil, err
+	}
+	return g, nil
 }
 
-// BuildAll builds graphs for every block of every function in m.
-func BuildAll(m *ir.Module) map[*ir.Block]*Graph {
+// BuildAll builds graphs for every block of every function in m. It stops
+// at the first block whose graph cannot be ordered (malformed IR).
+func BuildAll(m *ir.Module) (map[*ir.Block]*Graph, error) {
 	out := map[*ir.Block]*Graph{}
 	for _, f := range m.Funcs {
 		li := ir.Liveness(f)
 		for _, b := range f.Blocks {
-			out[b] = Build(f, b, li)
+			g, err := Build(f, b, li)
+			if err != nil {
+				return nil, err
+			}
+			out[b] = g
 		}
 	}
-	return out
+	return out, nil
 }
 
 // rebuildOrder recomputes OpOrder: a topological order of the operation
 // nodes with consumers before producers (§6.1). Determinism: among ready
 // nodes, the largest instruction index is emitted first, which for a
 // freshly built graph reproduces exactly the reverse instruction order.
-func (g *Graph) rebuildOrder() {
+// A cycle among the operation nodes (possible only for malformed input,
+// e.g. a hand-edited textual IR or a non-convex collapse) is reported as
+// an error, never a panic.
+func (g *Graph) rebuildOrder() error {
 	// Count, for each op node, unplaced op-node consumers.
 	remaining := map[int]int{}
 	var ready []int
@@ -279,7 +292,8 @@ func (g *Graph) rebuildOrder() {
 		}
 	}
 	if len(order) != len(remaining) {
-		panic("dfg: cycle in operation graph")
+		return fmt.Errorf("dfg: cycle in operation graph of %s/%s (%d of %d nodes orderable)",
+			g.Fn.Name, g.Block.Name, len(order), len(remaining))
 	}
 	g.OpOrder = order
 	g.pos = make([]int, len(g.Nodes))
@@ -289,6 +303,7 @@ func (g *Graph) rebuildOrder() {
 	for rank, id := range order {
 		g.pos[id] = rank
 	}
+	return nil
 }
 
 // Dot renders the graph in Graphviz format, optionally highlighting a cut.

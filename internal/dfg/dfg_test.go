@@ -16,6 +16,26 @@ import (
 //	t2 = t0 - t1
 //	store mem[a] = t2  (forbidden node)
 //	ret t2             (t2 is an output)
+// mustBuild and mustCollapse fail the test on the error paths the
+// production code now reports instead of panicking.
+func mustBuild(t *testing.T, f *ir.Function, b *ir.Block, li *ir.LiveInfo) *Graph {
+	t.Helper()
+	g, err := Build(f, b, li)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func mustCollapse(t *testing.T, g *Graph, c Cut, name string, latency int) *Graph {
+	t.Helper()
+	ng, err := g.Collapse(c, name, latency)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ng
+}
+
 func buildStraightLine(t *testing.T) (*ir.Function, *Graph) {
 	t.Helper()
 	b := ir.NewBuilder("f", 2)
@@ -30,7 +50,7 @@ func buildStraightLine(t *testing.T) (*ir.Function, *Graph) {
 		t.Fatal(err)
 	}
 	li := ir.Liveness(f)
-	return f, Build(f, f.Entry(), li)
+	return f, mustBuild(t, f, f.Entry(), li)
 }
 
 func opNode(t *testing.T, g *Graph, instrIdx int) int {
@@ -137,7 +157,7 @@ func TestDuplicateArgSingleEdge(t *testing.T) {
 	sq := b.Op(ir.OpMul, a, a) // same value twice: one edge
 	b.Ret(sq)
 	f := b.Finish()
-	g := Build(f, f.Entry(), ir.Liveness(f))
+	g := mustBuild(t, f, f.Entry(), ir.Liveness(f))
 	mul := opNode(t, g, 0)
 	if len(g.Nodes[mul].Preds) != 1 {
 		t.Errorf("duplicate arg produced %d edges, want 1", len(g.Nodes[mul].Preds))
@@ -158,7 +178,7 @@ func TestRedefinitionSplitsValues(t *testing.T) {
 	b.CopyTo(r, b.Op(ir.OpAdd, a, b.Const(2)))
 	b.Ret(r)
 	f := b.Finish()
-	g := Build(f, f.Entry(), ir.Liveness(f))
+	g := mustBuild(t, f, f.Entry(), ir.Liveness(f))
 	// Exactly one output V+ node (the final r).
 	outs := 0
 	for i := range g.Nodes {
@@ -196,7 +216,7 @@ func diamondGraph(t *testing.T) (*Graph, [4]int) {
 	n3 := b.Op(ir.OpSub, n1, n2)
 	b.Ret(n3)
 	f := b.Finish()
-	g := Build(f, f.Entry(), ir.Liveness(f))
+	g := mustBuild(t, f, f.Entry(), ir.Liveness(f))
 	return g, [4]int{opNode(t, g, 0), opNode(t, g, 2), opNode(t, g, 4), opNode(t, g, 5)}
 }
 
@@ -252,7 +272,7 @@ func TestLegal(t *testing.T) {
 	v := bld.Load(bld.Fn.Params[0])
 	bld.Ret(v)
 	f := bld.Finish()
-	g2 := Build(f, f.Entry(), ir.Liveness(f))
+	g2 := mustBuild(t, f, f.Entry(), ir.Liveness(f))
 	ld := opNode(t, g2, 0)
 	if g2.Legal(Cut{ld}, 4, 4) {
 		t.Error("forbidden load declared legal")
@@ -262,7 +282,7 @@ func TestLegal(t *testing.T) {
 func TestCollapse(t *testing.T) {
 	g, n := diamondGraph(t)
 	// Collapse {n0, n1} (with const-1 outside to exercise boundary edges).
-	ng := g.Collapse(Cut{n[0], n[1]}, "ise0", 1)
+	ng := mustCollapse(t, g, Cut{n[0], n[1]}, "ise0", 1)
 	checkOrder(t, ng)
 	if ng.NumOps() != g.NumOps()-1 {
 		t.Errorf("ops after collapse = %d, want %d", ng.NumOps(), g.NumOps()-1)
@@ -300,7 +320,7 @@ func TestCollapse(t *testing.T) {
 
 func TestCollapseNested(t *testing.T) {
 	g, n := diamondGraph(t)
-	ng := g.Collapse(Cut{n[0]}, "a", 1)
+	ng := mustCollapse(t, g, Cut{n[0]}, "a", 1)
 	// Find remaining mul node and collapse it together with... only
 	// non-forbidden nodes allowed in future cuts; collapse the shl.
 	var shl int = -1
@@ -312,7 +332,7 @@ func TestCollapseNested(t *testing.T) {
 	if shl < 0 {
 		t.Fatal("shl missing after first collapse")
 	}
-	ng2 := ng.Collapse(Cut{shl}, "b", 1)
+	ng2 := mustCollapse(t, ng, Cut{shl}, "b", 1)
 	checkOrder(t, ng2)
 	if ng2.NumOps() != g.NumOps()-0 { // two collapses of singletons keep count
 		// 6 ops originally (add, const1, shl, const3, mul, sub); still 6.
@@ -341,7 +361,10 @@ int f(int x, int n) {
 	if err := passes.Run(m, passes.Options{}); err != nil {
 		t.Fatal(err)
 	}
-	graphs := BuildAll(m)
+	graphs, err := BuildAll(m)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(graphs) == 0 {
 		t.Fatal("no graphs")
 	}

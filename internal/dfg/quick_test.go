@@ -41,7 +41,11 @@ func randomGraphLocal(rng *rand.Rand, nOps int) *Graph {
 	}
 	b.Ret(acc)
 	f := b.Finish()
-	return Build(f, f.Entry(), ir.Liveness(f))
+	g, err := Build(f, f.Entry(), ir.Liveness(f))
+	if err != nil {
+		panic(err) // builder emits forward edges only
+	}
+	return g
 }
 
 func randomCut(rng *rand.Rand, g *Graph) Cut {
@@ -105,7 +109,10 @@ func TestQuickCollapsePreservesBoundary(t *testing.T) {
 			return true // only convex cuts are collapsed in practice
 		}
 		in, out := g.Inputs(c), g.Outputs(c)
-		ng := g.Collapse(c, "s", 1)
+		ng, err := g.Collapse(c, "s", 1)
+		if err != nil {
+			return false
+		}
 		var super *Node
 		for i := range ng.Nodes {
 			if ng.Nodes[i].Name == "s" {

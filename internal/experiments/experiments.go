@@ -7,6 +7,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -43,13 +44,15 @@ const (
 // AllMethods lists the Fig. 11 competitors in paper order.
 var AllMethods = []Method{MethodOptimal, MethodIterative, MethodClubbing, MethodMaxMISO}
 
-// runSelection dispatches one method.
-func runSelection(method Method, m *ir.Module, ninstr int, cfg core.Config) core.SelectionResult {
+// runSelection dispatches one method. ctx bounds the exact methods
+// (Optimal/Iterative are anytime searches); the linear-time baselines
+// ignore it.
+func runSelection(ctx context.Context, method Method, m *ir.Module, ninstr int, cfg core.Config) core.SelectionResult {
 	switch method {
 	case MethodOptimal:
-		return core.SelectOptimal(m, ninstr, cfg)
+		return core.SelectOptimalCtx(ctx, m, ninstr, cfg)
 	case MethodIterative:
-		return core.SelectIterative(m, ninstr, cfg)
+		return core.SelectIterativeCtx(ctx, m, ninstr, cfg)
 	case MethodClubbing:
 		return baseline.SelectClubbing(m, ninstr, cfg)
 	case MethodMaxMISO:
@@ -99,6 +102,9 @@ type Cell struct {
 	// is then a lower bound (the paper could not run Optimal on
 	// adpcmdecode at all for the same reason).
 	Aborted bool
+	// Status is the worst per-block search status of the selection;
+	// anything but Exhaustive means Speedup is a sound lower bound.
+	Status core.SearchStatus
 }
 
 // ComparisonRow is one (benchmark, Nin, Nout, Ninstr) configuration of
@@ -121,6 +127,9 @@ type CompareOptions struct {
 	// speedup on the simulator.
 	Measure bool
 	Model   *latency.Model
+	// Deadline, when positive, bounds each selection call's wall clock;
+	// cells that trip it report a degraded (lower-bound) status.
+	Deadline time.Duration
 }
 
 // DefaultCompareOptions mirrors the paper's setup: three benchmarks,
@@ -170,10 +179,16 @@ func Compare(opt CompareOptions) ([]ComparisonRow, error) {
 					Cells: map[Method]Cell{},
 				}
 				for _, method := range opt.Methods {
-					sel := runSelection(method, prof, n, cfg)
+					ctx, cancel := context.Background(), context.CancelFunc(func() {})
+					if opt.Deadline > 0 {
+						ctx, cancel = context.WithTimeout(ctx, opt.Deadline)
+					}
+					sel := runSelection(ctx, method, prof, n, cfg)
+					cancel()
 					cell := Cell{
 						Instructions: len(sel.Instructions),
 						Aborted:      sel.Stats.Aborted,
+						Status:       sel.Status,
 						Speedup:      estSpeedup(base, sel.TotalMerit),
 					}
 					if opt.Measure && len(sel.Instructions) > 0 {
@@ -251,7 +266,7 @@ func ComparisonTable(rows []ComparisonRow, methods []Method, measured bool) stri
 		for _, m := range methods {
 			c := r.Cells[m]
 			s := fmt.Sprintf("%.3f", c.Speedup)
-			if c.Aborted {
+			if c.Aborted || c.Status != core.Exhaustive {
 				s += "*"
 			}
 			cells = append(cells, s)
@@ -261,7 +276,7 @@ func ComparisonTable(rows []ComparisonRow, methods []Method, measured bool) stri
 		}
 		t.AddRow(cells...)
 	}
-	return t.String() + "(* identification stopped at the cut budget; value is a lower bound)\n"
+	return t.String() + "(* identification stopped early — cut budget, deadline, or recovered failure; value is a lower bound)\n"
 }
 
 // hotBlock returns the most frequently executed block that actually has
@@ -277,7 +292,10 @@ func hotBlock(m *ir.Module) (*ir.Function, *ir.Block, *dfg.Graph) {
 	for _, f := range m.Funcs {
 		li := ir.Liveness(f)
 		for _, b := range f.Blocks {
-			g := dfg.Build(f, b, li)
+			g, err := dfg.Build(f, b, li)
+			if err != nil {
+				continue
+			}
 			cand := 0
 			for _, id := range g.OpOrder {
 				if !g.Nodes[id].Forbidden {

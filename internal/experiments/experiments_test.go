@@ -6,7 +6,10 @@ import (
 )
 
 func TestFig7MatchesPaper(t *testing.T) {
-	r := Fig7()
+	r, err := Fig7()
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.Considered != 11 || r.Passed != 5 || r.Failed != 6 || r.Eliminated != 4 {
 		t.Errorf("Fig. 7 trace = %+v, paper says 11/5/6/4", r)
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"time"
@@ -42,6 +43,9 @@ func Fig3(budget int64) ([]Fig3Row, error) {
 		return nil, err
 	}
 	_, _, g := hotBlock(m)
+	if g == nil {
+		return nil, fmt.Errorf("experiments: no identifiable block in adpcmdecode")
+	}
 	model := latency.Default()
 	var rows []Fig3Row
 	for _, c := range [][2]int{{2, 1}, {3, 1}, {4, 2}, {6, 3}} {
@@ -112,7 +116,7 @@ type Fig7Result struct {
 // Fig4ExampleGraph reconstructs the four-node graph of Fig. 4 (see the
 // node numbering in core's tests: + feeding * and >>, >> feeding the
 // second +; two block outputs).
-func Fig4ExampleGraph() *dfg.Graph {
+func Fig4ExampleGraph() (*dfg.Graph, error) {
 	b := ir.NewBuilder("fig4", 5)
 	p := b.Fn.Params
 	t := b.Op(ir.OpAdd, p[0], p[1]) // paper node 3
@@ -130,15 +134,18 @@ func Fig4ExampleGraph() *dfg.Graph {
 // Fig7 runs the identification with Nout = 1 on the example and returns
 // the trace statistics (paper: 11 considered, 5 passed, 6 failed, 4
 // eliminated).
-func Fig7() Fig7Result {
-	g := Fig4ExampleGraph()
+func Fig7() (Fig7Result, error) {
+	g, err := Fig4ExampleGraph()
+	if err != nil {
+		return Fig7Result{}, err
+	}
 	res := core.FindBestCut(g, core.Config{Nin: 100, Nout: 1})
 	return Fig7Result{
 		Considered: res.Stats.CutsConsidered,
 		Passed:     res.Stats.Passed,
 		Failed:     res.Stats.Pruned,
 		Eliminated: 15 - res.Stats.CutsConsidered,
-	}
+	}, nil
 }
 
 // Fig7Table renders the result next to the paper's numbers.
@@ -364,6 +371,9 @@ func Ablation(benchmarks []string, constraints [][2]int, budget int64) ([]Ablati
 			return nil, err
 		}
 		_, _, g := hotBlock(m)
+		if g == nil {
+			return nil, fmt.Errorf("experiments: no identifiable block in %q", bname)
+		}
 		for _, c := range constraints {
 			mk := func(pi, pm bool) int64 {
 				cfg := core.Config{Nin: c[0], Nout: c[1], MaxCuts: budget,
@@ -554,8 +564,8 @@ func Motivation(benchmarks []string, nin, nout, ninstr int, cutBudget int64) ([]
 			return nil, err
 		}
 		cfg := core.Config{Nin: nin, Nout: nout, Model: model, MaxCuts: cutBudget}
-		rec := runSelection(MethodRecurrence, m, ninstr, cfg)
-		exact := runSelection(MethodIterative, m, ninstr, cfg)
+		rec := runSelection(context.Background(), MethodRecurrence, m, ninstr, cfg)
+		exact := runSelection(context.Background(), MethodIterative, m, ninstr, cfg)
 		row := MotivationRow{Benchmark: bname, Nin: nin, Nout: nout,
 			RecurrenceSpeedup: estSpeedup(base, rec.TotalMerit),
 			ExactSpeedup:      estSpeedup(base, exact.TotalMerit)}
@@ -590,7 +600,10 @@ func MotivationTable(rows []MotivationRow) string {
 // Fig5Tree renders the full annotated search tree of the Fig. 4 example
 // (Fig. 5's structure with Fig. 7's pass/fail annotations).
 func Fig5Tree() (string, error) {
-	g := Fig4ExampleGraph()
+	g, err := Fig4ExampleGraph()
+	if err != nil {
+		return "", err
+	}
 	res, err := core.TraceSearchTree(g, core.Config{Nin: 100, Nout: 1})
 	if err != nil {
 		return "", err

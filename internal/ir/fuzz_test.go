@@ -1,0 +1,70 @@
+package ir
+
+import (
+	"strings"
+	"testing"
+)
+
+// fuzzSeedModule builds a module exercising every construct the textual
+// format can express: globals with initializers, an AFU, and a function
+// with branches, memory ops, and a custom-instruction call.
+func fuzzSeedModule() *Module {
+	b := NewBuilder("kernel", 2)
+	x, y := b.Fn.Params[0], b.Fn.Params[1]
+	sum := b.Op(OpAdd, x, y)
+	v := b.Load(sum)
+	b.Store(sum, v)
+	next := b.NewBlock("tail")
+	b.Branch(v, next, next)
+	b.SetBlock(next)
+	b.Ret(b.Op(OpXor, v, b.Const(9)))
+	f := b.Finish()
+	f.Entry().Freq = 17
+	m := &Module{Funcs: []*Function{f}}
+	m.Globals = append(m.Globals, Global{Name: "tab", Size: 4, Init: []int32{1, 2, 3}})
+	return m
+}
+
+// FuzzParseModule feeds arbitrary text to the IR parser. Any input either
+// parses into a verified module or returns an error — never a panic —
+// and accepted inputs must round-trip: Serialize(Parse(x)) reparses to
+// the identical serialization.
+func FuzzParseModule(f *testing.F) {
+	seeds := []string{
+		"",
+		Serialize(fuzzSeedModule()),
+		"global @g[8] = {1, -2, 3}\n",
+		"func f(r0) regs=2 {\n  entry:\n    r1 = neg r0\n    ret r1\n}\n",
+		"func f() regs=1 {\n  entry: freq=3\n    r0 = const 42\n    ret r0\n}\n",
+		// Near-miss inputs: structurally close but wrong.
+		"func f(r0) regs=1 {\n  entry:\n    ret r9\n}\n",
+		"func f() regs=0 {\n",
+		"global @x[-1]\n",
+		"afu #0 \"a\" in=1 slots=1 latency=1 area=0.1 {\n    out s0\n}\n",
+		"func f() regs=1 {\n  entry:\n    r0 = bogus r0\n    ret r0\n}\n",
+		"\x00global",
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		m, err := ParseModule(src)
+		if err != nil {
+			return
+		}
+		if m == nil {
+			t.Fatal("ParseModule returned nil module without error")
+		}
+		if err := VerifyModule(m); err != nil {
+			t.Fatalf("parser accepted a module that fails verification: %v", err)
+		}
+		first := Serialize(m)
+		m2, err := ParseModule(first)
+		if err != nil {
+			t.Fatalf("serialized module does not reparse: %v\n%s", err, first)
+		}
+		if second := Serialize(m2); !strings.EqualFold(first, second) {
+			t.Fatalf("round trip unstable:\n--- first ---\n%s\n--- second ---\n%s", first, second)
+		}
+	})
+}

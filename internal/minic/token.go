@@ -155,7 +155,7 @@ func Lex(src string) ([]Token, error) {
 			toks = append(toks, Token{Kind: TokNumber, Text: src[start:i], Val: v, Line: sl, Col: sc})
 		case c == '\'':
 			sl, sc := line, col
-			if i+2 < n && src[i+1] == '\\' && src[i+3] == '\'' {
+			if i+3 < n && src[i+1] == '\\' && src[i+3] == '\'' {
 				var v int64
 				switch src[i+2] {
 				case 'n':

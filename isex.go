@@ -14,9 +14,12 @@
 package isex
 
 import (
+	"context"
 	"fmt"
+	"time"
 
 	"isex/internal/core"
+	"isex/internal/dfg"
 	"isex/internal/interp"
 	"isex/internal/ir"
 	"isex/internal/latency"
@@ -39,12 +42,37 @@ type Constraints struct {
 	Window int
 	// Parallel searches independent basic blocks concurrently.
 	Parallel bool
+	// Deadline, when positive, bounds the wall-clock time of an
+	// identification call: the search returns the best selection found so
+	// far when it expires (equivalent to passing a context with timeout
+	// to the *Ctx variants). Per-block outcomes are reported on the
+	// Selection's BlockStatuses.
+	Deadline time.Duration
 }
 
 func (c Constraints) config() core.Config {
 	return core.Config{Nin: c.Nin, Nout: c.Nout, MaxCuts: c.MaxCuts,
 		Window: c.Window, Parallel: c.Parallel}
 }
+
+// SearchStatus classifies how an identification search ended: Exhaustive
+// results are exact under the configured algorithm, all other statuses
+// mark sound best-effort lower bounds (see the core package for the
+// detailed semantics).
+type SearchStatus = core.SearchStatus
+
+// The per-block (and aggregate) search outcomes, from best to worst.
+const (
+	Exhaustive       = core.Exhaustive
+	BudgetStopped    = core.BudgetStopped
+	DeadlineExceeded = core.DeadlineExceeded
+	Canceled         = core.Canceled
+	Recovered        = core.Recovered
+)
+
+// BlockStatus reports how the search of one basic block ended, including
+// whether the §9 windowed fallback rescued it and any recovered error.
+type BlockStatus = core.BlockStatus
 
 // Selection is a chosen set of custom instructions.
 type Selection struct {
@@ -56,6 +84,23 @@ func (s Selection) Count() int { return len(s.inner.Instructions) }
 
 // EstimatedGain returns the total estimated cycle gain (merit).
 func (s Selection) EstimatedGain() int64 { return s.inner.TotalMerit }
+
+// Status returns the worst per-block search status: Exhaustive means the
+// selection is exact under the configured algorithm; anything else means
+// a budget, deadline, cancellation, or recovered failure degraded it to a
+// sound lower bound.
+func (s Selection) Status() SearchStatus { return s.inner.Status }
+
+// Degraded reports whether any per-block search ended early; the
+// selection is then a best-effort lower bound, not the exact answer.
+func (s Selection) Degraded() bool { return s.inner.Degraded() }
+
+// BlockStatuses returns the per-block search outcomes (sorted by function
+// name, then block name), so callers can report exactly how trustworthy
+// each block's contribution is.
+func (s Selection) BlockStatuses() []BlockStatus {
+	return append([]BlockStatus(nil), s.inner.Blocks...)
+}
 
 // Describe returns a one-line summary per instruction.
 func (s Selection) Describe() []string {
@@ -103,10 +148,17 @@ func CompileWith(src string, opt CompileOptions) (*Program, error) {
 }
 
 // LoadIR builds a program from the textual IR format (see SerializeIR).
+// Beyond the structural verification ParseModule performs, every basic
+// block's dataflow graph is constructed once at this boundary, so
+// malformed IR (e.g. a hand-edited file whose operation graph is cyclic)
+// yields an error here instead of a crash deep inside identification.
 func LoadIR(text string) (*Program, error) {
 	m, err := ir.ParseModule(text)
 	if err != nil {
 		return nil, err
+	}
+	if _, err := dfg.BuildAll(m); err != nil {
+		return nil, fmt.Errorf("isex: invalid IR: %w", err)
 	}
 	return &Program{mod: m, inputs: map[string][]int32{}}, nil
 }
@@ -174,32 +226,76 @@ func (p *Program) RunAndRead(entry string, globals []string, args ...int32) (int
 	return ret, state, nil
 }
 
+// checkPorts validates the microarchitectural constraints.
+func checkPorts(c Constraints) error {
+	if c.Nin < 1 || c.Nout < 1 {
+		return fmt.Errorf("isex: need at least one read and one write port")
+	}
+	return nil
+}
+
+// searchContext derives the identification context: the caller's ctx,
+// tightened by the Constraints' Deadline when one is set.
+func searchContext(ctx context.Context, c Constraints) (context.Context, context.CancelFunc) {
+	if c.Deadline > 0 {
+		return context.WithTimeout(ctx, c.Deadline)
+	}
+	return ctx, func() {}
+}
+
 // Identify selects up to ninstr custom instructions with the iterative
 // algorithm of §6.3 (call Profile first for meaningful weighting).
 func (p *Program) Identify(c Constraints, ninstr int) (Selection, error) {
-	if c.Nin < 1 || c.Nout < 1 {
-		return Selection{}, fmt.Errorf("isex: need at least one read and one write port")
+	return p.IdentifyCtx(context.Background(), c, ninstr)
+}
+
+// IdentifyCtx is Identify under a context: the search is an anytime
+// procedure that polls ctx (and the Constraints' Deadline, if set),
+// returns the best selection found so far on expiry, rescues tripped
+// blocks with the §9 windowed heuristic, and recovers per-block panics.
+// Inspect the Selection's Status/BlockStatuses for how it ended.
+func (p *Program) IdentifyCtx(ctx context.Context, c Constraints, ninstr int) (Selection, error) {
+	if err := checkPorts(c); err != nil {
+		return Selection{}, err
 	}
-	return Selection{inner: core.SelectIterative(p.mod, ninstr, c.config())}, nil
+	ctx, cancel := searchContext(ctx, c)
+	defer cancel()
+	return Selection{inner: core.SelectIterativeCtx(ctx, p.mod, ninstr, c.config())}, nil
 }
 
 // IdentifyAreaConstrained selects under a silicon budget (normalized
 // 32-bit-MAC equivalents): §9's instruction-selection-under-area-
 // constraint, solved by a knapsack over the iterative candidate pool.
 func (p *Program) IdentifyAreaConstrained(c Constraints, ninstr int, areaBudget float64) (Selection, error) {
-	if c.Nin < 1 || c.Nout < 1 {
-		return Selection{}, fmt.Errorf("isex: need at least one read and one write port")
+	return p.IdentifyAreaConstrainedCtx(context.Background(), c, ninstr, areaBudget)
+}
+
+// IdentifyAreaConstrainedCtx is IdentifyAreaConstrained under a context;
+// see IdentifyCtx for the anytime semantics.
+func (p *Program) IdentifyAreaConstrainedCtx(ctx context.Context, c Constraints, ninstr int, areaBudget float64) (Selection, error) {
+	if err := checkPorts(c); err != nil {
+		return Selection{}, err
 	}
-	return Selection{inner: core.SelectAreaConstrained(p.mod, ninstr, areaBudget, 0, c.config())}, nil
+	ctx, cancel := searchContext(ctx, c)
+	defer cancel()
+	return Selection{inner: core.SelectAreaConstrainedCtx(ctx, p.mod, ninstr, areaBudget, 0, c.config())}, nil
 }
 
 // IdentifyOptimal uses the optimal selection of §6.2 (exponentially more
-// expensive on large blocks; set MaxCuts).
+// expensive on large blocks; set MaxCuts or a Deadline).
 func (p *Program) IdentifyOptimal(c Constraints, ninstr int) (Selection, error) {
-	if c.Nin < 1 || c.Nout < 1 {
-		return Selection{}, fmt.Errorf("isex: need at least one read and one write port")
+	return p.IdentifyOptimalCtx(context.Background(), c, ninstr)
+}
+
+// IdentifyOptimalCtx is IdentifyOptimal under a context; see IdentifyCtx
+// for the anytime semantics.
+func (p *Program) IdentifyOptimalCtx(ctx context.Context, c Constraints, ninstr int) (Selection, error) {
+	if err := checkPorts(c); err != nil {
+		return Selection{}, err
 	}
-	return Selection{inner: core.SelectOptimal(p.mod, ninstr, c.config())}, nil
+	ctx, cancel := searchContext(ctx, c)
+	defer cancel()
+	return Selection{inner: core.SelectOptimalCtx(ctx, p.mod, ninstr, c.config())}, nil
 }
 
 // Apply patches the selection into the program as custom instructions

@@ -1,8 +1,10 @@
 package isex
 
 import (
+	"context"
 	"strings"
 	"testing"
+	"time"
 )
 
 const facadeSrc = `
@@ -222,5 +224,65 @@ func TestFacadeAreaConstrainedAndOptions(t *testing.T) {
 	}
 	if win.EstimatedGain() > full.EstimatedGain() {
 		t.Errorf("windowed gain %d beats exact %d", win.EstimatedGain(), full.EstimatedGain())
+	}
+}
+
+// TestIdentifyAnytime: the acceptance contract of the anytime engine at
+// the public API — a deadline (or canceled context) returns promptly with
+// a well-formed, status-annotated Selection instead of an error or a
+// panic, and an unconstrained run reports Exhaustive.
+func TestIdentifyAnytime(t *testing.T) {
+	p, err := Compile(facadeSrc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.SetInput("data", facadeInputs())
+	if err := p.Profile("kernel", 32, 9); err != nil {
+		t.Fatal(err)
+	}
+
+	exact, err := p.Identify(Constraints{Nin: 4, Nout: 2}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact.Degraded() || exact.Status() != Exhaustive {
+		t.Fatalf("unconstrained run degraded: %v", exact.Status())
+	}
+	if len(exact.BlockStatuses()) == 0 {
+		t.Error("no per-block statuses on exhaustive run")
+	}
+
+	start := time.Now()
+	sel, err := p.Identify(Constraints{Nin: 4, Nout: 2, Deadline: time.Nanosecond}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("1ns-deadline identification took %v", elapsed)
+	}
+	if sel.Status() != DeadlineExceeded || !sel.Degraded() {
+		t.Fatalf("deadline run status = %v, want deadline-exceeded", sel.Status())
+	}
+	if sel.EstimatedGain() > exact.EstimatedGain() {
+		t.Errorf("degraded gain %d exceeds exact %d — not a lower bound",
+			sel.EstimatedGain(), exact.EstimatedGain())
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	csel, err := p.IdentifyCtx(ctx, Constraints{Nin: 4, Nout: 2}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if csel.Status() != Canceled {
+		t.Errorf("canceled run status = %v", csel.Status())
+	}
+
+	osel, err := p.IdentifyOptimalCtx(ctx, Constraints{Nin: 4, Nout: 2}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if osel.Status() != Canceled {
+		t.Errorf("canceled optimal run status = %v", osel.Status())
 	}
 }
