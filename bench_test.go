@@ -204,6 +204,56 @@ func BenchmarkAblationPruning(b *testing.B) {
 	}
 }
 
+// BenchmarkConstraintKernel measures the §5 constraint predicates —
+// the inner loop of every identification algorithm — on the adpcmdecode
+// hot block: the specification implementations (allocating a membership
+// slice and a map per call) against the word-parallel bitset kernel
+// (O(V/64) word operations, zero allocations). The same suite backs
+// `isebench -fig bench -benchjson BENCH_PR2.json`, which records the
+// numbers for run-to-run comparison.
+func BenchmarkConstraintKernel(b *testing.B) {
+	graphs, err := workload.RealBlockGraphs()
+	if err != nil {
+		b.Fatal(err)
+	}
+	var hot *workload.BlockInfo
+	for i := range graphs {
+		if graphs[i].Kernel == "adpcmdecode" && (hot == nil || graphs[i].Graph.NumOps() > hot.Graph.NumOps()) {
+			hot = &graphs[i]
+		}
+	}
+	g := hot.Graph
+	cut := experiments.KernelBenchCut(g)
+	if len(cut) == 0 {
+		b.Fatal("no representative cut found")
+	}
+	b.Logf("block %s/%s: %d ops, cut size %d", hot.Fn, hot.Block, g.NumOps(), len(cut))
+	model := latency.Default()
+	for _, bench := range []struct {
+		name string
+		fn   func()
+	}{
+		{"Inputs/spec", func() { g.InputsSpec(cut) }},
+		{"Inputs/bitset", func() { g.Inputs(cut) }},
+		{"Outputs/spec", func() { g.OutputsSpec(cut) }},
+		{"Outputs/bitset", func() { g.Outputs(cut) }},
+		{"Convex/spec", func() { g.ConvexSpec(cut) }},
+		{"Convex/bitset", func() { g.Convex(cut) }},
+		{"Legal/spec", func() { g.LegalSpec(cut, 2, 1) }},
+		{"Legal/bitset", func() { g.Legal(cut, 2, 1) }},
+		{"Components/spec", func() { g.ComponentsSpec(cut) }},
+		{"Components/bitset", func() { g.Components(cut) }},
+		{"Evaluate", func() { core.Evaluate(g, cut, model) }},
+	} {
+		b.Run(bench.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				bench.fn()
+			}
+		})
+	}
+}
+
 // BenchmarkSingleCutAdpcm is a plain performance benchmark of the core
 // identification algorithm on the paper's flagship block.
 func BenchmarkSingleCutAdpcm(b *testing.B) {

@@ -9,6 +9,10 @@
 //	isebench                  # everything, default budgets
 //	isebench -fig 11 -measure # only Fig. 11, with simulator validation
 //	isebench -budget 10000000 # spend more search effort
+//	isebench -fig bench -benchjson BENCH_PR2.json
+//	                          # constraint-kernel microbenchmarks, written
+//	                          # as machine-readable JSON for run-to-run
+//	                          # comparison
 package main
 
 import (
@@ -23,12 +27,13 @@ import (
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "which figure to regenerate: 3, 5, 7, 8, 11, runtime, area, tradeoff, vliw, ifconv, ablation, all")
-		budget   = flag.Int64("budget", experiments.DefaultBudget, "cut budget per identification call")
-		measure  = flag.Bool("measure", false, "Fig. 11: additionally patch and measure on the cycle simulator")
-		optimal  = flag.Bool("optimal", false, "Fig. 11: include the Optimal selection (slow on large blocks)")
-		benches  = flag.String("benchmarks", "adpcmdecode,adpcmencode,gsmlpc", "comma-separated benchmark list for Fig. 11")
-		deadline = flag.Duration("deadline", 0, "Fig. 11: wall-clock budget per selection call (e.g. 2s; 0 = none); tripped cells are marked * as lower bounds")
+		fig       = flag.String("fig", "all", "which figure to regenerate: 3, 5, 7, 8, 11, runtime, area, tradeoff, vliw, ifconv, ablation, bench, all")
+		budget    = flag.Int64("budget", experiments.DefaultBudget, "cut budget per identification call")
+		measure   = flag.Bool("measure", false, "Fig. 11: additionally patch and measure on the cycle simulator")
+		optimal   = flag.Bool("optimal", false, "Fig. 11: include the Optimal selection (slow on large blocks)")
+		benches   = flag.String("benchmarks", "adpcmdecode,adpcmencode,gsmlpc", "comma-separated benchmark list for Fig. 11")
+		deadline  = flag.Duration("deadline", 0, "Fig. 11: wall-clock budget per selection call (e.g. 2s; 0 = none); tripped cells are marked * as lower bounds")
+		benchJSON = flag.String("benchjson", "", "with -fig bench (or all): write the constraint-kernel benchmark report to this file as JSON (e.g. BENCH_PR2.json)")
 	)
 	flag.Parse()
 	want := func(name string) bool { return *fig == "all" || *fig == name }
@@ -38,14 +43,28 @@ func main() {
 			benchList = append(benchList, b)
 		}
 	}
-	if err := run(want, *budget, *measure, *optimal, benchList, *deadline); err != nil {
+	if err := run(want, *budget, *measure, *optimal, benchList, *deadline, *benchJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "isebench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(want func(string) bool, budget int64, measure, optimal bool, benchList []string, deadline time.Duration) error {
+func run(want func(string) bool, budget int64, measure, optimal bool, benchList []string, deadline time.Duration, benchJSON string) error {
 	section := func(s string) { fmt.Println(); fmt.Println(s); fmt.Println() }
+
+	if want("bench") || benchJSON != "" {
+		rep, err := experiments.KernelBench()
+		if err != nil {
+			return err
+		}
+		section(experiments.KernelBenchTable(rep))
+		if benchJSON != "" {
+			if err := rep.WriteJSON(benchJSON); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", benchJSON)
+		}
+	}
 
 	if want("3") {
 		rows, err := experiments.Fig3(budget)

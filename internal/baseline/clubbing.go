@@ -45,6 +45,9 @@ func Clubbing(g *dfg.Graph, nin, nout int) []dfg.Cut {
 	sort.Slice(ids, func(i, j int) bool {
 		return g.Nodes[ids[i]].InstrIndex < g.Nodes[ids[j]].InstrIndex
 	})
+	// One membership bitset, refilled per merge trial; the merged slice is
+	// materialized only when a trial succeeds.
+	trial := g.NewSet()
 	for _, id := range ids {
 		n := &g.Nodes[id]
 		if n.Forbidden {
@@ -60,11 +63,12 @@ func Clubbing(g *dfg.Graph, nin, nout int) []dfg.Cut {
 				continue
 			}
 			rep := club[p]
-			merged := append(append(dfg.Cut{}, members[rep]...), id)
-			if g.Inputs(merged) <= nin && g.Outputs(merged) <= nout && g.Convex(merged) {
+			trial = g.SetOf(members[rep], trial)
+			trial.Set(id)
+			if g.InputsSet(trial) <= nin && g.OutputsSet(trial) <= nout && g.ConvexSet(trial) {
 				delete(members, id)
 				club[id] = rep
-				members[rep] = merged
+				members[rep] = append(members[rep], id)
 				break
 			}
 		}

@@ -116,6 +116,7 @@ func SelectRecurrence(m *ir.Module, ninstr int, cfg core.Config, opt RecurrenceO
 		// Contract every instance of the winning pair (greedy, convexity-
 		// checked so clusters stay collapsible).
 		for _, g := range graphs {
+			trial := g.NewSet()
 			for id, c := range clusterOf[g] {
 				if c.sig != bestPair.from {
 					continue
@@ -125,10 +126,14 @@ func SelectRecurrence(m *ir.Module, ninstr int, cfg core.Config, opt RecurrenceO
 					if !ok || sc == c || sc.sig != bestPair.to {
 						continue
 					}
-					merged := append(append(dfg.Cut{}, c.nodes...), sc.nodes...)
-					if !g.Convex(merged) {
+					trial = g.SetOf(c.nodes, trial)
+					for _, nid := range sc.nodes {
+						trial.Set(nid)
+					}
+					if !g.ConvexSet(trial) {
 						continue
 					}
+					merged := append(append(dfg.Cut{}, c.nodes...), sc.nodes...)
 					c.nodes = merged
 					c.sig = signature(g, merged)
 					for _, nid := range sc.nodes {

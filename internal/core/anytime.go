@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"time"
 
 	"isex/internal/dfg"
 )
@@ -104,6 +105,40 @@ const ctxCheckInterval = 1024
 // is bounded by 2^fallbackWindow cuts, so the rescue is always cheap.
 const fallbackWindow = 12
 
+// Bounds of the grace period granted to a windowed rescue whose original
+// deadline has already expired. The grace must be long enough for the
+// cheap windowed pass to finish on any realistic block, yet small against
+// the budgets callers set (the clamp keeps a multi-minute budget from
+// earning a multi-minute overrun).
+const (
+	minRescueGrace = 50 * time.Millisecond
+	maxRescueGrace = time.Second
+)
+
+// rescueCtx returns the context the §9 windowed rescue should run under.
+// A live ctx (budget trip) is used as-is. An expired ctx would kill the
+// rescue at its first poll — the bug this function exists to fix — so the
+// rescue is detached from the expired deadline (keeping ctx's values) and
+// given a short grace timeout derived from the original budget: one
+// eighth of the wall-clock budget this block search was granted, clamped
+// to [minRescueGrace, maxRescueGrace]. Explicit cancellation is never
+// overridden: callers that canceled asked all work to stop.
+func rescueCtx(ctx context.Context, start time.Time) (context.Context, context.CancelFunc) {
+	if err := ctx.Err(); err == nil || !errors.Is(err, context.DeadlineExceeded) {
+		return ctx, func() {}
+	}
+	grace := minRescueGrace
+	if dl, ok := ctx.Deadline(); ok {
+		if b := dl.Sub(start) / 8; b > grace {
+			grace = b
+		}
+	}
+	if grace > maxRescueGrace {
+		grace = maxRescueGrace
+	}
+	return context.WithTimeout(context.WithoutCancel(ctx), grace)
+}
+
 // searchHook, when non-nil, runs at the start of every per-block search.
 // Tests use it to inject failures into (parallel) block workers.
 var searchHook func(*dfg.Graph)
@@ -114,6 +149,7 @@ var searchHook func(*dfg.Graph)
 // rescued with the windowed heuristic, keeping the better of the two
 // sound answers.
 func searchBlockSafe(ctx context.Context, g *dfg.Graph, cfg Config) (res Result, bs BlockStatus) {
+	start := time.Now()
 	bs = BlockStatus{Fn: g.Fn.Name, Block: g.Block.Name}
 	defer func() {
 		if r := recover(); r != nil {
@@ -130,13 +166,20 @@ func searchBlockSafe(ctx context.Context, g *dfg.Graph, cfg Config) (res Result,
 	bs.Status = res.Status
 	if (res.Status == BudgetStopped || res.Status == DeadlineExceeded) &&
 		cfg.Window == 0 && g.NumOps() > fallbackWindow {
-		w := FindBestCutWindowedCtx(ctx, g, cfg, fallbackWindow)
-		bs.Fallback = true
-		bs.Status = worse(bs.Status, w.Status)
-		res.Status = bs.Status
-		res.Stats.add(w.Stats)
-		if w.Found && (!res.Found || w.Est.Merit > res.Est.Merit) {
-			res.Found, res.Cut, res.Est = true, w.Cut, w.Est
+		rctx, cancel := rescueCtx(ctx, start)
+		w := FindBestCutWindowedCtx(rctx, g, cfg, fallbackWindow)
+		cancel()
+		// Fallback and the rescue's stats are reported only when the
+		// rescue actually examined something — a rescue killed at its
+		// first context poll contributed nothing.
+		if w.Stats.CutsConsidered > 0 || w.Found {
+			bs.Fallback = true
+			bs.Status = worse(bs.Status, w.Status)
+			res.Status = bs.Status
+			res.Stats.add(w.Stats)
+			if w.Found && (!res.Found || w.Est.Merit > res.Est.Merit) {
+				res.Found, res.Cut, res.Est = true, w.Cut, w.Est
+			}
 		}
 	}
 	return res, bs
@@ -146,6 +189,7 @@ func searchBlockSafe(ctx context.Context, g *dfg.Graph, cfg Config) (res Result,
 // §6.2. The windowed rescue contributes a single cut (a valid 1-of-m
 // assignment) when it beats the exact search's best assignment.
 func searchBlockMultiSafe(ctx context.Context, g *dfg.Graph, m int, cfg Config) (res MultiResult, bs BlockStatus) {
+	start := time.Now()
 	bs = BlockStatus{Fn: g.Fn.Name, Block: g.Block.Name}
 	defer func() {
 		if r := recover(); r != nil {
@@ -162,16 +206,20 @@ func searchBlockMultiSafe(ctx context.Context, g *dfg.Graph, m int, cfg Config) 
 	bs.Status = res.Status
 	if (res.Status == BudgetStopped || res.Status == DeadlineExceeded) &&
 		cfg.Window == 0 && g.NumOps() > fallbackWindow {
-		w := FindBestCutWindowedCtx(ctx, g, cfg, fallbackWindow)
-		bs.Fallback = true
-		bs.Status = worse(bs.Status, w.Status)
-		res.Status = bs.Status
-		res.Stats.add(w.Stats)
-		if w.Found && (!res.Found || w.Est.Merit > res.TotalMerit) {
-			res.Found = true
-			res.Cuts = []dfg.Cut{w.Cut}
-			res.Ests = []Estimate{w.Est}
-			res.TotalMerit = w.Est.Merit
+		rctx, cancel := rescueCtx(ctx, start)
+		w := FindBestCutWindowedCtx(rctx, g, cfg, fallbackWindow)
+		cancel()
+		if w.Stats.CutsConsidered > 0 || w.Found {
+			bs.Fallback = true
+			bs.Status = worse(bs.Status, w.Status)
+			res.Status = bs.Status
+			res.Stats.add(w.Stats)
+			if w.Found && (!res.Found || w.Est.Merit > res.TotalMerit) {
+				res.Found = true
+				res.Cuts = []dfg.Cut{w.Cut}
+				res.Ests = []Estimate{w.Est}
+				res.TotalMerit = w.Est.Merit
+			}
 		}
 	}
 	return res, bs

@@ -141,7 +141,88 @@ func TestSearchBlockSafeWindowedRescue(t *testing.T) {
 	}
 }
 
-// TestMaxCutsLowerBound: however small the budget, the returned result is
+// TestDeadlineRescueFindsCut: regression for the dead rescue path. When
+// the deadline trips the exact search on a block larger than
+// fallbackWindow, the §9 windowed rescue must run under a detached grace
+// context and actually contribute a cut — not re-run under the expired
+// context, break out immediately, and still report Fallback=true. The
+// hardest case is a deadline that expires before the first incumbent: the
+// exact search returns nothing, so whatever the caller gets can only come
+// from the rescue.
+func TestDeadlineRescueFindsCut(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := randomGraph(t, rng, 30)
+	if g.NumOps() <= fallbackWindow {
+		t.Fatalf("graph too small (%d ops) to exercise the rescue", g.NumOps())
+	}
+	cfg := Config{Nin: 6, Nout: 2}
+	// Sanity: the block has identifiable merit at all.
+	full := FindBestCut(g, cfg)
+	if !full.Found {
+		t.Fatal("reference search found nothing; pick another seed")
+	}
+
+	ctx, cancel := context.WithDeadline(context.Background(), time.Now().Add(-time.Hour))
+	defer cancel()
+	res, bs := searchBlockSafe(ctx, g, cfg)
+	if bs.Status != DeadlineExceeded || res.Status != DeadlineExceeded {
+		t.Fatalf("status = %v/%v, want deadline-exceeded", bs.Status, res.Status)
+	}
+	if !bs.Fallback {
+		t.Fatal("windowed rescue did not run on a deadline trip")
+	}
+	if !res.Found {
+		t.Fatal("deadline-tripped search returned no cut: the rescue ran under the expired context")
+	}
+	if !g.Legal(res.Cut, cfg.Nin, cfg.Nout) {
+		t.Errorf("rescued cut %v is not legal", res.Cut)
+	}
+	if res.Est.Merit > full.Est.Merit {
+		t.Errorf("rescued merit %d exceeds exhaustive optimum %d — unsound", res.Est.Merit, full.Est.Merit)
+	}
+	if res.Stats.CutsConsidered == 0 {
+		t.Error("rescue reported Fallback but considered no cuts")
+	}
+
+	// The multi-cut path shares the contract.
+	mres, mbs := searchBlockMultiSafe(ctx, g, 2, cfg)
+	if !mbs.Fallback || !mres.Found || len(mres.Cuts) == 0 {
+		t.Fatalf("multi rescue: fallback=%v found=%v cuts=%d", mbs.Fallback, mres.Found, len(mres.Cuts))
+	}
+	if !g.Legal(mres.Cuts[0], cfg.Nin, cfg.Nout) {
+		t.Errorf("multi rescued cut %v is not legal", mres.Cuts[0])
+	}
+}
+
+// TestNoFallbackWithoutRescue: Fallback (and the rescue's stats) must not
+// be reported when no rescue ran — exhaustive searches, blocks at or
+// under the fallback window, and cancellations.
+func TestNoFallbackWithoutRescue(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	g := randomGraph(t, rng, 30)
+	cfg := Config{Nin: 6, Nout: 2}
+
+	// Exhaustive: no rescue, stats identical to the raw search.
+	raw := FindBestCut(g, cfg)
+	res, bs := searchBlockSafe(context.Background(), g, cfg)
+	if bs.Fallback {
+		t.Error("Fallback reported on an exhaustive search")
+	}
+	if res.Stats != raw.Stats {
+		t.Errorf("exhaustive stats %+v != raw %+v", res.Stats, raw.Stats)
+	}
+
+	// A block at/below the fallback window: budget trips, but a rescue at
+	// window ≥ block size would just repeat the same search — none runs.
+	small := randomGraph(t, rng, 8)
+	if small.NumOps() > fallbackWindow {
+		t.Fatalf("graph unexpectedly large: %d ops", small.NumOps())
+	}
+	_, sbs := searchBlockSafe(context.Background(), small, Config{Nin: 6, Nout: 2, MaxCuts: 2})
+	if sbs.Fallback {
+		t.Error("Fallback reported for a block not larger than the fallback window")
+	}
+}
 // a sound lower bound on the exhaustive optimum, and a search that claims
 // Exhaustive matches the optimum exactly.
 func TestMaxCutsLowerBound(t *testing.T) {

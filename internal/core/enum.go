@@ -30,14 +30,20 @@ func EnumerateBest(g *dfg.Graph, cfg Config) (Result, error) {
 	}
 	var best Result
 	n := len(candidates)
+	// One cut buffer and one membership bitset, reused across all 2^n
+	// masks; Canon copies before the incumbent is stored.
+	cut := make(dfg.Cut, 0, n)
+	set := g.NewSet()
 	for mask := 1; mask < 1<<n; mask++ {
-		var cut dfg.Cut
+		cut = cut[:0]
+		set.Reset()
 		for i := 0; i < n; i++ {
 			if mask&(1<<i) != 0 {
 				cut = append(cut, candidates[i])
+				set.Set(candidates[i])
 			}
 		}
-		if !g.Legal(cut, cfg.Nin, cfg.Nout) {
+		if !g.LegalSet(set, cfg.Nin, cfg.Nout) {
 			continue
 		}
 		est := Evaluate(g, cut, model)
@@ -66,16 +72,17 @@ func CountLegalCuts(g *dfg.Graph, cfg Config) (outConvex, legal int64, err error
 			enumLimit, len(candidates))
 	}
 	n := len(candidates)
+	set := g.NewSet()
 	for mask := 1; mask < 1<<n; mask++ {
-		var cut dfg.Cut
+		set.Reset()
 		for i := 0; i < n; i++ {
 			if mask&(1<<i) != 0 {
-				cut = append(cut, candidates[i])
+				set.Set(candidates[i])
 			}
 		}
-		if g.Outputs(cut) <= cfg.Nout && g.Convex(cut) {
+		if g.OutputsSet(set) <= cfg.Nout && g.ConvexSet(set) {
 			outConvex++
-			if g.Inputs(cut) <= cfg.Nin {
+			if g.InputsSet(set) <= cfg.Nin {
 				legal++
 			}
 		}

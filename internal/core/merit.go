@@ -7,6 +7,7 @@ package core
 
 import (
 	"fmt"
+	"sync"
 
 	"isex/internal/dfg"
 	"isex/internal/latency"
@@ -43,20 +44,42 @@ func weight(freq int64) int64 {
 	return freq
 }
 
+// evalScratch is Evaluate's reusable state: a membership bitset and a
+// longest-path table indexed by node ID. Pooled so Evaluate — called once
+// per candidate by the baselines and the enumerators — allocates nothing
+// in steady state.
+type evalScratch struct {
+	in   dfg.BitSet
+	long []float64
+}
+
+var evalPool = sync.Pool{New: func() any { return new(evalScratch) }}
+
+func (s *evalScratch) fit(g *dfg.Graph) {
+	if n := len(g.Nodes); len(s.long) < n {
+		s.in = dfg.NewBitSet(n)
+		s.long = make([]float64, n)
+	} else {
+		s.in.Reset()
+	}
+}
+
 // Evaluate computes the Estimate of an arbitrary cut. It is the reference
 // (non-incremental) implementation; the search maintains the same
 // quantities incrementally and is checked against this in tests.
 func Evaluate(g *dfg.Graph, c dfg.Cut, model *latency.Model) Estimate {
-	est := Estimate{
-		In:         g.Inputs(c),
-		Out:        g.Outputs(c),
-		Freq:       g.Block.Freq,
-		Components: g.Components(c),
-		Size:       len(c),
-	}
-	in := make(map[int]bool, len(c))
+	sc := evalPool.Get().(*evalScratch)
+	defer evalPool.Put(sc)
+	sc.fit(g)
 	for _, id := range c {
-		in[id] = true
+		sc.in.Set(id)
+	}
+	est := Estimate{
+		In:         g.InputsSet(sc.in),
+		Out:        g.OutputsSet(sc.in),
+		Freq:       g.Block.Freq,
+		Components: g.ComponentsSet(sc.in),
+		Size:       len(c),
 	}
 	// Software cost: plain sum of per-op latencies (single-issue, §7).
 	for _, id := range c {
@@ -66,17 +89,19 @@ func Evaluate(g *dfg.Graph, c dfg.Cut, model *latency.Model) Estimate {
 	// Hardware cost: critical path over data edges within the cut.
 	// Nodes are processed in reverse search order (producers before
 	// consumers... search order has consumers first, so iterate OpOrder
-	// backwards) accumulating longest paths.
-	long := map[int]float64{}
+	// backwards) accumulating longest paths. sc.long needs no zeroing:
+	// a member's entry is written before any consumer (later in this
+	// sweep) reads it, and only members are read.
+	long := sc.long
 	var crit float64
 	for i := len(g.OpOrder) - 1; i >= 0; i-- {
 		id := g.OpOrder[i]
-		if !in[id] {
+		if !sc.in.Has(id) {
 			continue
 		}
 		best := 0.0
 		for _, p := range g.Nodes[id].Preds {
-			if in[p] && long[p] > best {
+			if sc.in.Has(p) && long[p] > best {
 				best = long[p]
 			}
 		}

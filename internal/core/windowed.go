@@ -27,6 +27,11 @@ func FindBestCutWindowed(g *dfg.Graph, cfg Config, window int) Result {
 // and on expiry the best cut over the windows completed so far is
 // returned with Status set accordingly.
 func FindBestCutWindowedCtx(ctx context.Context, g *dfg.Graph, cfg Config, window int) Result {
+	// The explicit window argument wins: a caller-supplied cfg.Window
+	// would otherwise be forwarded into each per-window FindBestCutCtx
+	// (the Restrict views share the full graph's NumOps) and re-enter
+	// this heuristic inside every window.
+	cfg.Window = 0
 	n := g.NumOps()
 	if window <= 0 || window >= n {
 		return FindBestCutCtx(ctx, g, cfg)

@@ -48,6 +48,31 @@ func TestWindowedViaConfig(t *testing.T) {
 	}
 }
 
+// TestWindowedIgnoresConfigWindow: regression for the re-entrant window
+// bug. A direct call like FindBestCutWindowed(g, Config{Window: 20}, 50)
+// used to forward the non-zero cfg.Window into each per-window
+// FindBestCutCtx, which re-entered the windowed heuristic inside every
+// window — inflating Stats and wall time. The explicit window argument
+// must win: results AND stats must match the same call with a zeroed
+// cfg.Window.
+func TestWindowedIgnoresConfigWindow(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 10; trial++ {
+		g := randomGraph(t, rng, 14+rng.Intn(10))
+		clean := FindBestCutWindowed(g, Config{Nin: 3, Nout: 2}, 8)
+		dirty := FindBestCutWindowed(g, Config{Nin: 3, Nout: 2, Window: 4}, 8)
+		if clean.Found != dirty.Found ||
+			(clean.Found && clean.Est.Merit != dirty.Est.Merit) {
+			t.Fatalf("trial %d: cfg.Window changed the windowed result: %+v vs %+v",
+				trial, clean.Est, dirty.Est)
+		}
+		if clean.Stats != dirty.Stats {
+			t.Fatalf("trial %d: cfg.Window inflated the windowed stats: %+v vs %+v",
+				trial, clean.Stats, dirty.Stats)
+		}
+	}
+}
+
 // TestWindowedOnLargeBlock: on the adpcm decoder body (which the exact
 // search needs ~1.6M cuts for at (2,1)), the windowed heuristic finds a
 // high-quality cut with a small fraction of the effort.

@@ -36,7 +36,36 @@ func (g *Graph) memberSet(c Cut) []bool {
 // entering the cut from the rest of G+ (§5). Constants included in the
 // cut consume no input; constants outside feeding the cut count like any
 // other producer (they occupy a register at the cut boundary).
-func (g *Graph) Inputs(c Cut) int {
+func (g *Graph) Inputs(c Cut) int { return g.InputsSet(g.memberBits(c)) }
+
+// Outputs returns OUT(S): the number of nodes in S whose value is
+// consumed outside S — by other operations of the block or by output
+// variable nodes (§5).
+func (g *Graph) Outputs(c Cut) int { return g.OutputsSet(g.memberBits(c)) }
+
+// Convex reports whether S is convex: no path from a node in S to another
+// node in S passes through a node outside S (§5).
+func (g *Graph) Convex(c Cut) bool { return g.ConvexSet(g.memberBits(c)) }
+
+// Legal reports whether the cut satisfies all constraints of Problem 1:
+// no forbidden nodes, IN ≤ nin, OUT ≤ nout, and convexity.
+func (g *Graph) Legal(c Cut, nin, nout int) bool {
+	return g.LegalSet(g.memberBits(c), nin, nout)
+}
+
+// Components returns the number of weakly connected components of the cut
+// (the paper's disconnected cuts, e.g. M2+M3 of Fig. 3, have more than
+// one).
+func (g *Graph) Components(c Cut) int { return g.ComponentsSet(g.memberBits(c)) }
+
+// The *Spec predicates below are the direct transliterations of §5 the
+// package originally shipped. They allocate per call and are kept solely
+// as executable specifications: the quick tests differential-check the
+// word-parallel kernel above against them on random graphs, and the
+// constraint-kernel benchmarks measure the gap.
+
+// InputsSpec is the specification implementation of Inputs.
+func (g *Graph) InputsSpec(c Cut) int {
 	in := g.memberSet(c)
 	seen := map[int]bool{}
 	n := 0
@@ -51,10 +80,8 @@ func (g *Graph) Inputs(c Cut) int {
 	return n
 }
 
-// Outputs returns OUT(S): the number of nodes in S whose value is
-// consumed outside S — by other operations of the block or by output
-// variable nodes (§5).
-func (g *Graph) Outputs(c Cut) int {
+// OutputsSpec is the specification implementation of Outputs.
+func (g *Graph) OutputsSpec(c Cut) int {
 	in := g.memberSet(c)
 	n := 0
 	for _, id := range c {
@@ -68,11 +95,11 @@ func (g *Graph) Outputs(c Cut) int {
 	return n
 }
 
-// Convex reports whether S is convex: no path from a node in S to another
-// node in S passes through a node outside S (§5). V+ nodes have no
+// ConvexSpec is the specification implementation of Convex: forward
+// reachability from the cut through outside nodes only. V+ nodes have no
 // outgoing (KindOut) or incoming (KindIn) edges respectively, so paths
 // through them cannot exist and only operation nodes matter.
-func (g *Graph) Convex(c Cut) bool {
+func (g *Graph) ConvexSpec(c Cut) bool {
 	if len(c) == 0 {
 		return true
 	}
@@ -122,21 +149,18 @@ func (g *Graph) Convex(c Cut) bool {
 	return true
 }
 
-// Legal reports whether the cut satisfies all constraints of Problem 1:
-// no forbidden nodes, IN ≤ nin, OUT ≤ nout, and convexity.
-func (g *Graph) Legal(c Cut, nin, nout int) bool {
+// LegalSpec is the specification implementation of Legal.
+func (g *Graph) LegalSpec(c Cut, nin, nout int) bool {
 	for _, id := range c {
 		if g.Nodes[id].Kind != KindOp || g.Nodes[id].Forbidden {
 			return false
 		}
 	}
-	return g.Inputs(c) <= nin && g.Outputs(c) <= nout && g.Convex(c)
+	return g.InputsSpec(c) <= nin && g.OutputsSpec(c) <= nout && g.ConvexSpec(c)
 }
 
-// Components returns the number of weakly connected components of the cut
-// (the paper's disconnected cuts, e.g. M2+M3 of Fig. 3, have more than
-// one).
-func (g *Graph) Components(c Cut) int {
+// ComponentsSpec is the specification implementation of Components.
+func (g *Graph) ComponentsSpec(c Cut) int {
 	if len(c) == 0 {
 		return 0
 	}
@@ -274,9 +298,10 @@ func (g *Graph) Collapse(c Cut, name string, latency int) (*Graph, error) {
 // Edges, IDs and the search order are shared with the original, so cuts
 // found on the view are valid cuts of the original graph with identical
 // IN/OUT/convexity — the heuristic windowed search of §9 is built on
-// this.
+// this. The view shares the original's constraint kernel (the edge
+// structure is identical) but carries its own forbidden set and scratch.
 func (g *Graph) Restrict(lo, hi int) *Graph {
-	ng := &Graph{Fn: g.Fn, Block: g.Block, OpOrder: g.OpOrder, pos: g.pos}
+	ng := &Graph{Fn: g.Fn, Block: g.Block, OpOrder: g.OpOrder, pos: g.pos, kern: g.kern}
 	ng.Nodes = make([]Node, len(g.Nodes))
 	copy(ng.Nodes, g.Nodes)
 	for rank, id := range g.OpOrder {
@@ -284,5 +309,7 @@ func (g *Graph) Restrict(lo, hi int) *Graph {
 			ng.Nodes[id].Forbidden = true
 		}
 	}
+	ng.rebuildForbidSet()
+	ng.scr = newScratch(len(ng.Nodes))
 	return ng
 }

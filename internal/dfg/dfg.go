@@ -75,6 +75,15 @@ type Graph struct {
 	OpOrder []int
 	// pos[id] is the rank of an op node in OpOrder (-1 for V+ nodes).
 	pos []int
+	// kern holds the precomputed word-parallel constraint tables (see
+	// bitset.go); it is immutable and shared with Restrict views.
+	kern *kernel
+	// forbid marks nodes that may never join a cut (V+ nodes and
+	// Forbidden ops); per-graph because Restrict widens it.
+	forbid BitSet
+	// scr holds the kernel's reusable accumulators; per-graph, so
+	// constraint queries on one Graph are not safe for concurrent use.
+	scr *scratch
 }
 
 // NumOps returns the number of operation nodes (|V|).
@@ -303,6 +312,7 @@ func (g *Graph) rebuildOrder() error {
 	for rank, id := range order {
 		g.pos[id] = rank
 	}
+	g.buildKernel()
 	return nil
 }
 

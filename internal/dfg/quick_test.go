@@ -96,6 +96,100 @@ func TestQuickCutInvariants(t *testing.T) {
 	}
 }
 
+// checkKernelAgainstSpec differential-tests the word-parallel kernel
+// against the specification predicates on one cut.
+func checkKernelAgainstSpec(t *testing.T, g *Graph, c Cut, label string) {
+	t.Helper()
+	if got, want := g.Inputs(c), g.InputsSpec(c); got != want {
+		t.Fatalf("%s: Inputs=%d spec=%d on cut %v", label, got, want, c)
+	}
+	if got, want := g.Outputs(c), g.OutputsSpec(c); got != want {
+		t.Fatalf("%s: Outputs=%d spec=%d on cut %v", label, got, want, c)
+	}
+	if got, want := g.Convex(c), g.ConvexSpec(c); got != want {
+		t.Fatalf("%s: Convex=%v spec=%v on cut %v", label, got, want, c)
+	}
+	if got, want := g.Components(c), g.ComponentsSpec(c); got != want {
+		t.Fatalf("%s: Components=%d spec=%d on cut %v", label, got, want, c)
+	}
+	for _, lim := range [][2]int{{1, 1}, {2, 1}, {4, 2}, {64, 64}} {
+		if got, want := g.Legal(c, lim[0], lim[1]), g.LegalSpec(c, lim[0], lim[1]); got != want {
+			t.Fatalf("%s: Legal(%d,%d)=%v spec=%v on cut %v", label, lim[0], lim[1], got, want, c)
+		}
+	}
+	// The set-based API agrees with the Cut-based wrappers (fresh set, so
+	// the wrappers' scratch reuse cannot mask a stale-state bug).
+	s := g.SetOf(c, nil)
+	if g.InputsSet(s) != g.InputsSpec(c) || g.OutputsSet(s) != g.OutputsSpec(c) ||
+		g.ConvexSet(s) != g.ConvexSpec(c) || g.ComponentsSet(s) != g.ComponentsSpec(c) ||
+		g.LegalSet(s, 4, 2) != g.LegalSpec(c, 4, 2) {
+		t.Fatalf("%s: set-based kernel diverges from spec on cut %v", label, c)
+	}
+}
+
+// TestQuickKernelMatchesSpec: the bitset kernel agrees with the §5
+// specification predicates on random cuts of random graphs — which
+// include loads and stores, so order edges are exercised — including
+// cuts that touch forbidden (barrier) nodes.
+func TestQuickKernelMatchesSpec(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraphLocal(rng, 4+rng.Intn(16))
+		for trial := 0; trial < 8; trial++ {
+			c := randomCut(rng, g)
+			checkKernelAgainstSpec(t, g, c, "random")
+			// Also an illegal-by-construction cut including barrier nodes.
+			var all Cut
+			for _, id := range g.OpOrder {
+				if rng.Intn(2) == 0 {
+					all = append(all, id)
+				}
+			}
+			checkKernelAgainstSpec(t, g, all, "with-forbidden")
+		}
+		checkKernelAgainstSpec(t, g, Cut{}, "empty")
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickKernelAfterCollapse: the kernel stays consistent with the spec
+// on graphs containing collapsed super-nodes, and on Restrict views of
+// them (the shapes the iterative selection and the windowed rescue
+// actually query).
+func TestQuickKernelAfterCollapse(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraphLocal(rng, 8+rng.Intn(10))
+		c := randomCut(rng, g)
+		if len(c) == 0 || !g.ConvexSpec(c) {
+			return true
+		}
+		ng, err := g.Collapse(c, "s", 1)
+		if err != nil {
+			t.Fatalf("collapse of convex cut failed: %v", err)
+		}
+		for trial := 0; trial < 8; trial++ {
+			checkKernelAgainstSpec(t, ng, randomCut(rng, ng), "collapsed")
+		}
+		n := ng.NumOps()
+		if n == 0 {
+			return true
+		}
+		lo := rng.Intn(n)
+		view := ng.Restrict(lo, lo+1+rng.Intn(n-lo))
+		for trial := 0; trial < 4; trial++ {
+			checkKernelAgainstSpec(t, view, randomCut(rng, view), "restricted")
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
 // TestQuickCollapsePreservesBoundary: after collapsing a legal cut, the
 // super-node's degree structure matches the cut's boundary on the
 // original graph (distinct external producers = IN side, and it has a
