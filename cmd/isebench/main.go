@@ -13,6 +13,9 @@
 //	                          # constraint-kernel microbenchmarks, written
 //	                          # as machine-readable JSON for run-to-run
 //	                          # comparison
+//	isebench -fig parbench -parjson BENCH_PR3.json
+//	                          # serial vs work-stealing parallel B&B on the
+//	                          # largest benchmark block
 package main
 
 import (
@@ -27,13 +30,14 @@ import (
 
 func main() {
 	var (
-		fig       = flag.String("fig", "all", "which figure to regenerate: 3, 5, 7, 8, 11, runtime, area, tradeoff, vliw, ifconv, ablation, bench, all")
+		fig       = flag.String("fig", "all", "which figure to regenerate: 3, 5, 7, 8, 11, runtime, area, tradeoff, vliw, ifconv, ablation, bench, parbench, all")
 		budget    = flag.Int64("budget", experiments.DefaultBudget, "cut budget per identification call")
 		measure   = flag.Bool("measure", false, "Fig. 11: additionally patch and measure on the cycle simulator")
 		optimal   = flag.Bool("optimal", false, "Fig. 11: include the Optimal selection (slow on large blocks)")
 		benches   = flag.String("benchmarks", "adpcmdecode,adpcmencode,gsmlpc", "comma-separated benchmark list for Fig. 11")
 		deadline  = flag.Duration("deadline", 0, "Fig. 11: wall-clock budget per selection call (e.g. 2s; 0 = none); tripped cells are marked * as lower bounds")
 		benchJSON = flag.String("benchjson", "", "with -fig bench (or all): write the constraint-kernel benchmark report to this file as JSON (e.g. BENCH_PR2.json)")
+		parJSON   = flag.String("parjson", "", "with -fig parbench (or all): write the parallel B&B benchmark report to this file as JSON (e.g. BENCH_PR3.json)")
 	)
 	flag.Parse()
 	want := func(name string) bool { return *fig == "all" || *fig == name }
@@ -43,13 +47,13 @@ func main() {
 			benchList = append(benchList, b)
 		}
 	}
-	if err := run(want, *budget, *measure, *optimal, benchList, *deadline, *benchJSON); err != nil {
+	if err := run(want, *budget, *measure, *optimal, benchList, *deadline, *benchJSON, *parJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "isebench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(want func(string) bool, budget int64, measure, optimal bool, benchList []string, deadline time.Duration, benchJSON string) error {
+func run(want func(string) bool, budget int64, measure, optimal bool, benchList []string, deadline time.Duration, benchJSON, parJSON string) error {
 	section := func(s string) { fmt.Println(); fmt.Println(s); fmt.Println() }
 
 	if want("bench") || benchJSON != "" {
@@ -63,6 +67,20 @@ func run(want func(string) bool, budget int64, measure, optimal bool, benchList 
 				return err
 			}
 			fmt.Printf("wrote %s\n", benchJSON)
+		}
+	}
+
+	if want("parbench") || parJSON != "" {
+		rep, err := experiments.ParBench()
+		if err != nil {
+			return err
+		}
+		section(experiments.ParBenchTable(rep))
+		if parJSON != "" {
+			if err := rep.WriteJSON(parJSON); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", parJSON)
 		}
 	}
 

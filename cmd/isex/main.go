@@ -52,6 +52,7 @@ func run() error {
 		ninstr    = flag.Int("ninstr", 8, "maximum number of special instructions to select")
 		method    = flag.String("method", "iterative", "selection algorithm: iterative, optimal, clubbing, maxmiso")
 		budget    = flag.Int64("budget", 2_000_000, "cut budget per identification call (0 = unlimited)")
+		workers   = flag.Int("workers", 0, "run each block's exact search on the work-stealing parallel branch-and-bound engine with this many workers (0 = serial; results are bit-identical)")
 		deadline  = flag.Duration("deadline", 0, "wall-clock budget for identification (e.g. 500ms; 0 = none); on expiry the best selection found so far is reported")
 		unroll    = flag.Int("unroll", 0, "fully unroll counted loops up to this trip count (-src mode)")
 		simulate  = flag.Bool("simulate", false, "patch the selection in and measure the speedup on the cycle simulator")
@@ -123,7 +124,7 @@ func run() error {
 	}
 
 	model := latency.Default()
-	cfg := core.Config{Nin: *nin, Nout: *nout, Model: model, MaxCuts: *budget}
+	cfg := core.Config{Nin: *nin, Nout: *nout, Model: model, MaxCuts: *budget, Workers: *workers}
 	ctx := context.Background()
 	if *deadline > 0 {
 		var cancel context.CancelFunc

@@ -38,32 +38,39 @@ func FindBestCuts(g *dfg.Graph, m int, cfg Config) MultiResult {
 }
 
 // FindBestCutsCtx is FindBestCuts under a context: the search polls ctx
-// every ctxCheckInterval explored cuts and, on expiry or cancellation,
+// every ctxCheckInterval visited nodes and, on expiry or cancellation,
 // returns the incumbent assignment with Status set accordingly.
 func FindBestCutsCtx(ctx context.Context, g *dfg.Graph, m int, cfg Config) MultiResult {
 	if m < 1 {
 		return MultiResult{}
 	}
+	if cfg.Workers > 0 {
+		return findBestCutsParallel(ctx, g, m, cfg)
+	}
 	s := newMultiSearcher(g, m, cfg)
 	s.ctx = ctx
-	s.visit(0)
+	s.run()
 	res := MultiResult{Stats: s.stats, Status: s.stop}
 	res.Stats.Aborted = s.stop != Exhaustive
-	if s.bestFound {
+	if s.bestFound && s.bestCuts != nil {
 		res.Found = true
-		model := cfg.model()
-		for _, c := range s.bestCuts {
-			if len(c) == 0 {
-				continue
-			}
-			cc := c.Canon()
-			res.Cuts = append(res.Cuts, cc)
-			est := Evaluate(g, cc, model)
-			res.Ests = append(res.Ests, est)
-			res.TotalMerit += est.Merit
-		}
+		fillMultiResult(&res, g, s.bestCuts, cfg.model())
 	}
 	return res
+}
+
+// fillMultiResult canonicalizes an assignment's non-empty cuts into res.
+func fillMultiResult(res *MultiResult, g *dfg.Graph, cuts []dfg.Cut, model *latency.Model) {
+	for _, c := range cuts {
+		if len(c) == 0 {
+			continue
+		}
+		cc := c.Canon()
+		res.Cuts = append(res.Cuts, cc)
+		est := Evaluate(g, cc, model)
+		res.Ests = append(res.Ests, est)
+		res.TotalMerit += est.Merit
+	}
 }
 
 type multiSearcher struct {
@@ -85,14 +92,34 @@ type multiSearcher struct {
 	crit   []float64
 	sizes  []int // members per cut
 
+	// bestFound/bestMerit form the recording threshold; bestCuts is nil
+	// when the threshold was seeded by the parallel engine from a
+	// sibling's result rather than recorded here (see seedThreshold).
 	bestFound bool
 	bestMerit int64
 	bestCuts  []dfg.Cut
 	stats     Stats
-	// ctx is polled every ctxCheckInterval 1-branches; stop records why
-	// the search ended early (Exhaustive while it is still running).
+	// ctx is polled every ctxCheckInterval visited nodes (ticks); stop
+	// records why the search ended early (Exhaustive while running).
 	ctx  context.Context
 	stop SearchStatus
+	tick int64
+
+	// Engine attachment, as in searcher: nil for the serial search.
+	eng       *bbEngine
+	flushMark int64
+	wid       int
+
+	// Donation bookkeeping (engine runs only; see searcher for the
+	// scheme). path[r] is the cut label of the live frame at rank r, 0
+	// while in its 0-branch; the multi tree has no PruneInputs guard on
+	// the 0-branch, so no zeroOK is needed.
+	base    int
+	curRank int
+	path    []uint8
+	donated []bool
+
+	replayUndo []multiReplayStep
 }
 
 func newMultiSearcher(g *dfg.Graph, m int, cfg Config) *multiSearcher {
@@ -121,6 +148,42 @@ func newMultiSearcher(g *dfg.Graph, m int, cfg Config) *multiSearcher {
 	return s
 }
 
+// seedThreshold raises the recording threshold without providing an
+// assignment: subsequent records must strictly beat merit. Used by the
+// parallel engine to inherit the lineage's running best.
+func (s *multiSearcher) seedThreshold(merit int64) {
+	s.bestFound = true
+	s.bestMerit = merit
+	s.bestCuts = nil
+}
+
+func (s *multiSearcher) run() {
+	s.poll()
+	s.visit(0)
+}
+
+// poll checks the stop sources: the engine (shared budget and context)
+// when attached, the plain context otherwise. It runs at search entry
+// and every ctxCheckInterval visited nodes — on both branches, so a long
+// run of 0-branches or forbidden nodes cannot outlive a cancellation.
+func (s *multiSearcher) poll() {
+	if s.eng != nil {
+		if st := s.eng.pollSearch(&s.stats, &s.flushMark); st != Exhaustive {
+			s.stop = st
+			return
+		}
+		if s.eng.needWork.Load() {
+			s.tryDonate()
+		}
+		return
+	}
+	if s.ctx != nil {
+		if err := s.ctx.Err(); err != nil {
+			s.stop = statusOfCtx(err)
+		}
+	}
+}
+
 // totalMerit sums the merit of all non-empty cuts in the current state.
 func (s *multiSearcher) totalMerit() int64 {
 	var total int64
@@ -137,22 +200,36 @@ func (s *multiSearcher) totalMerit() int64 {
 	return total
 }
 
+// maxOpenCut returns the highest cut label the symmetry-breaking rule
+// admits at this point: cut k may be opened only if cut k−1 is in use.
+func (s *multiSearcher) maxOpenCut() int {
+	maxK := 0
+	for k := 1; k <= s.m; k++ {
+		maxK = k
+		if s.sizes[k] == 0 {
+			break
+		}
+	}
+	return maxK
+}
+
 func (s *multiSearcher) visit(rank int) {
 	if s.stop != Exhaustive || rank == len(s.order) {
 		return
+	}
+	s.curRank = rank
+	s.tick++
+	if s.tick&(ctxCheckInterval-1) == 0 {
+		s.poll()
+		if s.stop != Exhaustive {
+			return
+		}
 	}
 	id := s.order[rank]
 	node := &s.g.Nodes[id]
 
 	if !node.Forbidden {
-		// Symmetry breaking: cut k may be opened only if k-1 is in use.
-		maxK := 0
-		for k := 1; k <= s.m; k++ {
-			maxK = k
-			if s.sizes[k] == 0 {
-				break
-			}
-		}
+		maxK := s.maxOpenCut()
 		for k := 1; k <= maxK; k++ {
 			if s.stop != Exhaustive {
 				return
@@ -161,24 +238,38 @@ func (s *multiSearcher) visit(rank int) {
 				s.stop = BudgetStopped
 				return
 			}
-			if s.ctx != nil && s.stats.CutsConsidered&(ctxCheckInterval-1) == 0 {
-				if err := s.ctx.Err(); err != nil {
-					s.stop = statusOfCtx(err)
-					return
-				}
-			}
 			s.stats.CutsConsidered++
 			s.tryInclude(rank, id, k)
 		}
 	}
 
 	// 0-branch: update reach for every cut.
+	if s.eng != nil {
+		if s.donated[rank] {
+			// Handed to another worker by tryDonate while one of this
+			// frame's k-subtrees was being searched.
+			s.donated[rank] = false
+			return
+		}
+		s.path[rank] = 0
+	}
+	saved := s.applyExcludeReach(id)
+	s.visit(rank + 1)
+	s.undoExcludeReach(id, saved)
+}
+
+// applyExcludeReach decides node id out of every cut, propagating reach;
+// it returns the saved per-cut reach bits for undoExcludeReach.
+func (s *multiSearcher) applyExcludeReach(id int) []bool {
 	saved := make([]bool, s.m+1)
 	for k := 1; k <= s.m; k++ {
 		saved[k] = s.reach[k][id]
 		s.reach[k][id] = s.reachVia(k, id)
 	}
-	s.visit(rank + 1)
+	return saved
+}
+
+func (s *multiSearcher) undoExcludeReach(id int, saved []bool) {
 	for k := 1; k <= s.m; k++ {
 		s.reach[k][id] = saved[k]
 	}
@@ -199,49 +290,55 @@ func (s *multiSearcher) reachVia(k, id int) bool {
 	return false
 }
 
-func (s *multiSearcher) tryInclude(rank, id, k int) {
-	node := &s.g.Nodes[id]
-	// Convexity of cut k.
-	convOK := true
+// convexOKFor reports whether assigning node to cut k keeps k convex.
+func (s *multiSearcher) convexOKFor(node *dfg.Node, k int) bool {
 	for _, sc := range node.Succs {
 		if s.g.Nodes[sc].Kind == dfg.KindOp && s.assign[sc] != k && s.reach[k][sc] {
-			convOK = false
-			break
+			return false
 		}
 	}
-	if convOK {
-		for _, sc := range node.OrderSuccs {
-			if s.assign[sc] != k && s.reach[k][sc] {
-				convOK = false
-				break
-			}
+	for _, sc := range node.OrderSuccs {
+		if s.assign[sc] != k && s.reach[k][sc] {
+			return false
 		}
 	}
+	return true
+}
 
-	// Apply.
+// assignUndo captures what applyAssign changed beyond the per-node
+// arrays, so undoAssign can restore the state exactly.
+type assignUndo struct {
+	savedReach []bool
+	isOut      bool
+	absorbed   bool
+	prevCrit   float64
+}
+
+// applyAssign puts node id into cut k, updating the incremental per-cut
+// IN/OUT, software-latency and critical-path state.
+func (s *multiSearcher) applyAssign(id int, node *dfg.Node, k int) assignUndo {
+	u := assignUndo{savedReach: make([]bool, s.m+1)}
 	s.assign[id] = k
 	s.sizes[k]++
-	savedReach := make([]bool, s.m+1)
 	for j := 1; j <= s.m; j++ {
-		savedReach[j] = s.reach[j][id]
+		u.savedReach[j] = s.reach[j][id]
 		if j == k {
 			s.reach[j][id] = true
 		} else {
 			s.reach[j][id] = s.reachVia(j, id)
 		}
 	}
-	isOut := false
 	for _, sc := range node.Succs {
 		if s.g.Nodes[sc].Kind != dfg.KindOp || s.assign[sc] != k {
-			isOut = true
+			u.isOut = true
 			break
 		}
 	}
-	if isOut {
+	if u.isOut {
 		s.out[k]++
 	}
-	absorbed := s.refCnt[k][id] > 0
-	if absorbed {
+	u.absorbed = s.refCnt[k][id] > 0
+	if u.absorbed {
 		s.inputs[k]--
 	}
 	for _, p := range node.Preds {
@@ -258,21 +355,15 @@ func (s *multiSearcher) tryInclude(rank, id, k int) {
 		}
 	}
 	s.lenTo[k][id] = best + s.model.HW(node.Op)
-	prevCrit := s.crit[k]
+	u.prevCrit = s.crit[k]
 	if s.lenTo[k][id] > s.crit[k] {
 		s.crit[k] = s.lenTo[k][id]
 	}
+	return u
+}
 
-	if convOK && s.out[k] <= s.cfg.Nout {
-		s.stats.Passed++
-		s.maybeRecord()
-		s.visit(rank + 1)
-	} else {
-		s.stats.Pruned++
-	}
-
-	// Undo.
-	s.crit[k] = prevCrit
+func (s *multiSearcher) undoAssign(id int, node *dfg.Node, k int, u assignUndo) {
+	s.crit[k] = u.prevCrit
 	s.lenTo[k][id] = 0
 	s.sw[k] -= int64(s.model.SW(node.Op))
 	for _, p := range node.Preds {
@@ -281,20 +372,39 @@ func (s *multiSearcher) tryInclude(rank, id, k int) {
 		}
 		s.refCnt[k][p]--
 	}
-	if absorbed {
+	if u.absorbed {
 		s.inputs[k]++
 	}
-	if isOut {
+	if u.isOut {
 		s.out[k]--
 	}
 	for j := 1; j <= s.m; j++ {
-		s.reach[j][id] = savedReach[j]
+		s.reach[j][id] = u.savedReach[j]
 	}
 	s.sizes[k]--
 	s.assign[id] = 0
 }
 
+func (s *multiSearcher) tryInclude(rank, id, k int) {
+	node := &s.g.Nodes[id]
+	convOK := s.convexOKFor(node, k)
+	u := s.applyAssign(id, node, k)
+	if convOK && s.out[k] <= s.cfg.Nout {
+		s.stats.Passed++
+		s.maybeRecord()
+		if s.eng != nil {
+			s.path[rank] = uint8(k)
+		}
+		s.visit(rank + 1)
+	} else {
+		s.stats.Pruned++
+	}
+	s.undoAssign(id, node, k, u)
+}
+
 // maybeRecord evaluates the current assignment as a candidate solution.
+// The strict comparison keeps the first assignment (in search order) of
+// each total-merit level, which makes the parallel merge reproducible.
 func (s *multiSearcher) maybeRecord() {
 	// Every non-empty cut must satisfy the input constraint; empty cuts
 	// contribute nothing.
@@ -370,4 +480,44 @@ func (s *multiSearcher) interCutCycle() bool {
 		}
 	}
 	return false
+}
+
+// multiReplayStep records one prefix decision for exact unwinding.
+type multiReplayStep struct {
+	id         int
+	k          int // 0 = exclude
+	u          assignUndo
+	savedReach []bool
+}
+
+// replay applies a decision prefix (decision r for rank r; 0 = exclude,
+// k = assign to cut k) onto a clean multiSearcher, rebuilding the exact
+// incremental state the serial search would have at that tree position.
+func (s *multiSearcher) replay(prefix []uint8) {
+	for r, d := range prefix {
+		id := s.order[r]
+		if s.path != nil {
+			s.path[r] = d // tryDonate rebuilds prefixes from path
+		}
+		step := multiReplayStep{id: id, k: int(d)}
+		if step.k > 0 {
+			step.u = s.applyAssign(id, &s.g.Nodes[id], step.k)
+		} else {
+			step.savedReach = s.applyExcludeReach(id)
+		}
+		s.replayUndo = append(s.replayUndo, step)
+	}
+}
+
+// unreplay unwinds a replay, restoring the clean state.
+func (s *multiSearcher) unreplay() {
+	for i := len(s.replayUndo) - 1; i >= 0; i-- {
+		st := s.replayUndo[i]
+		if st.k > 0 {
+			s.undoAssign(st.id, &s.g.Nodes[st.id], st.k, st.u)
+		} else {
+			s.undoExcludeReach(st.id, st.savedReach)
+		}
+	}
+	s.replayUndo = s.replayUndo[:0]
 }

@@ -1,0 +1,189 @@
+package core
+
+import (
+	"context"
+	"sync"
+
+	"isex/internal/dfg"
+)
+
+// findBestCutsParallel is FindBestCutsCtx on the work-stealing engine
+// (Config.Workers > 0). The multi-cut searcher has no merit pruning, so
+// the engine runs without the shared bound or a warm start; splitting
+// and deterministic merging work exactly as in the single-cut engine,
+// with decision k (join cut k) in place of decision 1.
+func findBestCutsParallel(ctx context.Context, g *dfg.Graph, m int, cfg Config) MultiResult {
+	if m > 255 {
+		// Prefix decisions are uint8; identification never needs hundreds
+		// of simultaneous cuts, so just run serially.
+		cfg.Workers = 0
+		return FindBestCutsCtx(ctx, g, m, cfg)
+	}
+	if err := ctx.Err(); err != nil {
+		return MultiResult{Status: statusOfCtx(err), Stats: Stats{Aborted: true}}
+	}
+
+	nw := cfg.Workers
+	e := newBBEngine(ctx, nw, len(g.OpOrder), cfg.MaxCuts, false)
+	e.push(0, []bbSub{{prefix: []uint8{}}})
+
+	wcfg := workerConfig(cfg)
+	outs := make([]bbBest, nw)
+	statsArr := make([]Stats, nw)
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			e.runMultiWorker(w, g, m, wcfg, &outs[w], &statsArr[w])
+		}(w)
+	}
+	wg.Wait()
+
+	var best bbBest
+	for w := range outs {
+		best.better(outs[w])
+	}
+	res := MultiResult{Status: e.finalStatus()}
+	for w := range statsArr {
+		res.Stats.add(statsArr[w])
+	}
+	res.Stats.Aborted = res.Status != Exhaustive
+	if best.found {
+		res.Found = true
+		fillMultiResult(&res, g, best.cuts, cfg.model())
+	}
+	return res
+}
+
+// attachMulti wires a worker's private multi searcher to the engine.
+func (e *bbEngine) attachMulti(s *multiSearcher, wid int) {
+	s.eng = e
+	s.ctx = e.ctx
+	s.wid = wid
+	s.path = make([]uint8, len(s.order))
+	s.donated = make([]bool, len(s.order))
+}
+
+// runMultiWorker is runSingleWorker for the multi-cut tree.
+func (e *bbEngine) runMultiWorker(wid int, g *dfg.Graph, m int, cfg Config, out *bbBest, stats *Stats) {
+	holding := false
+	defer func() {
+		if r := recover(); r != nil {
+			e.workerAbort(holding)
+		}
+	}()
+	s := newMultiSearcher(g, m, cfg)
+	e.attachMulti(s, wid)
+	for {
+		sub, expand, ok := e.take(wid)
+		if !ok {
+			break
+		}
+		holding = true
+		if !e.runOneMulti(s, sub, expand, out) {
+			ns := newMultiSearcher(g, m, cfg)
+			e.attachMulti(ns, wid)
+			ns.stats = s.stats
+			ns.tick = s.tick
+			ns.flushMark = s.flushMark
+			s = ns
+		}
+		e.release()
+		holding = false
+	}
+	*stats = s.stats
+}
+
+// runOneMulti executes one subproblem, mirroring runOneSingle.
+func (e *bbEngine) runOneMulti(s *multiSearcher, sub bbSub, expand bool, out *bbBest) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.note(Recovered)
+			ok = false
+		}
+	}()
+	if bbSubHook != nil {
+		bbSubHook(sub.prefix)
+	}
+	s.replay(sub.prefix)
+	s.base = len(sub.prefix)
+	s.curRank = s.base
+	if sub.seeded {
+		s.seedThreshold(sub.seed)
+	} else {
+		s.bestFound = false
+		s.bestMerit = 0
+		s.bestCuts = nil
+	}
+	s.stop = Exhaustive
+	if expand {
+		if children := e.expandMulti(s, sub, out); len(children) > 0 {
+			e.push(s.wid, children)
+		}
+	} else {
+		s.poll()
+		s.visit(s.base)
+		if s.bestCuts != nil {
+			out.better(bbBest{found: true, merit: s.bestMerit, cuts: s.bestCuts, key: sub.prefix})
+		}
+	}
+	if s.stop != Exhaustive {
+		e.halt(s.stop)
+	}
+	s.unreplay()
+	return true
+}
+
+// expandMulti mirrors exactly one multi visit level at the subproblem's
+// rank: the (M+1)-ary branching with symmetry breaking, same counters,
+// same candidate recording. The 0-child needs no feasibility guard (the
+// serial 0-branch recurses unconditionally), so its reach update is left
+// to the child's own replay.
+func (e *bbEngine) expandMulti(s *multiSearcher, sub bbSub, out *bbBest) []bbSub {
+	d := len(sub.prefix)
+	id := s.order[d]
+	node := &s.g.Nodes[id]
+	var children []bbSub
+	if !node.Forbidden {
+		maxK := s.maxOpenCut()
+		for k := 1; k <= maxK; k++ {
+			s.stats.CutsConsidered++
+			convOK := s.convexOKFor(node, k)
+			u := s.applyAssign(id, node, k)
+			if convOK && s.out[k] <= s.cfg.Nout {
+				s.stats.Passed++
+				key := childKey(sub.prefix, uint8(k))
+				m0, f0 := s.bestMerit, s.bestFound
+				s.maybeRecord()
+				if s.bestCuts != nil && (!f0 || s.bestMerit > m0) {
+					out.better(bbBest{found: true, merit: s.bestMerit, cuts: s.bestCuts, key: key})
+				}
+				children = append(children, bbSub{prefix: key, seed: s.bestMerit, seeded: s.bestFound})
+			} else {
+				s.stats.Pruned++
+			}
+			s.undoAssign(id, node, k, u)
+		}
+	}
+	children = append(children, bbSub{prefix: childKey(sub.prefix, 0), seed: s.bestMerit, seeded: s.bestFound})
+	return children
+}
+
+// tryDonate is the multi-cut analog of searcher.tryDonate: donate the
+// 0-branch of the shallowest live frame currently inside a k-subtree.
+// Only the 0-branch is donated — the remaining k-siblings stay with the
+// owner — which is enough: the 0-subtree is the bulk of every frame.
+func (s *multiSearcher) tryDonate() {
+	for r := s.base; r < s.curRank; r++ {
+		if s.path[r] != 0 && !s.donated[r] {
+			pfx := make([]uint8, r+1)
+			copy(pfx, s.path[:r])
+			pfx[r] = 0
+			if s.eng.donate(s.wid, pfx, s.bestMerit, s.bestFound) {
+				s.donated[r] = true
+			}
+			return
+		}
+	}
+}

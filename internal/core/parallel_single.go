@@ -1,0 +1,245 @@
+package core
+
+import (
+	"context"
+	"sync"
+
+	"isex/internal/dfg"
+)
+
+// findBestCutParallel is FindBestCutCtx on the work-stealing engine
+// (Config.Workers > 0). A completed run returns the bit-identical result
+// of the serial search; see the package comment in parallel.go.
+func findBestCutParallel(ctx context.Context, g *dfg.Graph, cfg Config) Result {
+	// Warm start: with PruneMerit the shared bound is only as good as the
+	// incumbent, so the engine always warm-starts when pruning is on;
+	// WarmStart forces it for the unpruned search too. As on the serial
+	// path, the warm pass is charged against neither MaxCuts nor Stats.
+	var base bbBest
+	if (cfg.PruneMerit || cfg.WarmStart) && g.NumOps() > warmWindow {
+		w := findWarmIncumbent(ctx, g, cfg)
+		if w.Found {
+			base = bbBest{found: true, merit: w.Est.Merit, cut: w.Cut, base: true}
+		}
+		if w.Status != Exhaustive {
+			res := Result{Status: w.Status}
+			res.Stats.Aborted = true
+			if w.Found {
+				res.Found, res.Cut, res.Est = true, w.Cut, w.Est
+			}
+			return res
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		res := Result{Status: statusOfCtx(err)}
+		res.Stats.Aborted = true
+		if base.found {
+			res.Found = true
+			res.Cut = base.cut.Canon()
+			res.Est = Evaluate(g, res.Cut, cfg.model())
+		}
+		return res
+	}
+
+	nw := cfg.Workers
+	e := newBBEngine(ctx, nw, len(g.OpOrder), cfg.MaxCuts, cfg.PruneMerit)
+	root := bbSub{prefix: []uint8{}}
+	if base.found {
+		// Seed the recording threshold one unit below the warm merit, and
+		// the (strict-comparison) pruning bound at the warm merit itself:
+		// cuts tying the warm incumbent are still reached and recorded, so
+		// the DFS-first optimum wins exactly as in the serial search.
+		root.seed = base.merit - 1
+		root.seeded = true
+		if e.sharedOn {
+			e.shared.Store(base.merit)
+		}
+	}
+	e.push(0, []bbSub{root})
+
+	wcfg := workerConfig(cfg)
+	outs := make([]bbBest, nw)
+	statsArr := make([]Stats, nw)
+	var wg sync.WaitGroup
+	for w := 0; w < nw; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			e.runSingleWorker(w, g, wcfg, &outs[w], &statsArr[w])
+		}(w)
+	}
+	wg.Wait()
+
+	best := base
+	for w := range outs {
+		best.better(outs[w])
+	}
+	res := Result{Status: e.finalStatus()}
+	for w := range statsArr {
+		res.Stats.add(statsArr[w])
+	}
+	res.Stats.Aborted = res.Status != Exhaustive
+	if best.found {
+		res.Found = true
+		res.Cut = best.cut.Canon()
+		res.Est = Evaluate(g, res.Cut, cfg.model())
+	}
+	return res
+}
+
+// attachSingle wires a worker's private searcher to the engine and
+// allocates the donation bookkeeping (path / zeroOK / donated, indexed
+// by rank; see tryDonate).
+func (e *bbEngine) attachSingle(s *searcher, wid int) {
+	s.eng = e
+	s.ctx = e.ctx
+	s.wid = wid
+	s.path = make([]uint8, len(s.order))
+	s.zeroOK = make([]bool, len(s.order))
+	s.donated = make([]bool, len(s.order))
+}
+
+// runSingleWorker is one worker's life: pop (or steal) subproblems until
+// the engine stops or the work is exhausted. The searcher clone persists
+// across subproblems — replay/unreplay keep it clean — and is rebuilt
+// (carrying its counters) if a recovered panic left it unreliable.
+func (e *bbEngine) runSingleWorker(wid int, g *dfg.Graph, cfg Config, out *bbBest, stats *Stats) {
+	holding := false
+	defer func() {
+		if r := recover(); r != nil {
+			e.workerAbort(holding)
+		}
+	}()
+	s := newSearcher(g, cfg)
+	e.attachSingle(s, wid)
+	for {
+		sub, expand, ok := e.take(wid)
+		if !ok {
+			break
+		}
+		holding = true
+		if !e.runOneSingle(s, sub, expand, out) {
+			ns := newSearcher(g, cfg)
+			e.attachSingle(ns, wid)
+			ns.stats = s.stats
+			ns.tick = s.tick
+			ns.flushMark = s.flushMark
+			ns.sharedCache = s.sharedCache
+			s = ns
+		}
+		e.release()
+		holding = false
+	}
+	*stats = s.stats
+}
+
+// runOneSingle executes one subproblem on worker searcher s. A panic is
+// contained to the subproblem: its subtree is lost, the engine notes
+// Recovered, and the caller rebuilds the searcher (ok=false).
+func (e *bbEngine) runOneSingle(s *searcher, sub bbSub, expand bool, out *bbBest) (ok bool) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.note(Recovered)
+			ok = false
+		}
+	}()
+	if bbSubHook != nil {
+		bbSubHook(sub.prefix)
+	}
+	s.replay(sub.prefix)
+	s.base = len(sub.prefix)
+	s.curRank = s.base
+	s.bestFound = sub.seeded
+	s.bestMerit = 0
+	if sub.seeded {
+		s.bestMerit = sub.seed
+	}
+	s.bestCut = nil
+	s.stop = Exhaustive
+	if expand {
+		if children := e.expandSingle(s, sub, out); len(children) > 0 {
+			e.push(s.wid, children)
+		}
+	} else {
+		s.poll()
+		s.visit(s.base)
+		if s.bestCut != nil {
+			out.better(bbBest{found: true, merit: s.bestMerit, cut: s.bestCut, key: sub.prefix})
+		}
+	}
+	if s.stop != Exhaustive {
+		e.halt(s.stop)
+	}
+	s.unreplay()
+	return true
+}
+
+// expandSingle mirrors exactly one visit level at the subproblem's rank:
+// same counters, same feasibility guards, same candidate recording (the
+// serial search records a cut when its last node is included — before
+// descending — so the record belongs to this level, keyed prefix+[1]).
+// Children are returned in DFS order with the level's running-best merit
+// as their recording seed.
+func (e *bbEngine) expandSingle(s *searcher, sub bbSub, out *bbBest) []bbSub {
+	d := len(sub.prefix)
+	if s.cfg.PruneMerit {
+		ub := s.meritUB(d)
+		if (s.bestFound && ub <= s.bestMerit) || ub < s.sharedCache {
+			return nil
+		}
+	}
+	id := s.order[d]
+	node := &s.g.Nodes[id]
+	var children []bbSub
+	if !node.Forbidden {
+		s.stats.CutsConsidered++
+		convOK := s.convexOK(node)
+		u := s.applyInclude(id, node)
+		if convOK && s.out <= s.cfg.Nout {
+			s.stats.Passed++
+			key := childKey(sub.prefix, 1)
+			if s.inputs <= s.cfg.Nin {
+				m0, f0 := s.bestMerit, s.bestFound
+				s.record()
+				if s.bestCut != nil && (!f0 || s.bestMerit > m0) {
+					out.better(bbBest{found: true, merit: s.bestMerit, cut: s.bestCut, key: key})
+				}
+			}
+			if !s.cfg.PruneInputs || s.permIn <= s.cfg.Nin {
+				children = append(children, bbSub{prefix: key, seed: s.bestMerit, seeded: s.bestFound})
+			}
+		} else {
+			s.stats.Pruned++
+		}
+		s.undoInclude(id, node, u)
+	}
+	exclPermIn := s.applyExclude(id, node)
+	if !s.cfg.PruneInputs || s.permIn <= s.cfg.Nin {
+		children = append(children, bbSub{prefix: childKey(sub.prefix, 0), seed: s.bestMerit, seeded: s.bestFound})
+	}
+	s.undoExclude(id, exclPermIn)
+	return children
+}
+
+// tryDonate re-splits the running subtree: the shallowest live ancestor
+// frame whose 0-branch is still pending (path[r] == 1) and would pass
+// the serial search's PruneInputs guard (zeroOK) is handed to the engine
+// as a fresh subproblem, and the frame skips that branch on unwind
+// (donated). The donated seed is the worker's current local best — the
+// merit of a DFS-earlier record — which can never suppress the DFS-first
+// record of the maximum merit, so determinism is preserved; the shared
+// bound is deliberately not used as a seed, because it may hold a merit
+// from a DFS-*later* position.
+func (s *searcher) tryDonate() {
+	for r := s.base; r < s.curRank; r++ {
+		if s.path[r] == 1 && !s.donated[r] && s.zeroOK[r] {
+			pfx := make([]uint8, r+1)
+			copy(pfx, s.path[:r])
+			pfx[r] = 0
+			if s.eng.donate(s.wid, pfx, s.bestMerit, s.bestFound) {
+				s.donated[r] = true
+			}
+			return
+		}
+	}
+}

@@ -1,0 +1,366 @@
+package core
+
+import (
+	"context"
+	"math/rand"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"isex/internal/dfg"
+	"isex/internal/ir"
+	"isex/internal/workload"
+)
+
+var parallelWorkerCounts = []int{1, 2, 4, 8}
+
+// TestParallelMatchesSerial is the determinism contract: for every
+// worker count and every Config variant, a completed parallel run
+// returns the bit-identical result of the serial search — same Found,
+// same merit, same canonical cut, same Status. With PruneMerit off the
+// Stats must match exactly too (the executed subproblems partition the
+// serial tree); with PruneMerit on only the result is guaranteed.
+func TestParallelMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(401))
+	variants := []Config{
+		{Nin: 3, Nout: 2},
+		{Nin: 4, Nout: 2, PruneInputs: true},
+		{Nin: 3, Nout: 2, PruneMerit: true},
+		{Nin: 4, Nout: 3, PruneMerit: true, PruneInputs: true},
+	}
+	for trial := 0; trial < 12; trial++ {
+		g := randomGraph(t, rng, 14+rng.Intn(10))
+		for vi, base := range variants {
+			serial := FindBestCut(g, base)
+			if serial.Status != Exhaustive {
+				t.Fatalf("trial %d variant %d: serial not exhaustive", trial, vi)
+			}
+			for _, nw := range parallelWorkerCounts {
+				cfg := base
+				cfg.Workers = nw
+				par := FindBestCut(g, cfg)
+				if par.Status != Exhaustive {
+					t.Fatalf("trial %d variant %d workers %d: status %v",
+						trial, vi, nw, par.Status)
+				}
+				if par.Found != serial.Found {
+					t.Fatalf("trial %d variant %d workers %d: found %v, serial %v",
+						trial, vi, nw, par.Found, serial.Found)
+				}
+				if par.Found {
+					if par.Est.Merit != serial.Est.Merit {
+						t.Fatalf("trial %d variant %d workers %d: merit %d, serial %d",
+							trial, vi, nw, par.Est.Merit, serial.Est.Merit)
+					}
+					if !par.Cut.Equal(serial.Cut) {
+						t.Fatalf("trial %d variant %d workers %d: cut %v, serial %v",
+							trial, vi, nw, par.Cut, serial.Cut)
+					}
+				}
+				if !base.PruneMerit && par.Stats != serial.Stats {
+					t.Fatalf("trial %d variant %d workers %d: stats %+v, serial %+v",
+						trial, vi, nw, par.Stats, serial.Stats)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelRepeatDeterministic re-runs the same pruned parallel
+// search: the cut and merit must never depend on scheduling.
+func TestParallelRepeatDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(402))
+	g := randomGraph(t, rng, 22)
+	cfg := Config{Nin: 4, Nout: 2, PruneMerit: true, Workers: 4}
+	first := FindBestCut(g, cfg)
+	for i := 0; i < 8; i++ {
+		again := FindBestCut(g, cfg)
+		if again.Found != first.Found || again.Est.Merit != first.Est.Merit ||
+			!again.Cut.Equal(first.Cut) || again.Status != first.Status {
+			t.Fatalf("run %d diverged: %v/%d vs %v/%d", i,
+				again.Cut, again.Est.Merit, first.Cut, first.Est.Merit)
+		}
+	}
+}
+
+// TestParallelMultiMatchesSerial is the determinism contract for the
+// (M+1)-ary multi-cut engine. The multi searcher has no merit pruning,
+// so Stats must always match the serial run exactly.
+func TestParallelMultiMatchesSerial(t *testing.T) {
+	rng := rand.New(rand.NewSource(403))
+	for trial := 0; trial < 8; trial++ {
+		g := randomGraph(t, rng, 10+rng.Intn(6))
+		for _, m := range []int{2, 3} {
+			base := Config{Nin: 3, Nout: 2}
+			serial := FindBestCuts(g, m, base)
+			for _, nw := range parallelWorkerCounts {
+				cfg := base
+				cfg.Workers = nw
+				par := FindBestCuts(g, m, cfg)
+				if par.Found != serial.Found || par.TotalMerit != serial.TotalMerit ||
+					par.Status != serial.Status {
+					t.Fatalf("trial %d m=%d workers %d: %v/%d/%v vs serial %v/%d/%v",
+						trial, m, nw, par.Found, par.TotalMerit, par.Status,
+						serial.Found, serial.TotalMerit, serial.Status)
+				}
+				if len(par.Cuts) != len(serial.Cuts) {
+					t.Fatalf("trial %d m=%d workers %d: %d cuts, serial %d",
+						trial, m, nw, len(par.Cuts), len(serial.Cuts))
+				}
+				for i := range par.Cuts {
+					if !par.Cuts[i].Equal(serial.Cuts[i]) {
+						t.Fatalf("trial %d m=%d workers %d: cut %d is %v, serial %v",
+							trial, m, nw, i, par.Cuts[i], serial.Cuts[i])
+					}
+				}
+				if par.Stats != serial.Stats {
+					t.Fatalf("trial %d m=%d workers %d: stats %+v, serial %+v",
+						trial, m, nw, par.Stats, serial.Stats)
+				}
+			}
+		}
+	}
+}
+
+// TestParallelPreCanceled: a context canceled before the call returns
+// immediately with Canceled and no work done, like the serial search.
+func TestParallelPreCanceled(t *testing.T) {
+	rng := rand.New(rand.NewSource(404))
+	g := randomGraph(t, rng, 20)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, prune := range []bool{false, true} {
+		res := FindBestCutCtx(ctx, g, Config{Nin: 3, Nout: 2, PruneMerit: prune, Workers: 4})
+		if res.Status != Canceled {
+			t.Errorf("prune=%v: status %v, want Canceled", prune, res.Status)
+		}
+		if res.Stats.CutsConsidered != 0 || !res.Stats.Aborted {
+			t.Errorf("prune=%v: stats %+v, want zero cuts and Aborted", prune, res.Stats)
+		}
+	}
+	mres := FindBestCutsCtx(ctx, g, 2, Config{Nin: 3, Nout: 2, Workers: 4})
+	if mres.Status != Canceled || mres.Found {
+		t.Errorf("multi: status %v found %v, want Canceled and nothing", mres.Status, mres.Found)
+	}
+}
+
+// TestParallelMidSearchCancel cancels after a few subproblems have been
+// handed out: the engine must drain, report Canceled, and any cut it
+// returns must still be legal and no better than the true optimum.
+func TestParallelMidSearchCancel(t *testing.T) {
+	rng := rand.New(rand.NewSource(405))
+	g := randomGraph(t, rng, 24)
+	cfg := Config{Nin: 4, Nout: 3}
+	serial := FindBestCut(g, cfg)
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	var subs atomic.Int64
+	bbSubHook = func([]uint8) {
+		if subs.Add(1) == 4 {
+			cancel()
+		}
+	}
+	defer func() { bbSubHook = nil }()
+	cfg.Workers = 4
+	res := FindBestCutCtx(ctx, g, cfg)
+	if res.Status != Canceled && res.Status != Exhaustive {
+		t.Fatalf("status %v", res.Status)
+	}
+	if res.Found {
+		if !g.Legal(res.Cut, cfg.Nin, cfg.Nout) {
+			t.Fatalf("illegal cut after cancel: %v", res.Cut)
+		}
+		if serial.Found && res.Est.Merit > serial.Est.Merit {
+			t.Fatalf("cancel result beats the optimum: %d > %d", res.Est.Merit, serial.Est.Merit)
+		}
+	}
+}
+
+// TestParallelBudget: the global MaxCuts valve stops all workers.
+func TestParallelBudget(t *testing.T) {
+	rng := rand.New(rand.NewSource(406))
+	g := randomGraph(t, rng, 26)
+	cfg := Config{Nin: 5, Nout: 4, MaxCuts: 3000, Workers: 4}
+	res := FindBestCut(g, cfg)
+	if res.Status != BudgetStopped {
+		t.Fatalf("status %v, want BudgetStopped", res.Status)
+	}
+	if !res.Stats.Aborted {
+		t.Error("Aborted not set")
+	}
+	// The budget is enforced at poll granularity: overshoot is bounded by
+	// one poll interval per worker.
+	if over := res.Stats.CutsConsidered - cfg.MaxCuts; over > int64(cfg.Workers)*ctxCheckInterval {
+		t.Errorf("budget overshoot %d beyond the documented bound", over)
+	}
+	if res.Found && !g.Legal(res.Cut, cfg.Nin, cfg.Nout) {
+		t.Errorf("illegal incumbent: %v", res.Cut)
+	}
+}
+
+// TestParallelPanicRecovered: a panicking subproblem poisons neither the
+// engine nor the process — the run completes with Status Recovered and
+// no leaked worker goroutines.
+func TestParallelPanicRecovered(t *testing.T) {
+	rng := rand.New(rand.NewSource(407))
+	g := randomGraph(t, rng, 20)
+	var fired atomic.Bool
+	bbSubHook = func(prefix []uint8) {
+		if len(prefix) > 0 && fired.CompareAndSwap(false, true) {
+			panic("injected subproblem panic")
+		}
+	}
+	defer func() { bbSubHook = nil }()
+	before := runtime.NumGoroutine()
+	res := FindBestCut(g, Config{Nin: 3, Nout: 2, Workers: 4})
+	if res.Status != Recovered {
+		t.Fatalf("status %v, want Recovered", res.Status)
+	}
+	if res.Found && !g.Legal(res.Cut, 3, 2) {
+		t.Errorf("illegal cut: %v", res.Cut)
+	}
+	for i := 0; i < 100 && runtime.NumGoroutine() > before; i++ {
+		time.Sleep(time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("goroutines leaked: %d -> %d", before, after)
+	}
+}
+
+// allForbiddenGraph builds a block whose operation nodes are all loads
+// (forbidden), so the search tree consists purely of 0-branches.
+func allForbiddenGraph(t *testing.T, nOps int) *dfg.Graph {
+	t.Helper()
+	b := ir.NewBuilder("forb", 2)
+	v := b.Fn.Params[0]
+	for i := 0; i < nOps; i++ {
+		v = b.Load(v)
+	}
+	b.Ret(v)
+	f := b.Finish()
+	if err := ir.VerifyFunction(f, nil); err != nil {
+		t.Fatal(err)
+	}
+	f.Entry().Freq = 10
+	return mustBuildGraph(t, f, f.Entry(), ir.Liveness(f))
+}
+
+// TestCancelObservedOnZeroBranches is the regression for the old poll,
+// which fired only on 1-branches: on a graph whose nodes are all
+// forbidden the search used to run to completion under a canceled
+// context without ever observing it. The per-visit tick poll (plus the
+// entry poll) must observe the cancellation regardless of branch mix.
+func TestCancelObservedOnZeroBranches(t *testing.T) {
+	g := allForbiddenGraph(t, 2*ctxCheckInterval)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res := FindBestCutCtx(ctx, g, Config{Nin: 3, Nout: 2})
+	if res.Status != Canceled {
+		t.Errorf("single: status %v, want Canceled", res.Status)
+	}
+	if res.Stats.CutsConsidered != 0 {
+		t.Errorf("single: %d cuts considered under pre-canceled ctx", res.Stats.CutsConsidered)
+	}
+	mres := FindBestCutsCtx(ctx, g, 2, Config{Nin: 3, Nout: 2})
+	if mres.Status != Canceled {
+		t.Errorf("multi: status %v, want Canceled", mres.Status)
+	}
+	if mres.Stats.CutsConsidered != 0 {
+		t.Errorf("multi: %d cuts considered under pre-canceled ctx", mres.Stats.CutsConsidered)
+	}
+}
+
+// TestWarmStartSerialIdentical: the serial WarmStart path must return
+// exactly the cold search's cut and merit (the seed sits one merit unit
+// below the heuristic incumbent, so the DFS-first optimum still wins).
+func TestWarmStartSerialIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(409))
+	for trial := 0; trial < 10; trial++ {
+		g := randomGraph(t, rng, 16+rng.Intn(8))
+		cold := FindBestCut(g, Config{Nin: 3, Nout: 2, PruneMerit: true})
+		warm := FindBestCut(g, Config{Nin: 3, Nout: 2, PruneMerit: true, WarmStart: true})
+		if cold.Found != warm.Found || cold.Est.Merit != warm.Est.Merit ||
+			!cold.Cut.Equal(warm.Cut) {
+			t.Fatalf("trial %d: warm %v/%d diverges from cold %v/%d",
+				trial, warm.Cut, warm.Est.Merit, cold.Cut, cold.Est.Merit)
+		}
+	}
+}
+
+// TestWarmStartAdpcm is the paper-scale warm-start contract: on the
+// adpcm decoder's hot block the warm-started pruned search must return
+// the identical optimal cut while strictly shrinking the explored tree.
+// Stats count the exact search alone (the bounded warm pass is charged
+// to neither Stats nor MaxCuts), so the two counters compare the same
+// tree under cold vs seeded incumbents.
+func TestWarmStartAdpcm(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second exact search")
+	}
+	g := hotBlock(t, "adpcmdecode")
+	cfg := Config{Nin: 2, Nout: 1, PruneMerit: true}
+	cold := FindBestCut(g, cfg)
+	wcfg := cfg
+	wcfg.WarmStart = true
+	warm := FindBestCut(g, wcfg)
+	if !cold.Found || !warm.Found {
+		t.Fatal("search found nothing")
+	}
+	if cold.Est.Merit != warm.Est.Merit || !cold.Cut.Equal(warm.Cut) {
+		t.Fatalf("warm %v/%d diverges from cold %v/%d",
+			warm.Cut, warm.Est.Merit, cold.Cut, cold.Est.Merit)
+	}
+	if warm.Stats.CutsConsidered >= cold.Stats.CutsConsidered {
+		t.Errorf("warm start did not shrink the search: %d >= %d",
+			warm.Stats.CutsConsidered, cold.Stats.CutsConsidered)
+	}
+	t.Logf("cold %d cuts, warm %d cuts (%.1f%%)", cold.Stats.CutsConsidered,
+		warm.Stats.CutsConsidered,
+		100*float64(warm.Stats.CutsConsidered)/float64(cold.Stats.CutsConsidered))
+}
+
+// TestParallelAdpcmMatchesSerial runs the full engine on the real hot
+// block and checks bit-identical results against the serial search.
+func TestParallelAdpcmMatchesSerial(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-second exact search")
+	}
+	g := hotBlock(t, "adpcmdecode")
+	cfg := Config{Nin: 2, Nout: 1, PruneMerit: true}
+	serial := FindBestCut(g, cfg)
+	for _, nw := range []int{1, 4} {
+		pcfg := cfg
+		pcfg.Workers = nw
+		par := FindBestCut(g, pcfg)
+		if par.Status != Exhaustive || par.Found != serial.Found ||
+			par.Est.Merit != serial.Est.Merit || !par.Cut.Equal(serial.Cut) {
+			t.Fatalf("workers %d: %v/%d/%v diverges from serial %v/%d",
+				nw, par.Cut, par.Est.Merit, par.Status, serial.Cut, serial.Est.Merit)
+		}
+	}
+}
+
+// hotBlock returns the largest block graph of the named kernel.
+func hotBlock(t *testing.T, kernel string) *dfg.Graph {
+	t.Helper()
+	k := workload.ByName(kernel)
+	if _, err := k.Prepare(); err != nil {
+		t.Fatal(err)
+	}
+	graphs, err := workload.RealBlockGraphs()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var hot *workload.BlockInfo
+	for i := range graphs {
+		if graphs[i].Kernel == kernel && (hot == nil || graphs[i].Graph.NumOps() > hot.Graph.NumOps()) {
+			hot = &graphs[i]
+		}
+	}
+	if hot == nil {
+		t.Fatalf("no blocks for kernel %s", kernel)
+	}
+	return hot.Graph
+}

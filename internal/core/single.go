@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"math"
 
 	"isex/internal/dfg"
 	"isex/internal/latency"
@@ -38,7 +39,10 @@ type Config struct {
 	// MaxCuts aborts the search after considering this many cuts
 	// (0 = unlimited). The incumbent found so far is returned with
 	// Stats.Aborted set; the paper reports multi-hour runs for loose
-	// constraints, which this valve bounds in test environments.
+	// constraints, which this valve bounds in test environments. With
+	// Workers > 0 the budget is shared across workers and enforced at
+	// poll granularity, so the engine may overshoot it by up to
+	// Workers × ctxCheckInterval cuts.
 	MaxCuts int64
 	// Window, when positive, replaces the exact search by the §9
 	// windowed heuristic (see FindBestCutWindowed): overlapping
@@ -47,8 +51,30 @@ type Config struct {
 	Window int
 	// Parallel lets selection search independent basic blocks
 	// concurrently (one goroutine per block in the initial round).
-	// Results are identical to the serial run.
+	// Results are identical to the serial run. It composes with Workers:
+	// each block's search then runs its own worker pool.
 	Parallel bool
+	// Workers, when positive, runs the exact single- and multiple-cut
+	// searches on the work-stealing parallel branch-and-bound engine
+	// (see parallel.go) with that many workers. Completed runs are
+	// bit-identical to the serial search for every worker count — same
+	// merit, same canonical cut, same Status — though Stats may differ
+	// when PruneMerit is set (the shared incumbent bound prunes a
+	// different, never unsound, portion of the tree). 0 keeps the serial
+	// recursive search.
+	Workers int
+	// WarmStart seeds the exact search's incumbent from a cheap §9
+	// windowed-heuristic pass before the search starts, so PruneMerit
+	// bites from the first node. The seed is applied at one merit unit
+	// below the heuristic's best, which provably leaves the returned cut
+	// and merit identical to a cold search while strictly shrinking the
+	// explored tree. The warm pass is bounded by 2^warmWindow cuts per
+	// window and is charged against neither MaxCuts nor the returned
+	// Stats — the Stats describe the exact search alone, so a warm and a
+	// cold run are directly comparable on the same tree. The parallel
+	// engine warm-starts whenever PruneMerit is set, with or without this
+	// flag; the serial search only when it is set.
+	WarmStart bool
 }
 
 func (c Config) model() *latency.Model {
@@ -100,7 +126,7 @@ func FindBestCut(g *dfg.Graph, cfg Config) Result {
 }
 
 // FindBestCutCtx is FindBestCut under a context: the search polls
-// ctx every ctxCheckInterval explored cuts and, on expiry or
+// ctx every ctxCheckInterval visited nodes and, on expiry or
 // cancellation, returns the incumbent with Status set accordingly.
 func FindBestCutCtx(ctx context.Context, g *dfg.Graph, cfg Config) Result {
 	if cfg.Window > 0 && cfg.Window < g.NumOps() {
@@ -108,16 +134,54 @@ func FindBestCutCtx(ctx context.Context, g *dfg.Graph, cfg Config) Result {
 		cfg.Window = 0
 		return FindBestCutWindowedCtx(ctx, g, cfg, w)
 	}
+	if cfg.Workers > 0 {
+		return findBestCutParallel(ctx, g, cfg)
+	}
 	s := newSearcher(g, cfg)
 	s.ctx = ctx
+	if cfg.WarmStart && g.NumOps() > warmWindow {
+		w := findWarmIncumbent(ctx, g, cfg)
+		if w.Found {
+			s.seedIncumbent(w)
+		}
+		if w.Status != Exhaustive {
+			res := Result{Status: w.Status}
+			res.Stats.Aborted = true
+			if w.Found {
+				res.Found, res.Cut, res.Est = true, w.Cut, w.Est
+			}
+			return res
+		}
+	}
 	s.run()
 	res := Result{Stats: s.stats, Status: s.stop}
-	if s.bestFound {
+	if s.bestFound && s.bestCut != nil {
 		res.Found = true
 		res.Cut = s.bestCut.Canon()
 		res.Est = Evaluate(g, res.Cut, cfg.model())
 	}
 	return res
+}
+
+// warmWindow sizes the §9 windowed pass that warm-starts the exact
+// search's incumbent (Config.WarmStart; the parallel engine applies it
+// whenever PruneMerit is set). Each window's search is bounded by
+// 2^warmWindow cuts, so the pass is always cheap relative to the exact
+// search it accelerates.
+const warmWindow = 12
+
+// findWarmIncumbent runs the cheap windowed pass that seeds the exact
+// search's incumbent. It strips every recursive option: a window value
+// would re-enter the heuristic, WarmStart would recurse, Workers would
+// spin an engine per window, and MaxCuts would charge the seed against
+// the caller's budget.
+func findWarmIncumbent(ctx context.Context, g *dfg.Graph, cfg Config) Result {
+	cfg.Window = 0
+	cfg.WarmStart = false
+	cfg.Workers = 0
+	cfg.MaxCuts = 0
+	cfg.Parallel = false
+	return FindBestCutWindowedCtx(ctx, g, cfg, warmWindow)
 }
 
 // searcher holds the incremental state of §6.1. All per-node arrays are
@@ -152,24 +216,51 @@ type searcher struct {
 	bestCut   dfg.Cut
 	bestMerit int64
 	stats     Stats
-	// ctx is polled every ctxCheckInterval 1-branches; stop records why
-	// the search ended early (Exhaustive while it is still running).
+	// ctx is polled every ctxCheckInterval visited nodes (ticks); stop
+	// records why the search ended early (Exhaustive while running).
 	ctx  context.Context
 	stop SearchStatus
+	tick int64
+
+	// Engine attachment (nil for the serial search): eng supplies the
+	// shared incumbent bound and the global budget, sharedCache is the
+	// last observed shared bound (MinInt64 when detached — the pruning
+	// comparison then never fires), and flushMark is how much of
+	// stats.CutsConsidered has been flushed to the engine's counter.
+	eng         *bbEngine
+	sharedCache int64
+	flushMark   int64
+	wid         int
+
+	// Donation bookkeeping (engine runs only; see tryDonate): base is the
+	// replayed prefix depth, curRank the rank of the innermost live visit
+	// frame, path the decision at each live ancestor rank, zeroOK whether
+	// that frame's 0-branch passes the PruneInputs guard, and donated
+	// whether it was handed to the engine (the frame then skips it).
+	base    int
+	curRank int
+	path    []uint8
+	zeroOK  []bool
+	donated []bool
+
+	// replayUndo records the state deltas of an engine prefix replay so
+	// it can be unwound exactly (see replay/unreplay).
+	replayUndo []replayStep
 }
 
 func newSearcher(g *dfg.Graph, cfg Config) *searcher {
 	m := cfg.model()
 	s := &searcher{
-		g:      g,
-		cfg:    cfg,
-		model:  m,
-		order:  g.OpOrder,
-		freq:   weight(g.Block.Freq),
-		inCut:  make([]bool, len(g.Nodes)),
-		reach:  make([]bool, len(g.Nodes)),
-		refCnt: make([]int, len(g.Nodes)),
-		lenTo:  make([]float64, len(g.Nodes)),
+		g:           g,
+		cfg:         cfg,
+		model:       m,
+		order:       g.OpOrder,
+		freq:        weight(g.Block.Freq),
+		inCut:       make([]bool, len(g.Nodes)),
+		reach:       make([]bool, len(g.Nodes)),
+		refCnt:      make([]int, len(g.Nodes)),
+		lenTo:       make([]float64, len(g.Nodes)),
+		sharedCache: math.MinInt64,
 	}
 	s.futSW = make([]int64, len(s.order)+1)
 	for r := len(s.order) - 1; r >= 0; r-- {
@@ -182,9 +273,49 @@ func newSearcher(g *dfg.Graph, cfg Config) *searcher {
 	return s
 }
 
+// seedIncumbent warm-starts the incumbent from a windowed-heuristic
+// result of merit W: the threshold is W−1, so any cut of merit ≥ W —
+// including the first one the cold search would have recorded — still
+// replaces the seed, which keeps the returned cut bit-identical to a
+// cold run while PruneMerit skips everything provably below W.
+func (s *searcher) seedIncumbent(w Result) {
+	s.bestFound = true
+	s.bestMerit = w.Est.Merit - 1
+	s.bestCut = append(dfg.Cut(nil), w.Cut...)
+}
+
 func (s *searcher) run() {
+	s.poll()
 	s.visit(0)
 	s.stats.Aborted = s.stop != Exhaustive
+}
+
+// poll checks the stop sources: the engine (shared budget, context, and
+// shared-bound refresh) when attached, the plain context otherwise. It
+// runs at search entry and every ctxCheckInterval visited nodes — on
+// both branches, so a long run of 0-branches or forbidden nodes cannot
+// outlive a cancellation (the old poll fired only on 1-branches).
+func (s *searcher) poll() {
+	if s.eng != nil {
+		if st := s.eng.pollSearch(&s.stats, &s.flushMark); st != Exhaustive {
+			s.stop = st
+			return
+		}
+		if s.eng.sharedOn {
+			if v := s.eng.shared.Load(); v > s.sharedCache {
+				s.sharedCache = v
+			}
+		}
+		if s.eng.needWork.Load() {
+			s.tryDonate()
+		}
+		return
+	}
+	if s.ctx != nil {
+		if err := s.ctx.Err(); err != nil {
+			s.stop = statusOfCtx(err)
+		}
+	}
 }
 
 // meritOf converts the current (non-empty) cut state into merit. The
@@ -197,131 +328,108 @@ func (s *searcher) meritOf() int64 {
 	return (s.sw - int64(hw)) * s.freq
 }
 
-func (s *searcher) visit(rank int) {
-	if s.stop != Exhaustive || rank == len(s.order) {
-		return
+// meritUB is the admissible upper bound of the subtree rooted at rank:
+// current software gain plus all remaining includable software latency,
+// minus the current hardware cycle count (PruneMerit).
+func (s *searcher) meritUB(rank int) int64 {
+	return (s.sw + s.futSW[rank] - int64(latency.CyclesOf(s.crit))) * s.freq
+}
+
+// convexOK reports whether including node keeps the cut convex: a
+// violation appears iff some already-decided consumer of it is outside
+// the cut yet can reach the cut (§6.1).
+func (s *searcher) convexOK(node *dfg.Node) bool {
+	for _, sc := range node.Succs {
+		if s.g.Nodes[sc].Kind == dfg.KindOp && !s.inCut[sc] && s.reach[sc] {
+			return false
+		}
 	}
-	if s.cfg.PruneMerit && s.bestFound {
-		ub := (s.sw + s.futSW[rank] - int64(latency.CyclesOf(s.crit))) * s.freq
-		if ub <= s.bestMerit {
-			return
+	for _, sc := range node.OrderSuccs {
+		if !s.inCut[sc] && s.reach[sc] {
+			return false
 		}
 	}
-	id := s.order[rank]
-	node := &s.g.Nodes[id]
+	return true
+}
 
-	// 1-branch: include the node (Fig. 5 explores it first).
-	if !node.Forbidden {
-		if s.cfg.MaxCuts > 0 && s.stats.CutsConsidered >= s.cfg.MaxCuts {
-			s.stop = BudgetStopped
-			return
-		}
-		if s.ctx != nil && s.stats.CutsConsidered&(ctxCheckInterval-1) == 0 {
-			if err := s.ctx.Err(); err != nil {
-				s.stop = statusOfCtx(err)
-				return
-			}
-		}
-		s.stats.CutsConsidered++
+// inclUndo captures what applyInclude changed beyond the per-node
+// arrays, so undoInclude can restore the state exactly.
+type inclUndo struct {
+	isOut     bool
+	absorbed  bool
+	newPermIn int
+	prevCrit  float64
+}
 
-		// Convexity: a violation appears iff some already-decided consumer
-		// of id is outside the cut yet can reach the cut (§6.1).
-		convOK := true
-		for _, sc := range node.Succs {
-			if s.g.Nodes[sc].Kind == dfg.KindOp && !s.inCut[sc] && s.reach[sc] {
-				convOK = false
-				break
+// applyInclude adds node id to the cut, updating the incremental IN/OUT,
+// software-latency, permanent-input and critical-path state.
+func (s *searcher) applyInclude(id int, node *dfg.Node) inclUndo {
+	var u inclUndo
+	s.inCut[id] = true
+	s.reach[id] = true
+	for _, sc := range node.Succs {
+		if s.g.Nodes[sc].Kind != dfg.KindOp || !s.inCut[sc] {
+			u.isOut = true
+			break
+		}
+	}
+	if u.isOut {
+		s.out++
+	}
+	u.absorbed = s.refCnt[id] > 0
+	if u.absorbed {
+		s.inputs--
+	}
+	for _, p := range node.Preds {
+		s.refCnt[p]++
+		if s.refCnt[p] == 1 && !s.inCut[p] {
+			s.inputs++
+			if s.g.Nodes[p].Kind == dfg.KindIn {
+				u.newPermIn++ // live-ins can never join the cut
 			}
 		}
-		if convOK {
-			for _, sc := range node.OrderSuccs {
-				if !s.inCut[sc] && s.reach[sc] {
-					convOK = false
-					break
-				}
-			}
+	}
+	s.permIn += u.newPermIn
+	s.sw += int64(s.model.SW(node.Op))
+	best := 0.0
+	for _, sc := range node.Succs {
+		if s.g.Nodes[sc].Kind == dfg.KindOp && s.inCut[sc] && s.lenTo[sc] > best {
+			best = s.lenTo[sc]
 		}
+	}
+	s.lenTo[id] = best + s.model.HW(node.Op)
+	u.prevCrit = s.crit
+	if s.lenTo[id] > s.crit {
+		s.crit = s.lenTo[id]
+	}
+	return u
+}
 
-		// Apply inclusion.
-		s.inCut[id] = true
-		s.reach[id] = true
-		isOut := false
-		for _, sc := range node.Succs {
-			if s.g.Nodes[sc].Kind != dfg.KindOp || !s.inCut[sc] {
-				isOut = true
-				break
-			}
-		}
-		if isOut {
-			s.out++
-		}
-		absorbed := s.refCnt[id] > 0
-		if absorbed {
+func (s *searcher) undoInclude(id int, node *dfg.Node, u inclUndo) {
+	s.crit = u.prevCrit
+	s.lenTo[id] = 0
+	s.sw -= int64(s.model.SW(node.Op))
+	s.permIn -= u.newPermIn
+	for _, p := range node.Preds {
+		if s.refCnt[p] == 1 && !s.inCut[p] {
 			s.inputs--
 		}
-		newPermIn := 0
-		for _, p := range node.Preds {
-			s.refCnt[p]++
-			if s.refCnt[p] == 1 && !s.inCut[p] {
-				s.inputs++
-				if s.g.Nodes[p].Kind == dfg.KindIn {
-					newPermIn++ // live-ins can never join the cut
-				}
-			}
-		}
-		s.permIn += newPermIn
-		s.sw += int64(s.model.SW(node.Op))
-		best := 0.0
-		for _, sc := range node.Succs {
-			if s.g.Nodes[sc].Kind == dfg.KindOp && s.inCut[sc] && s.lenTo[sc] > best {
-				best = s.lenTo[sc]
-			}
-		}
-		s.lenTo[id] = best + s.model.HW(node.Op)
-		prevCrit := s.crit
-		if s.lenTo[id] > s.crit {
-			s.crit = s.lenTo[id]
-		}
-
-		if convOK && s.out <= s.cfg.Nout {
-			s.stats.Passed++
-			if s.inputs <= s.cfg.Nin {
-				if m := s.meritOf(); m > 0 && (!s.bestFound || m > s.bestMerit) {
-					s.bestFound = true
-					s.bestMerit = m
-					s.bestCut = s.currentCut()
-				}
-			}
-			inOK := !s.cfg.PruneInputs || s.permIn <= s.cfg.Nin
-			if inOK {
-				s.visit(rank + 1)
-			}
-		} else {
-			s.stats.Pruned++
-		}
-
-		// Undo inclusion.
-		s.crit = prevCrit
-		s.lenTo[id] = 0
-		s.sw -= int64(s.model.SW(node.Op))
-		s.permIn -= newPermIn
-		for _, p := range node.Preds {
-			if s.refCnt[p] == 1 && !s.inCut[p] {
-				s.inputs--
-			}
-			s.refCnt[p]--
-		}
-		if absorbed {
-			s.inputs++
-		}
-		if isOut {
-			s.out--
-		}
-		s.reach[id] = false
-		s.inCut[id] = false
+		s.refCnt[p]--
 	}
+	if u.absorbed {
+		s.inputs++
+	}
+	if u.isOut {
+		s.out--
+	}
+	s.reach[id] = false
+	s.inCut[id] = false
+}
 
-	// 0-branch: exclude the node.
+// applyExclude decides node id out of the cut: reach propagates from its
+// successors, and a producer already consumed by the cut becomes a
+// permanent input. Returns the permanent-input delta for undoExclude.
+func (s *searcher) applyExclude(id int, node *dfg.Node) int {
 	r := false
 	for _, sc := range node.Succs {
 		if s.reach[sc] {
@@ -343,11 +451,105 @@ func (s *searcher) visit(rank int) {
 		exclPermIn = 1 // this producer is now permanently an input
 	}
 	s.permIn += exclPermIn
+	return exclPermIn
+}
+
+func (s *searcher) undoExclude(id int, exclPermIn int) {
+	s.permIn -= exclPermIn
+	s.reach[id] = false
+}
+
+// record considers the current cut as an incumbent. The strict
+// comparison keeps the first cut (in search order) of each merit level,
+// which is what makes the parallel merge reproducible.
+func (s *searcher) record() {
+	m := s.meritOf()
+	if m <= 0 || (s.bestFound && m <= s.bestMerit) {
+		return
+	}
+	s.bestFound = true
+	s.bestMerit = m
+	s.bestCut = s.currentCut()
+	if s.eng != nil && s.eng.sharedOn {
+		if v := s.eng.publish(m); v > s.sharedCache {
+			s.sharedCache = v
+		}
+	}
+}
+
+func (s *searcher) visit(rank int) {
+	if s.stop != Exhaustive || rank == len(s.order) {
+		return
+	}
+	s.curRank = rank
+	s.tick++
+	if s.tick&(ctxCheckInterval-1) == 0 {
+		s.poll()
+		if s.stop != Exhaustive {
+			return
+		}
+	}
+	if s.cfg.PruneMerit {
+		ub := s.meritUB(rank)
+		if (s.bestFound && ub <= s.bestMerit) || ub < s.sharedCache {
+			return
+		}
+	}
+	id := s.order[rank]
+	node := &s.g.Nodes[id]
+	if s.eng != nil {
+		// What the serial search will decide about this frame's 0-branch
+		// guard, precomputed so tryDonate can tell from an inner frame
+		// (refCnt[id] cannot change inside the subtree: consumers of id
+		// are all at earlier ranks).
+		excl := 0
+		if s.refCnt[id] > 0 {
+			excl = 1
+		}
+		s.zeroOK[rank] = !s.cfg.PruneInputs || s.permIn+excl <= s.cfg.Nin
+	}
+
+	// 1-branch: include the node (Fig. 5 explores it first).
+	if !node.Forbidden {
+		if s.cfg.MaxCuts > 0 && s.stats.CutsConsidered >= s.cfg.MaxCuts {
+			s.stop = BudgetStopped
+			return
+		}
+		s.stats.CutsConsidered++
+		convOK := s.convexOK(node)
+		u := s.applyInclude(id, node)
+		if convOK && s.out <= s.cfg.Nout {
+			s.stats.Passed++
+			if s.inputs <= s.cfg.Nin {
+				s.record()
+			}
+			if !s.cfg.PruneInputs || s.permIn <= s.cfg.Nin {
+				if s.eng != nil {
+					s.path[rank] = 1
+				}
+				s.visit(rank + 1)
+			}
+		} else {
+			s.stats.Pruned++
+		}
+		s.undoInclude(id, node, u)
+	}
+
+	// 0-branch: exclude the node.
+	if s.eng != nil {
+		if s.donated[rank] {
+			// Handed to another worker by tryDonate while this frame's
+			// 1-subtree was being searched.
+			s.donated[rank] = false
+			return
+		}
+		s.path[rank] = 0
+	}
+	exclPermIn := s.applyExclude(id, node)
 	if !s.cfg.PruneInputs || s.permIn <= s.cfg.Nin {
 		s.visit(rank + 1)
 	}
-	s.permIn -= exclPermIn
-	s.reach[id] = false
+	s.undoExclude(id, exclPermIn)
 }
 
 func (s *searcher) currentCut() dfg.Cut {
@@ -358,4 +560,47 @@ func (s *searcher) currentCut() dfg.Cut {
 		}
 	}
 	return c
+}
+
+// replayStep records one prefix decision for exact unwinding.
+type replayStep struct {
+	id         int
+	include    bool
+	incl       inclUndo
+	exclPermIn int
+}
+
+// replay applies a decision prefix (decision r for rank r; nonzero =
+// include) onto a clean searcher, rebuilding the exact incremental state
+// the serial search would have at that tree position. Prefixes come from
+// engine expansion, which only emits decisions the serial search would
+// descend through, so no feasibility re-checks are needed here.
+func (s *searcher) replay(prefix []uint8) {
+	for r, d := range prefix {
+		id := s.order[r]
+		node := &s.g.Nodes[id]
+		if s.path != nil {
+			s.path[r] = d // tryDonate rebuilds prefixes from path
+		}
+		step := replayStep{id: id, include: d != 0}
+		if step.include {
+			step.incl = s.applyInclude(id, node)
+		} else {
+			step.exclPermIn = s.applyExclude(id, node)
+		}
+		s.replayUndo = append(s.replayUndo, step)
+	}
+}
+
+// unreplay unwinds a replay, restoring the clean state.
+func (s *searcher) unreplay() {
+	for i := len(s.replayUndo) - 1; i >= 0; i-- {
+		st := s.replayUndo[i]
+		if st.include {
+			s.undoInclude(st.id, &s.g.Nodes[st.id], st.incl)
+		} else {
+			s.undoExclude(st.id, st.exclPermIn)
+		}
+	}
+	s.replayUndo = s.replayUndo[:0]
 }

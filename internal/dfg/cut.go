@@ -13,6 +13,20 @@ func (c Cut) Canon() Cut {
 	return out
 }
 
+// Equal reports element-wise equality (compare canonical forms when the
+// member order may differ).
+func (c Cut) Equal(o Cut) bool {
+	if len(c) != len(o) {
+		return false
+	}
+	for i, x := range c {
+		if x != o[i] {
+			return false
+		}
+	}
+	return true
+}
+
 // Contains reports membership.
 func (c Cut) Contains(id int) bool {
 	for _, x := range c {

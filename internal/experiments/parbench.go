@@ -1,0 +1,199 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"isex/internal/core"
+	"isex/internal/dfg"
+	"isex/internal/workload"
+)
+
+// This file measures the work-stealing parallel branch-and-bound engine
+// of internal/core against the serial exact search on the largest real
+// benchmark block, and serializes the numbers as a machine-readable
+// report. The isebench command writes the report to BENCH_PR3.json so
+// the repository carries a comparable perf trajectory from PR to PR; CI
+// regenerates it per change.
+//
+// The serial baseline is the repository's default exact search — the
+// paper-faithful configuration the selection pipeline runs (no ablation
+// pruning extensions). The parallel rows run the engine at its
+// recommended settings: Workers > 0 with the sound, result-preserving
+// prunings armed (PruneMerit + PruneInputs; the engine additionally
+// warm-starts its shared incumbent bound from the §9 windowed
+// heuristic). A serial/pruned reference row isolates the pruning
+// contribution, so on a multi-core host the scheduler's wall-clock
+// contribution is measurable against it; on a single hardware thread
+// the headline speedup is purely algorithmic. Every row must return the
+// identical canonical cut and merit — the report regenerates in CI and
+// fails on any divergence.
+
+// ParBenchEntry is one measured search configuration.
+type ParBenchEntry struct {
+	Name    string  `json:"name"`
+	Workers int     `json:"workers"`
+	NsPerOp float64 `json:"ns_per_op"`
+	// CutsConsidered is the number of cuts the search enumerated (summed
+	// across workers for the parallel rows).
+	CutsConsidered int64 `json:"cuts_considered"`
+	// Merit and Cut identify the optimum found; every row must agree with
+	// the serial baseline (the engine is bit-identical by construction).
+	Merit int64   `json:"merit"`
+	Cut   dfg.Cut `json:"cut"`
+	// SpeedupVsSerial is ns/op(serial) ÷ ns/op(this row), set on the
+	// parallel rows.
+	SpeedupVsSerial float64 `json:"speedup_vs_serial,omitempty"`
+}
+
+// ParBenchReport is the BENCH_PR3.json payload.
+type ParBenchReport struct {
+	Schema    string          `json:"schema"`
+	Generated string          `json:"generated"`
+	GoVersion string          `json:"go"`
+	GOOS      string          `json:"goos"`
+	GOARCH    string          `json:"goarch"`
+	NumCPU    int             `json:"num_cpu"`
+	Block     string          `json:"block"`
+	BlockOps  int             `json:"block_ops"`
+	Nin       int             `json:"nin"`
+	Nout      int             `json:"nout"`
+	Entries   []ParBenchEntry `json:"entries"`
+}
+
+// parBenchWorkers are the engine sizes the report sweeps.
+var parBenchWorkers = []int{1, 2, 4, 8}
+
+// largestBlock returns the largest operation graph among the real
+// benchmark blocks — the block where exact-search run time matters most.
+func largestBlock() (*dfg.Graph, string, error) {
+	graphs, err := workload.RealBlockGraphs()
+	if err != nil {
+		return nil, "", err
+	}
+	var hot *workload.BlockInfo
+	for i := range graphs {
+		if hot == nil || graphs[i].Graph.NumOps() > hot.Graph.NumOps() {
+			hot = &graphs[i]
+		}
+	}
+	if hot == nil {
+		return nil, "", fmt.Errorf("experiments: no benchmark blocks found")
+	}
+	return hot.Graph, hot.Kernel + "/" + hot.Fn + "/" + hot.Block, nil
+}
+
+// ParBench measures serial vs parallel exact identification on the
+// largest benchmark block and returns the report. It errors out if any
+// parallel row disagrees with the serial optimum — the engine's
+// determinism contract is part of what the report certifies.
+func ParBench() (*ParBenchReport, error) {
+	g, name, err := largestBlock()
+	if err != nil {
+		return nil, err
+	}
+	const nin, nout = 2, 1
+	rep := &ParBenchReport{
+		Schema:    "isex-bb-bench/v1",
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Block:     name,
+		BlockOps:  g.NumOps(),
+		Nin:       nin,
+		Nout:      nout,
+	}
+
+	measure := func(name string, cfg core.Config) (ParBenchEntry, error) {
+		var res core.Result
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res = core.FindBestCut(g, cfg)
+			}
+		})
+		if res.Status != core.Exhaustive {
+			return ParBenchEntry{}, fmt.Errorf("experiments: %s search not exhaustive: %v", name, res.Status)
+		}
+		return ParBenchEntry{
+			Name:           name,
+			Workers:        cfg.Workers,
+			NsPerOp:        float64(r.T.Nanoseconds()) / float64(r.N),
+			CutsConsidered: res.Stats.CutsConsidered,
+			Merit:          res.Est.Merit,
+			Cut:            res.Cut.Canon(),
+		}, nil
+	}
+
+	serial, err := measure("serial", core.Config{Nin: nin, Nout: nout})
+	if err != nil {
+		return nil, err
+	}
+	rep.Entries = append(rep.Entries, serial)
+	engineCfg := func(workers int) core.Config {
+		return core.Config{Nin: nin, Nout: nout,
+			PruneMerit: true, PruneInputs: true, Workers: workers}
+	}
+	check := func(e ParBenchEntry) error {
+		if e.Merit != serial.Merit || !e.Cut.Equal(serial.Cut) {
+			return fmt.Errorf("experiments: %s diverged from serial: merit %d cut %v (serial merit %d cut %v)",
+				e.Name, e.Merit, e.Cut, serial.Merit, serial.Cut)
+		}
+		return nil
+	}
+	ref, err := measure("serial/pruned", engineCfg(0))
+	if err != nil {
+		return nil, err
+	}
+	if err := check(ref); err != nil {
+		return nil, err
+	}
+	rep.Entries = append(rep.Entries, ref)
+	for _, w := range parBenchWorkers {
+		e, err := measure(fmt.Sprintf("parallel/%dw", w), engineCfg(w))
+		if err != nil {
+			return nil, err
+		}
+		if err := check(e); err != nil {
+			return nil, err
+		}
+		if e.NsPerOp > 0 {
+			e.SpeedupVsSerial = serial.NsPerOp / e.NsPerOp
+		}
+		rep.Entries = append(rep.Entries, e)
+	}
+	return rep, nil
+}
+
+// WriteJSON writes the report to path (pretty-printed, trailing newline).
+func (r *ParBenchReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ParBenchTable renders the report for terminal output.
+func ParBenchTable(r *ParBenchReport) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Parallel B&B benchmark — %s (%d ops, Nin=%d Nout=%d), %s %s/%s, %d CPU\n\n",
+		r.Block, r.BlockOps, r.Nin, r.Nout, r.GoVersion, r.GOOS, r.GOARCH, r.NumCPU)
+	fmt.Fprintf(&sb, "%-14s %8s %14s %16s %8s %10s\n",
+		"search", "workers", "ms/op", "cuts considered", "merit", "speedup")
+	for _, e := range r.Entries {
+		speed := ""
+		if e.SpeedupVsSerial > 0 {
+			speed = fmt.Sprintf("%.2fx", e.SpeedupVsSerial)
+		}
+		fmt.Fprintf(&sb, "%-14s %8d %14.2f %16d %8d %10s\n",
+			e.Name, e.Workers, e.NsPerOp/1e6, e.CutsConsidered, e.Merit, speed)
+	}
+	return sb.String()
+}

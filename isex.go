@@ -42,6 +42,18 @@ type Constraints struct {
 	Window int
 	// Parallel searches independent basic blocks concurrently.
 	Parallel bool
+	// Workers, when positive, runs each block's exact search on the
+	// work-stealing parallel branch-and-bound engine with that many
+	// workers. Results are bit-identical to the serial search; the engine
+	// additionally warm-starts its shared incumbent bound from the §9
+	// windowed heuristic, so even Workers=1 typically prunes harder than
+	// the serial search.
+	Workers int
+	// WarmStart seeds the serial exact search's incumbent from a cheap §9
+	// windowed-heuristic pass, tightening merit pruning from the first
+	// visit without changing the result. (The parallel engine warm-starts
+	// on its own; this flag is for the serial path.)
+	WarmStart bool
 	// Deadline, when positive, bounds the wall-clock time of an
 	// identification call: the search returns the best selection found so
 	// far when it expires (equivalent to passing a context with timeout
@@ -52,7 +64,8 @@ type Constraints struct {
 
 func (c Constraints) config() core.Config {
 	return core.Config{Nin: c.Nin, Nout: c.Nout, MaxCuts: c.MaxCuts,
-		Window: c.Window, Parallel: c.Parallel}
+		Window: c.Window, Parallel: c.Parallel,
+		Workers: c.Workers, WarmStart: c.WarmStart}
 }
 
 // SearchStatus classifies how an identification search ended: Exhaustive
