@@ -16,6 +16,9 @@
 //	isebench -fig parbench -parjson BENCH_PR3.json
 //	                          # serial vs work-stealing parallel B&B on the
 //	                          # largest benchmark block
+//	isebench -fig selbench -seljson BENCH_PR4.json
+//	                          # cold serial vs speculative scheduled greedy
+//	                          # selection (optimal and iterative drivers)
 package main
 
 import (
@@ -30,7 +33,7 @@ import (
 
 func main() {
 	var (
-		fig       = flag.String("fig", "all", "which figure to regenerate: 3, 5, 7, 8, 11, runtime, area, tradeoff, vliw, ifconv, ablation, bench, parbench, all")
+		fig       = flag.String("fig", "all", "which figure to regenerate: 3, 5, 7, 8, 11, runtime, area, tradeoff, vliw, ifconv, ablation, bench, parbench, selbench, all")
 		budget    = flag.Int64("budget", experiments.DefaultBudget, "cut budget per identification call")
 		measure   = flag.Bool("measure", false, "Fig. 11: additionally patch and measure on the cycle simulator")
 		optimal   = flag.Bool("optimal", false, "Fig. 11: include the Optimal selection (slow on large blocks)")
@@ -38,6 +41,7 @@ func main() {
 		deadline  = flag.Duration("deadline", 0, "Fig. 11: wall-clock budget per selection call (e.g. 2s; 0 = none); tripped cells are marked * as lower bounds")
 		benchJSON = flag.String("benchjson", "", "with -fig bench (or all): write the constraint-kernel benchmark report to this file as JSON (e.g. BENCH_PR2.json)")
 		parJSON   = flag.String("parjson", "", "with -fig parbench (or all): write the parallel B&B benchmark report to this file as JSON (e.g. BENCH_PR3.json)")
+		selJSON   = flag.String("seljson", "", "with -fig selbench (or all): write the selection scheduler benchmark report to this file as JSON (e.g. BENCH_PR4.json)")
 	)
 	flag.Parse()
 	want := func(name string) bool { return *fig == "all" || *fig == name }
@@ -47,13 +51,13 @@ func main() {
 			benchList = append(benchList, b)
 		}
 	}
-	if err := run(want, *budget, *measure, *optimal, benchList, *deadline, *benchJSON, *parJSON); err != nil {
+	if err := run(want, *budget, *measure, *optimal, benchList, *deadline, *benchJSON, *parJSON, *selJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "isebench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(want func(string) bool, budget int64, measure, optimal bool, benchList []string, deadline time.Duration, benchJSON, parJSON string) error {
+func run(want func(string) bool, budget int64, measure, optimal bool, benchList []string, deadline time.Duration, benchJSON, parJSON, selJSON string) error {
 	section := func(s string) { fmt.Println(); fmt.Println(s); fmt.Println() }
 
 	if want("bench") || benchJSON != "" {
@@ -81,6 +85,20 @@ func run(want func(string) bool, budget int64, measure, optimal bool, benchList 
 				return err
 			}
 			fmt.Printf("wrote %s\n", parJSON)
+		}
+	}
+
+	if want("selbench") || selJSON != "" {
+		rep, err := experiments.SelBench(experiments.SelBenchDefault())
+		if err != nil {
+			return err
+		}
+		section(experiments.SelBenchTable(rep))
+		if selJSON != "" {
+			if err := rep.WriteJSON(selJSON); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", selJSON)
 		}
 	}
 

@@ -53,6 +53,7 @@ func run() error {
 		method    = flag.String("method", "iterative", "selection algorithm: iterative, optimal, clubbing, maxmiso")
 		budget    = flag.Int64("budget", 2_000_000, "cut budget per identification call (0 = unlimited)")
 		workers   = flag.Int("workers", 0, "run each block's exact search on the work-stealing parallel branch-and-bound engine with this many workers (0 = serial; results are bit-identical)")
+		speculate = flag.Bool("speculate", false, "route iterative/optimal selection through the speculative scheduler: idle workers pre-identify likely next-round winners and every search is warm-seeded (bit-identical selections; see also -workers)")
 		deadline  = flag.Duration("deadline", 0, "wall-clock budget for identification (e.g. 500ms; 0 = none); on expiry the best selection found so far is reported")
 		unroll    = flag.Int("unroll", 0, "fully unroll counted loops up to this trip count (-src mode)")
 		simulate  = flag.Bool("simulate", false, "patch the selection in and measure the speedup on the cycle simulator")
@@ -124,7 +125,8 @@ func run() error {
 	}
 
 	model := latency.Default()
-	cfg := core.Config{Nin: *nin, Nout: *nout, Model: model, MaxCuts: *budget, Workers: *workers}
+	cfg := core.Config{Nin: *nin, Nout: *nout, Model: model, MaxCuts: *budget,
+		Workers: *workers, Speculate: *speculate}
 	ctx := context.Background()
 	if *deadline > 0 {
 		var cancel context.CancelFunc
@@ -157,6 +159,9 @@ func run() error {
 	fmt.Print(t.String())
 	fmt.Printf("total estimated merit: %d cycles; identification calls: %d; cuts considered: %d",
 		sel.TotalMerit, sel.IdentCalls, sel.Stats.CutsConsidered)
+	if sel.SpeculativeCalls > 0 {
+		fmt.Printf("; speculative calls: %d (%d cache hit(s))", sel.SpeculativeCalls, sel.CacheHits)
+	}
 	if sel.Degraded() {
 		fmt.Printf(" (search degraded: %s; results are lower bounds)", sel.Status)
 	}

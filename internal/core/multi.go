@@ -2,6 +2,7 @@ package core
 
 import (
 	"context"
+	"math"
 
 	"isex/internal/dfg"
 	"isex/internal/latency"
@@ -49,6 +50,9 @@ func FindBestCutsCtx(ctx context.Context, g *dfg.Graph, m int, cfg Config) Multi
 	}
 	s := newMultiSearcher(g, m, cfg)
 	s.ctx = ctx
+	if cfg.seedOn && cfg.seedMerit > 0 && len(cfg.seedCuts) > 0 {
+		s.seedAssignment(cfg.seedCuts, cfg.seedMerit)
+	}
 	s.run()
 	res := MultiResult{Stats: s.stats, Status: s.stop}
 	res.Stats.Aborted = s.stop != Exhaustive
@@ -92,6 +96,14 @@ type multiSearcher struct {
 	crit   []float64
 	sizes  []int // members per cut
 
+	// futSW[rank] is the total software latency of includable nodes at
+	// ranks ≥ rank. Each future node joins at most one cut and raises
+	// that cut's merit by at most sw(op)·freq (hardware cycles never
+	// shrink, and a cut opened later still pays ≥ 1 cycle), so
+	// totalMerit() + futSW[rank]·freq is an admissible bound for
+	// PruneMerit on the (M+1)-ary tree too.
+	futSW []int64
+
 	// bestFound/bestMerit form the recording threshold; bestCuts is nil
 	// when the threshold was seeded by the parallel engine from a
 	// sibling's result rather than recorded here (see seedThreshold).
@@ -109,6 +121,9 @@ type multiSearcher struct {
 	eng       *bbEngine
 	flushMark int64
 	wid       int
+	// sharedCache mirrors the engine's shared incumbent bound (refreshed
+	// in poll and on publish); MinInt64 when detached or not yet seen.
+	sharedCache int64
 
 	// Donation bookkeeping (engine runs only; see searcher for the
 	// scheme). path[r] is the cut label of the live frame at rank r, 0
@@ -124,18 +139,27 @@ type multiSearcher struct {
 
 func newMultiSearcher(g *dfg.Graph, m int, cfg Config) *multiSearcher {
 	s := &multiSearcher{
-		g:      g,
-		cfg:    cfg,
-		model:  cfg.model(),
-		order:  g.OpOrder,
-		freq:   weight(g.Block.Freq),
-		m:      m,
-		assign: make([]int, len(g.Nodes)),
-		inputs: make([]int, m+1),
-		out:    make([]int, m+1),
-		sw:     make([]int64, m+1),
-		crit:   make([]float64, m+1),
-		sizes:  make([]int, m+1),
+		g:           g,
+		cfg:         cfg,
+		model:       cfg.model(),
+		order:       g.OpOrder,
+		freq:        weight(g.Block.Freq),
+		m:           m,
+		assign:      make([]int, len(g.Nodes)),
+		inputs:      make([]int, m+1),
+		out:         make([]int, m+1),
+		sw:          make([]int64, m+1),
+		crit:        make([]float64, m+1),
+		sizes:       make([]int, m+1),
+		sharedCache: math.MinInt64,
+	}
+	s.futSW = make([]int64, len(s.order)+1)
+	for r := len(s.order) - 1; r >= 0; r-- {
+		n := &g.Nodes[s.order[r]]
+		s.futSW[r] = s.futSW[r+1]
+		if !n.Forbidden {
+			s.futSW[r] += int64(s.model.SW(n.Op))
+		}
 	}
 	s.reach = make([][]bool, m+1)
 	s.refCnt = make([][]int, m+1)
@@ -157,6 +181,25 @@ func (s *multiSearcher) seedThreshold(merit int64) {
 	s.bestCuts = nil
 }
 
+// seedAssignment warm-starts the incumbent from a known-sound assignment
+// of total merit W (e.g. the scheduler's M-cut optimum reused at M+1,
+// where it remains feasible because the extra cuts may stay empty). As
+// with searcher.seedIncumbent, the threshold is W−1 with the witness
+// kept, so the first assignment of merit ≥ W found in search order still
+// replaces the seed and the returned result stays bit-identical to a
+// cold run; only PruneMerit exploits the raised bar.
+func (s *multiSearcher) seedAssignment(cuts []dfg.Cut, merit int64) {
+	if s.bestFound && merit-1 <= s.bestMerit {
+		return
+	}
+	s.bestFound = true
+	s.bestMerit = merit - 1
+	s.bestCuts = make([]dfg.Cut, len(cuts))
+	for i, c := range cuts {
+		s.bestCuts[i] = append(dfg.Cut(nil), c...)
+	}
+}
+
 func (s *multiSearcher) run() {
 	s.poll()
 	s.visit(0)
@@ -171,6 +214,11 @@ func (s *multiSearcher) poll() {
 		if st := s.eng.pollSearch(&s.stats, &s.flushMark); st != Exhaustive {
 			s.stop = st
 			return
+		}
+		if s.eng.sharedOn {
+			if v := s.eng.shared.Load(); v > s.sharedCache {
+				s.sharedCache = v
+			}
 		}
 		if s.eng.needWork.Load() {
 			s.tryDonate()
@@ -222,6 +270,12 @@ func (s *multiSearcher) visit(rank int) {
 	if s.tick&(ctxCheckInterval-1) == 0 {
 		s.poll()
 		if s.stop != Exhaustive {
+			return
+		}
+	}
+	if s.cfg.PruneMerit {
+		ub := s.totalMerit() + s.futSW[rank]*s.freq
+		if (s.bestFound && ub <= s.bestMerit) || ub < s.sharedCache {
 			return
 		}
 	}
@@ -429,6 +483,11 @@ func (s *multiSearcher) maybeRecord() {
 		}
 	}
 	s.bestCuts = cuts
+	if s.eng != nil && s.eng.sharedOn {
+		if v := s.eng.publish(total); v > s.sharedCache {
+			s.sharedCache = v
+		}
+	}
 }
 
 // interCutCycle reports whether two of the current cuts depend on each

@@ -8,8 +8,9 @@ import (
 )
 
 // findBestCutsParallel is FindBestCutsCtx on the work-stealing engine
-// (Config.Workers > 0). The multi-cut searcher has no merit pruning, so
-// the engine runs without the shared bound or a warm start; splitting
+// (Config.Workers > 0). The shared incumbent bound runs exactly when
+// PruneMerit is set (like the serial multi search, so that Stats stay
+// identical to serial in the default unpruned configuration); splitting
 // and deterministic merging work exactly as in the single-cut engine,
 // with decision k (join cut k) in place of decision 1.
 func findBestCutsParallel(ctx context.Context, g *dfg.Graph, m int, cfg Config) MultiResult {
@@ -19,13 +20,37 @@ func findBestCutsParallel(ctx context.Context, g *dfg.Graph, m int, cfg Config) 
 		cfg.Workers = 0
 		return FindBestCutsCtx(ctx, g, m, cfg)
 	}
+	// A scheduler seed (withSeed) becomes the merge base, mirroring the
+	// serial path's seedAssignment: threshold one below the seed merit
+	// with the witness kept at the merge level.
+	var base bbBest
+	if cfg.seedOn && cfg.seedMerit > 0 && len(cfg.seedCuts) > 0 {
+		cuts := make([]dfg.Cut, len(cfg.seedCuts))
+		for i, c := range cfg.seedCuts {
+			cuts[i] = append(dfg.Cut(nil), c...)
+		}
+		base = bbBest{found: true, merit: cfg.seedMerit, cuts: cuts, base: true}
+	}
 	if err := ctx.Err(); err != nil {
-		return MultiResult{Status: statusOfCtx(err), Stats: Stats{Aborted: true}}
+		res := MultiResult{Status: statusOfCtx(err), Stats: Stats{Aborted: true}}
+		if base.found {
+			res.Found = true
+			fillMultiResult(&res, g, base.cuts, cfg.model())
+		}
+		return res
 	}
 
 	nw := cfg.Workers
-	e := newBBEngine(ctx, nw, len(g.OpOrder), cfg.MaxCuts, false)
-	e.push(0, []bbSub{{prefix: []uint8{}}})
+	e := newBBEngine(ctx, nw, len(g.OpOrder), cfg.MaxCuts, cfg.PruneMerit)
+	root := bbSub{prefix: []uint8{}}
+	if base.found {
+		root.seed = base.merit - 1
+		root.seeded = true
+		if e.sharedOn {
+			e.shared.Store(base.merit)
+		}
+	}
+	e.push(0, []bbSub{root})
 
 	wcfg := workerConfig(cfg)
 	outs := make([]bbBest, nw)
@@ -40,7 +65,7 @@ func findBestCutsParallel(ctx context.Context, g *dfg.Graph, m int, cfg Config) 
 	}
 	wg.Wait()
 
-	var best bbBest
+	best := base
 	for w := range outs {
 		best.better(outs[w])
 	}
@@ -87,6 +112,7 @@ func (e *bbEngine) runMultiWorker(wid int, g *dfg.Graph, m int, cfg Config, out 
 			ns.stats = s.stats
 			ns.tick = s.tick
 			ns.flushMark = s.flushMark
+			ns.sharedCache = s.sharedCache
 			s = ns
 		}
 		e.release()
@@ -142,6 +168,12 @@ func (e *bbEngine) runOneMulti(s *multiSearcher, sub bbSub, expand bool, out *bb
 // to the child's own replay.
 func (e *bbEngine) expandMulti(s *multiSearcher, sub bbSub, out *bbBest) []bbSub {
 	d := len(sub.prefix)
+	if s.cfg.PruneMerit {
+		ub := s.totalMerit() + s.futSW[d]*s.freq
+		if (s.bestFound && ub <= s.bestMerit) || ub < s.sharedCache {
+			return nil
+		}
+	}
 	id := s.order[d]
 	node := &s.g.Nodes[id]
 	var children []bbSub

@@ -1,0 +1,8 @@
+//go:build race
+
+package core
+
+// raceEnabled reports whether the race detector instruments this build;
+// expensive determinism variants that add no interleaving coverage are
+// skipped under it.
+const raceEnabled = true

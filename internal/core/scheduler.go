@@ -1,0 +1,568 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+
+	"isex/internal/dfg"
+	"isex/internal/ir"
+)
+
+// This file is the selection-level scheduler behind Config.Speculate: the
+// greedy drivers of selection.go re-expressed over a shared pool of
+// identification tasks. Three mechanisms compose:
+//
+//   - Speculation. While the driver waits for the one search the serial
+//     greedy loop needs next (the demand task), idle CPU slots run the
+//     searches the next rounds are most likely to need — the runner-up
+//     blocks' re-identifications — so that when such a block wins, its
+//     result is already (being) computed. Tasks are memoized by
+//     (graph fingerprint, M): a later demand for the same key adopts the
+//     speculative task instead of searching again.
+//
+//   - Warm-started incumbents. Every re-search is seeded (Config.withSeed)
+//     with the best already-known sound bound: the M-cut optimum when
+//     searching at M+1 (assignments nest — the extra cut may stay empty),
+//     and the best surviving runner-up cut after a collapse (re-checked
+//     with Legal/Evaluate on the collapsed graph; stored merits are never
+//     trusted). Seeds provably leave results bit-identical to a cold
+//     search (see seedIncumbent / seedAssignment), so selections match
+//     the serial greedy driver exactly.
+//
+//   - Incremental collapse. The iterative driver updates the winner's
+//     graph with dfg.CollapseIncr — the ID-preserving quotient update —
+//     instead of a from-scratch rebuild. Because node IDs survive, a
+//     speculative task's cuts are valid on the driver's own collapsed
+//     graph even though the two graphs are distinct objects.
+//
+// Contracts preserved for every worker count: the selected instructions,
+// TotalMerit, per-block statuses and IdentCalls equal the serial greedy
+// driver's (IdentCalls keeps its §6.2 meaning — consumed identifications
+// only; speculative work is reported separately as SpeculativeCalls and
+// CacheHits). Stats are merged only from consumed tasks, in the serial
+// consume order; an unconsumed speculation's stats are dropped.
+//
+// Concurrency: at most one task exists per (fingerprint, M) key, so no
+// two searches share a graph (the per-graph scratch in dfg is not
+// concurrency-safe); speculative collapses run CollapseIncr, which
+// neither mutates its receiver nor touches the receiver's scratch. The
+// CPU budget is max(Config.Workers, 1) slots shared by all tasks: a task
+// granted n > 1 slots runs the parallel engine with n workers, a task
+// granted 1 runs serially, and speculative tasks take a single slot only
+// while at least one other slot stays free for demand work (cpuPool).
+
+// schedKey memoizes one identification: the structural fingerprint of
+// the graph searched (dfg.Fingerprint — name-insensitive, so cosmetic
+// super-node naming differences between speculative and demand collapses
+// do not split the cache) and the cut count M, with M == 0 meaning the
+// single-cut search. Distinct blocks never collide: the fingerprint
+// hashes the function and block names.
+type schedKey struct {
+	fp uint64
+	m  int
+}
+
+// selTask is one identification running (or finished) on the scheduler.
+// All result fields are valid only after done is closed.
+type selTask struct {
+	done chan struct{}
+	spec bool // launched speculatively; consuming it is a cache hit
+	res  Result
+	mres MultiResult
+	bs   BlockStatus
+	// g is the graph the task searched. For speculative collapse-and-
+	// search tasks it is the speculatively collapsed graph (nil if the
+	// collapse failed); its node IDs equal the demand path's own
+	// CollapseIncr result, so cuts transfer directly.
+	g      *dfg.Graph
+	cancel context.CancelFunc // non-nil for speculative tasks
+}
+
+type selScheduler struct {
+	ctx    context.Context
+	cancel context.CancelFunc
+	pool   *cpuPool
+	budget int
+
+	mu           sync.Mutex
+	tasks        map[schedKey]*selTask
+	specLaunches int
+	wg           sync.WaitGroup
+}
+
+func newSelScheduler(parent context.Context, cfg Config) *selScheduler {
+	budget := cfg.Workers
+	if budget < 1 {
+		budget = 1
+	}
+	ctx, cancel := context.WithCancel(parent)
+	return &selScheduler{
+		ctx:    ctx,
+		cancel: cancel,
+		pool:   newCPUPool(budget),
+		budget: budget,
+		tasks:  make(map[schedKey]*selTask),
+	}
+}
+
+// shutdown aborts every task still in flight (only unconsumed
+// speculations by the time the drivers call it) and waits them out.
+// Idempotent.
+func (sc *selScheduler) shutdown() {
+	sc.cancel()
+	sc.pool.close()
+	sc.wg.Wait()
+}
+
+// speculativeCalls returns the number of speculative launches so far.
+func (sc *selScheduler) speculativeCalls() int {
+	sc.mu.Lock()
+	defer sc.mu.Unlock()
+	return sc.specLaunches
+}
+
+// taskConfig is the per-task search config for a task granted n slots:
+// the task must not re-enter the scheduler or the block-level fan-out,
+// and runs the engine only when it holds more than one slot.
+func (sc *selScheduler) taskConfig(cfg Config, tokens int) Config {
+	cfg.Speculate = false
+	cfg.Parallel = false
+	if tokens > 1 {
+		cfg.Workers = tokens
+	} else {
+		cfg.Workers = 0
+	}
+	return cfg
+}
+
+// demandMulti returns the task for (fp, m), launching it on the demand
+// path if absent: the launch blocks (inside the task's goroutine) until
+// the pool frees at least one slot and takes up to want.
+func (sc *selScheduler) demandMulti(g *dfg.Graph, fp uint64, m int, cfg Config, want int) *selTask {
+	key := schedKey{fp: fp, m: m}
+	sc.mu.Lock()
+	if t, ok := sc.tasks[key]; ok {
+		sc.mu.Unlock()
+		return t
+	}
+	t := &selTask{done: make(chan struct{}), g: g}
+	sc.tasks[key] = t
+	sc.wg.Add(1)
+	sc.mu.Unlock()
+	go func() {
+		defer sc.wg.Done()
+		defer close(t.done)
+		tokens := sc.pool.acquire(want)
+		if tokens == 0 { // pool closed: scheduler shut down
+			t.mres = MultiResult{Status: Canceled, Stats: Stats{Aborted: true}}
+			t.bs = BlockStatus{Fn: g.Fn.Name, Block: g.Block.Name, Status: Canceled}
+			return
+		}
+		defer sc.pool.release(tokens)
+		t.mres, t.bs = searchBlockMultiSafe(sc.ctx, g, m, sc.taskConfig(cfg, tokens))
+	}()
+	return t
+}
+
+// specMulti launches the (fp, m) identification speculatively on one
+// idle slot. Returns false only when the pool has no idle capacity (the
+// caller should stop proposing speculations this round); an already
+// -present task reports true.
+func (sc *selScheduler) specMulti(g *dfg.Graph, fp uint64, m int, cfg Config) bool {
+	key := schedKey{fp: fp, m: m}
+	sc.mu.Lock()
+	if _, ok := sc.tasks[key]; ok {
+		sc.mu.Unlock()
+		return true
+	}
+	if !sc.pool.tryAcquireSpec() {
+		sc.mu.Unlock()
+		return false
+	}
+	tctx, tcancel := context.WithCancel(sc.ctx)
+	t := &selTask{done: make(chan struct{}), spec: true, g: g, cancel: tcancel}
+	sc.tasks[key] = t
+	sc.specLaunches++
+	sc.wg.Add(1)
+	sc.mu.Unlock()
+	go func() {
+		defer sc.wg.Done()
+		defer close(t.done)
+		defer sc.pool.release(1)
+		t.mres, t.bs = searchBlockMultiSafe(tctx, g, m, sc.taskConfig(cfg, 1))
+	}()
+	return true
+}
+
+// demandSingle is demandMulti for the single-cut search (key.m == 0).
+func (sc *selScheduler) demandSingle(g *dfg.Graph, fp uint64, cfg Config, want int) *selTask {
+	key := schedKey{fp: fp, m: 0}
+	sc.mu.Lock()
+	if t, ok := sc.tasks[key]; ok {
+		sc.mu.Unlock()
+		return t
+	}
+	t := &selTask{done: make(chan struct{}), g: g}
+	sc.tasks[key] = t
+	sc.wg.Add(1)
+	sc.mu.Unlock()
+	go func() {
+		defer sc.wg.Done()
+		defer close(t.done)
+		tokens := sc.pool.acquire(want)
+		if tokens == 0 {
+			t.res = Result{Status: Canceled, Stats: Stats{Aborted: true}}
+			t.bs = BlockStatus{Fn: g.Fn.Name, Block: g.Block.Name, Status: Canceled}
+			return
+		}
+		defer sc.pool.release(tokens)
+		t.res, t.bs = searchBlockSafe(sc.ctx, g, sc.taskConfig(cfg, tokens))
+	}()
+	return t
+}
+
+// specCollapseSearch speculatively performs what a win of this block
+// would trigger: collapse its current best cut and re-search the result,
+// warm-started from the block's runner-up cut when that cut survives the
+// collapse (Legal re-checked and merit re-Evaluated on the collapsed
+// graph — prev.prevMerit may be threshold-adjusted and is never
+// trusted). The collapse itself runs inside the task, off the driver's
+// critical path. Returns nil when the pool has no idle capacity.
+func (sc *selScheduler) specCollapseSearch(g *dfg.Graph, cut dfg.Cut, name string, hwCycles int, prev Result, cfg Config) *selTask {
+	if !sc.pool.tryAcquireSpec() {
+		return nil
+	}
+	tctx, tcancel := context.WithCancel(sc.ctx)
+	t := &selTask{done: make(chan struct{}), spec: true, cancel: tcancel}
+	sc.mu.Lock()
+	sc.specLaunches++
+	sc.wg.Add(1)
+	sc.mu.Unlock()
+	go func() {
+		defer sc.wg.Done()
+		defer close(t.done)
+		defer sc.pool.release(1)
+		ng, err := g.CollapseIncr(cut, name, hwCycles)
+		if err != nil {
+			t.bs = BlockStatus{Fn: g.Fn.Name, Block: g.Block.Name, Status: Recovered, Err: err}
+			return
+		}
+		t.g = ng
+		scfg := sc.taskConfig(cfg, 1)
+		if prev.prevFound && len(prev.prevCut) > 0 && ng.Legal(prev.prevCut, cfg.Nin, cfg.Nout) {
+			if m := Evaluate(ng, prev.prevCut, cfg.model()).Merit; m > 0 {
+				scfg = scfg.withSeed(m, prev.prevCut, nil)
+			}
+		}
+		t.res, t.bs = searchBlockSafe(tctx, ng, scfg)
+	}()
+	return t
+}
+
+// selectOptimalScheduled is SelectOptimalCtx through the scheduler. The
+// control flow — first-max winner choice, ctx handling, IdentCalls —
+// mirrors the serial driver statement for statement; only where each
+// identification runs differs.
+func selectOptimalScheduled(ctx context.Context, mod *ir.Module, ninstr int, cfg Config) SelectionResult {
+	bgs, failed := allBlockGraphs(mod)
+	res := SelectionResult{Blocks: failed}
+	if ninstr < 1 || len(bgs) == 0 {
+		res.finalize()
+		return res
+	}
+	sc := newSelScheduler(ctx, cfg)
+	defer sc.shutdown()
+
+	type blockState struct {
+		m       int
+		gain    int64
+		totals  []int64
+		results []MultiResult
+	}
+	states := make([]blockState, len(bgs))
+	blockStat := make([]BlockStatus, len(bgs))
+	fps := make([]uint64, len(bgs))
+	consume := func(bi int, t *selTask) MultiResult {
+		<-t.done
+		res.IdentCalls++
+		if t.spec {
+			res.CacheHits++
+		}
+		res.Stats.add(t.mres.Stats)
+		mergeBlockStatus(&blockStat[bi], t.bs)
+		return t.mres
+	}
+	// Initial pass: every block's single-cut identification is demanded
+	// up front and consumed in index order (the serial order), splitting
+	// the budget evenly across the blocks.
+	want := (sc.budget + len(bgs) - 1) / len(bgs)
+	initial := make([]*selTask, len(bgs))
+	for i := range bgs {
+		blockStat[i] = BlockStatus{Fn: bgs[i].fn.Name, Block: bgs[i].b.Name}
+		fps[i] = bgs[i].g.Fingerprint()
+		initial[i] = sc.demandMulti(bgs[i].g, fps[i], 1, cfg, want)
+	}
+	for i := range bgs {
+		r := consume(i, initial[i])
+		states[i].totals = []int64{0, r.TotalMerit}
+		states[i].results = []MultiResult{{}, r}
+		states[i].gain = r.TotalMerit
+	}
+	chosen := 0
+	for chosen < ninstr {
+		bestB, bestGain := -1, int64(0)
+		for i := range states {
+			if states[i].gain > bestGain {
+				bestGain = states[i].gain
+				bestB = i
+			}
+		}
+		if bestB < 0 {
+			break
+		}
+		st := &states[bestB]
+		st.m++
+		chosen++
+		if chosen >= ninstr {
+			break
+		}
+		if err := ctx.Err(); err != nil {
+			blockStat[bestB].Status = worse(blockStat[bestB].Status, statusOfCtx(err))
+			st.gain = 0
+			continue
+		}
+		// Demand the winner at M+1, seeded with its own M-cut optimum
+		// (feasible at M+1: the extra cut may stay empty).
+		t := sc.demandMulti(bgs[bestB].g, fps[bestB], st.m+1,
+			cfg.withSeed(st.totals[st.m], nil, st.results[st.m].Cuts), sc.budget)
+		// Speculate while the demand runs: the winner's own next level
+		// (needed if it wins again; only the weaker M-cut bound is known
+		// yet), then the runner-up blocks' next levels in gain order,
+		// each seeded with its block's strongest known assignment. No
+		// speculation in the last round — nothing can demand it.
+		specOK := chosen+1 < ninstr && sc.specMulti(bgs[bestB].g, fps[bestB], st.m+2,
+			cfg.withSeed(st.totals[st.m], nil, st.results[st.m].Cuts))
+		if specOK {
+			order := make([]int, 0, len(states))
+			for i := range states {
+				if i != bestB && states[i].gain > 0 {
+					order = append(order, i)
+				}
+			}
+			sort.SliceStable(order, func(a, b int) bool {
+				return states[order[a]].gain > states[order[b]].gain
+			})
+			for _, i := range order {
+				mi := states[i].m
+				if !sc.specMulti(bgs[i].g, fps[i], mi+2,
+					cfg.withSeed(states[i].totals[mi+1], nil, states[i].results[mi+1].Cuts)) {
+					break
+				}
+			}
+		}
+		r := consume(bestB, t)
+		st.totals = append(st.totals, r.TotalMerit)
+		st.results = append(st.results, r)
+		st.gain = r.TotalMerit - st.totals[st.m]
+		if st.gain < 0 {
+			st.gain = 0
+		}
+	}
+	sc.shutdown()
+	res.SpeculativeCalls = sc.speculativeCalls()
+	for i := range states {
+		st := &states[i]
+		if st.m == 0 {
+			continue
+		}
+		r := st.results[st.m]
+		for j, c := range r.Cuts {
+			res.Instructions = append(res.Instructions, Selected{
+				Fn:           bgs[i].fn,
+				Block:        bgs[i].b,
+				InstrIndexes: instrIndexesOf(bgs[i].g, c),
+				Est:          r.Ests[j],
+			})
+			res.TotalMerit += r.Ests[j].Merit
+		}
+	}
+	sortSelected(res.Instructions)
+	res.Blocks = append(res.Blocks, blockStat...)
+	res.finalize()
+	return res
+}
+
+// iterSpec is a per-block speculative collapse-and-search slot: gen is
+// the collapse generation the task's graph corresponds to (the block's
+// generation after one more win), so a slot is adoptable exactly when
+// the block wins while still at gen-1.
+type iterSpec struct {
+	t   *selTask
+	gen int
+}
+
+// selectIterativeScheduled is SelectIterativeCtx through the scheduler.
+// Collapses on the demand path use dfg.CollapseIncr with the serial
+// naming, so the driver's graphs carry the exact serial names; adopted
+// speculative tasks searched a graph with the same node IDs (and a
+// cosmetic g<gen> super-node name), so their cuts apply to the driver's
+// graph directly.
+func selectIterativeScheduled(ctx context.Context, mod *ir.Module, ninstr int, cfg Config) SelectionResult {
+	bgs, failed := allBlockGraphs(mod)
+	res := SelectionResult{Blocks: failed}
+	if ninstr < 1 || len(bgs) == 0 {
+		res.finalize()
+		return res
+	}
+	sc := newSelScheduler(ctx, cfg)
+	defer sc.shutdown()
+
+	type blockState struct {
+		g    *dfg.Graph
+		fp   uint64
+		best Result
+		gen  int
+	}
+	states := make([]blockState, len(bgs))
+	blockStat := make([]BlockStatus, len(bgs))
+	specs := make([]*iterSpec, len(bgs))
+	dropSpec := func(i int) {
+		if sp := specs[i]; sp != nil {
+			specs[i] = nil
+			if sp.t.cancel != nil {
+				sp.t.cancel()
+			}
+		}
+	}
+	// Initial pass: all blocks demanded up front, consumed in index
+	// order, budget split evenly.
+	want := (sc.budget + len(bgs) - 1) / len(bgs)
+	initial := make([]*selTask, len(bgs))
+	for i := range bgs {
+		states[i].g = bgs[i].g
+		states[i].fp = bgs[i].g.Fingerprint()
+		initial[i] = sc.demandSingle(states[i].g, states[i].fp, cfg, want)
+	}
+	for i := range bgs {
+		t := initial[i]
+		<-t.done
+		res.IdentCalls++
+		res.Stats.add(t.res.Stats)
+		states[i].best = t.res
+		blockStat[i] = t.bs
+	}
+	// launchSpecs fills idle slots with the searches the next rounds are
+	// most likely to demand: each candidate block's post-collapse
+	// re-identification, best current merit first (the order the greedy
+	// loop would pick winners in if nothing changed).
+	launchSpecs := func(exclude int) {
+		order := make([]int, 0, len(states))
+		for i := range states {
+			if i == exclude || !states[i].best.Found || states[i].best.Est.Merit <= 0 {
+				continue
+			}
+			if specs[i] != nil { // fresh by construction; see dropSpec sites
+				continue
+			}
+			order = append(order, i)
+		}
+		sort.SliceStable(order, func(a, b int) bool {
+			return states[order[a]].best.Est.Merit > states[order[b]].best.Est.Merit
+		})
+		for _, i := range order {
+			st := &states[i]
+			name := fmt.Sprintf("ise_%s_g%d", bgs[i].b.Name, st.gen+1)
+			t := sc.specCollapseSearch(st.g, st.best.Cut, name, st.best.Est.HWCycles, st.best, cfg)
+			if t == nil {
+				break // no idle capacity left this round
+			}
+			specs[i] = &iterSpec{t: t, gen: st.gen + 1}
+		}
+	}
+	for chosen := 0; chosen < ninstr; chosen++ {
+		bestB := -1
+		var bestMerit int64
+		for i := range states {
+			if states[i].best.Found && states[i].best.Est.Merit > bestMerit {
+				bestMerit = states[i].best.Est.Merit
+				bestB = i
+			}
+		}
+		if bestB < 0 {
+			break
+		}
+		st := &states[bestB]
+		res.Instructions = append(res.Instructions, Selected{
+			Fn:           bgs[bestB].fn,
+			Block:        bgs[bestB].b,
+			InstrIndexes: instrIndexesOf(st.g, st.best.Cut),
+			Est:          st.best.Est,
+		})
+		res.TotalMerit += st.best.Est.Merit
+		name := fmt.Sprintf("ise_%s_%d", bgs[bestB].b.Name, chosen)
+		ng, err := st.g.CollapseIncr(st.best.Cut, name, st.best.Est.HWCycles)
+		if err != nil {
+			mergeBlockStatus(&blockStat[bestB], BlockStatus{Status: Recovered, Err: err})
+			st.best = Result{}
+			dropSpec(bestB)
+			continue
+		}
+		prev := st.best
+		st.g = ng
+		st.fp = ng.Fingerprint()
+		st.gen++
+		if cerr := ctx.Err(); cerr != nil {
+			blockStat[bestB].Status = worse(blockStat[bestB].Status, statusOfCtx(cerr))
+			st.best = Result{}
+			dropSpec(bestB)
+			continue
+		}
+		// Adopt the block's speculative task when it anticipated exactly
+		// this collapse; otherwise demand the re-search, seeded with the
+		// runner-up cut when it survives on the collapsed graph.
+		var t *selTask
+		if sp := specs[bestB]; sp != nil {
+			specs[bestB] = nil
+			if sp.gen == st.gen {
+				t = sp.t
+			} else if sp.t.cancel != nil {
+				sp.t.cancel() // stale speculation from an older generation
+			}
+		}
+		if t == nil {
+			scfg := cfg
+			if prev.prevFound && len(prev.prevCut) > 0 && ng.Legal(prev.prevCut, cfg.Nin, cfg.Nout) {
+				if m := Evaluate(ng, prev.prevCut, cfg.model()).Merit; m > 0 {
+					scfg = scfg.withSeed(m, prev.prevCut, nil)
+				}
+			}
+			t = sc.demandSingle(ng, st.fp, scfg, sc.budget)
+		}
+		if chosen+1 < ninstr { // the last round cannot demand a speculation
+			launchSpecs(bestB)
+		}
+		<-t.done
+		if t.spec && t.g == nil {
+			// Defensive: the speculative collapse failed even though the
+			// inline one succeeded (cannot normally diverge) — fall back
+			// to the demand search.
+			t = sc.demandSingle(ng, st.fp, cfg, sc.budget)
+			<-t.done
+		}
+		res.IdentCalls++
+		if t.spec {
+			res.CacheHits++
+		}
+		res.Stats.add(t.res.Stats)
+		st.best = t.res
+		mergeBlockStatus(&blockStat[bestB], t.bs)
+	}
+	sc.shutdown()
+	res.SpeculativeCalls = sc.speculativeCalls()
+	sortSelected(res.Instructions)
+	res.Blocks = append(res.Blocks, blockStat...)
+	res.finalize()
+	return res
+}

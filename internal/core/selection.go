@@ -25,9 +25,17 @@ type SelectionResult struct {
 	Instructions []Selected
 	TotalMerit   int64
 	Stats        Stats
-	// IdentCalls counts invocations of the identification algorithm; the
-	// optimal algorithm is proven to need at most Ninstr + Nbb − 1 (§6.2).
+	// IdentCalls counts invocations of the identification algorithm the
+	// selection *consumed* — the §6.2 currency: the optimal algorithm is
+	// proven to need at most Ninstr + Nbb − 1 of them. Speculative work
+	// by the scheduler (Config.Speculate) is never charged here.
 	IdentCalls int
+	// SpeculativeCalls counts identifications the scheduler launched
+	// speculatively on idle workers (Config.Speculate); CacheHits counts
+	// how many of the IdentCalls were served by such a speculation
+	// instead of a fresh demand search. Both are 0 without Speculate.
+	SpeculativeCalls int
+	CacheHits        int
 	// Blocks reports, per basic block, how its search ended (sorted by
 	// function name, then block name). Blocks searched to completion are
 	// listed with Status Exhaustive.
@@ -120,6 +128,9 @@ func SelectOptimal(m *ir.Module, ninstr int, cfg Config) SelectionResult {
 // selection assembled so far is always returned (see SelectionResult's
 // Blocks/Status for how trustworthy each block's answer is).
 func SelectOptimalCtx(ctx context.Context, m *ir.Module, ninstr int, cfg Config) SelectionResult {
+	if cfg.Speculate {
+		return selectOptimalScheduled(ctx, m, ninstr, cfg)
+	}
 	bgs, failed := allBlockGraphs(m)
 	res := SelectionResult{Blocks: failed}
 	if ninstr < 1 || len(bgs) == 0 {
@@ -142,12 +153,40 @@ func SelectOptimalCtx(ctx context.Context, m *ir.Module, ninstr int, cfg Config)
 		mergeBlockStatus(&blockStat[bi], bs)
 		return r
 	}
-	for i := range bgs {
-		blockStat[i] = BlockStatus{Fn: bgs[i].fn.Name, Block: bgs[i].b.Name}
-		r := identify(i, 1)
-		states[i].totals = []int64{0, r.TotalMerit}
-		states[i].results = []MultiResult{{}, r}
-		states[i].gain = r.TotalMerit
+	// The initial identification of every block is independent; with
+	// Parallel set the blocks are searched concurrently, exactly like
+	// SelectIterativeCtx's initial pass (deterministic: results land in
+	// fixed slots and are merged in index order afterwards).
+	if cfg.Parallel && len(bgs) > 1 {
+		results := make([]MultiResult, len(bgs))
+		stats := make([]BlockStatus, len(bgs))
+		var wg sync.WaitGroup
+		for i := range bgs {
+			wg.Add(1)
+			go func(i int) {
+				defer wg.Done()
+				results[i], stats[i] = searchBlockMultiSafe(ctx, bgs[i].g, 1, cfg)
+			}(i)
+		}
+		wg.Wait()
+		for i := range bgs {
+			blockStat[i] = BlockStatus{Fn: bgs[i].fn.Name, Block: bgs[i].b.Name}
+			res.IdentCalls++
+			res.Stats.add(results[i].Stats)
+			mergeBlockStatus(&blockStat[i], stats[i])
+			r := results[i]
+			states[i].totals = []int64{0, r.TotalMerit}
+			states[i].results = []MultiResult{{}, r}
+			states[i].gain = r.TotalMerit
+		}
+	} else {
+		for i := range bgs {
+			blockStat[i] = BlockStatus{Fn: bgs[i].fn.Name, Block: bgs[i].b.Name}
+			r := identify(i, 1)
+			states[i].totals = []int64{0, r.TotalMerit}
+			states[i].results = []MultiResult{{}, r}
+			states[i].gain = r.TotalMerit
+		}
 	}
 	chosen := 0
 	for chosen < ninstr {
@@ -224,6 +263,9 @@ func SelectIterative(m *ir.Module, ninstr int, cfg Config) SelectionResult {
 // panic-safe: a panicking block is reported as Recovered and the other
 // blocks' selections survive.
 func SelectIterativeCtx(ctx context.Context, m *ir.Module, ninstr int, cfg Config) SelectionResult {
+	if cfg.Speculate {
+		return selectIterativeScheduled(ctx, m, ninstr, cfg)
+	}
 	bgs, failed := allBlockGraphs(m)
 	res := SelectionResult{Blocks: failed}
 	if ninstr < 1 || len(bgs) == 0 {

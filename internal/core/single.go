@@ -75,6 +75,53 @@ type Config struct {
 	// engine warm-starts whenever PruneMerit is set, with or without this
 	// flag; the serial search only when it is set.
 	WarmStart bool
+	// Speculate routes SelectOptimalCtx / SelectIterativeCtx (and, through
+	// the latter, SelectAreaConstrainedCtx) through the selection-level
+	// scheduler (see scheduler.go): idle workers speculatively re-identify
+	// runner-up blocks, results are memoized by graph fingerprint, and
+	// every re-search is warm-started from the best already-known sound
+	// bound. Selections are bit-identical to the serial greedy driver; the
+	// extra searches are reported in SelectionResult.SpeculativeCalls /
+	// CacheHits, never in IdentCalls. The scheduler shares one CPU budget
+	// of max(Workers, 1) slots between concurrent block searches and each
+	// search's own worker pool.
+	Speculate bool
+
+	// Incumbent seeding for the selection scheduler (package-internal; see
+	// scheduler.go). When seedOn is set, the search starts with its
+	// recording threshold at seedMerit−1 and the witness (seedCut for the
+	// single-cut search, seedCuts for the multi-cut search) as incumbent —
+	// provably result-preserving exactly like WarmStart, because any cut
+	// (assignment) of merit ≥ seedMerit, the known optimum's lower bound,
+	// is still recorded in DFS order. Callers must guarantee the witness
+	// is legal on the searched graph with exactly merit seedMerit.
+	seedOn    bool
+	seedMerit int64
+	seedCut   dfg.Cut
+	seedCuts  []dfg.Cut
+}
+
+// withSeed arms incumbent seeding (see the seed fields above).
+func (c Config) withSeed(merit int64, cut dfg.Cut, cuts []dfg.Cut) Config {
+	if merit <= 0 || (cut == nil && cuts == nil) {
+		return c
+	}
+	c.seedOn = true
+	c.seedMerit = merit
+	c.seedCut = cut
+	c.seedCuts = cuts
+	return c
+}
+
+// stripSeed removes incumbent seeding; the windowed heuristic and the
+// warm pass must run cold (a seed cut need not be legal on a Restrict
+// view, and the seed must never leak into recursive passes).
+func (c Config) stripSeed() Config {
+	c.seedOn = false
+	c.seedMerit = 0
+	c.seedCut = nil
+	c.seedCuts = nil
+	return c
 }
 
 func (c Config) model() *latency.Model {
@@ -115,6 +162,16 @@ type Result struct {
 	// Status reports how the search ended; anything but Exhaustive means
 	// the result is a best-so-far lower bound, not a proven optimum.
 	Status SearchStatus
+
+	// prev* expose the runner-up incumbent — the cut the winner displaced
+	// last (serial) or the best losing merge candidate (parallel). It is a
+	// legal cut of the searched graph with merit prevMerit, used by the
+	// selection scheduler to warm-start post-collapse re-searches; it is a
+	// heuristic second-best (sound as a seed, not guaranteed to be the
+	// true runner-up) and deliberately unexported.
+	prevFound bool
+	prevMerit int64
+	prevCut   dfg.Cut
 }
 
 // FindBestCut solves Problem 1 (§5) exactly on one graph: it returns the
@@ -139,16 +196,21 @@ func FindBestCutCtx(ctx context.Context, g *dfg.Graph, cfg Config) Result {
 	}
 	s := newSearcher(g, cfg)
 	s.ctx = ctx
+	if cfg.seedOn && cfg.seedMerit > 0 && len(cfg.seedCut) > 0 {
+		s.seedIncumbent(Result{Found: true, Cut: cfg.seedCut, Est: Estimate{Merit: cfg.seedMerit}})
+	}
 	if cfg.WarmStart && g.NumOps() > warmWindow {
 		w := findWarmIncumbent(ctx, g, cfg)
 		if w.Found {
-			s.seedIncumbent(w)
+			s.seedIncumbent(w) // keeps the better of seed and warm
 		}
 		if w.Status != Exhaustive {
 			res := Result{Status: w.Status}
 			res.Stats.Aborted = true
-			if w.Found {
-				res.Found, res.Cut, res.Est = true, w.Cut, w.Est
+			if s.bestFound && s.bestCut != nil {
+				res.Found = true
+				res.Cut = s.bestCut.Canon()
+				res.Est = Evaluate(g, res.Cut, cfg.model())
 			}
 			return res
 		}
@@ -159,6 +221,10 @@ func FindBestCutCtx(ctx context.Context, g *dfg.Graph, cfg Config) Result {
 		res.Found = true
 		res.Cut = s.bestCut.Canon()
 		res.Est = Evaluate(g, res.Cut, cfg.model())
+	}
+	if s.prevCut != nil {
+		res.prevFound, res.prevMerit = true, s.prevMerit
+		res.prevCut = s.prevCut.Canon()
 	}
 	return res
 }
@@ -181,7 +247,7 @@ func findWarmIncumbent(ctx context.Context, g *dfg.Graph, cfg Config) Result {
 	cfg.Workers = 0
 	cfg.MaxCuts = 0
 	cfg.Parallel = false
-	return FindBestCutWindowedCtx(ctx, g, cfg, warmWindow)
+	return FindBestCutWindowedCtx(ctx, g, cfg.stripSeed(), warmWindow)
 }
 
 // searcher holds the incremental state of §6.1. All per-node arrays are
@@ -215,6 +281,10 @@ type searcher struct {
 	bestFound bool
 	bestCut   dfg.Cut
 	bestMerit int64
+	// prev* track the last displaced incumbent (see Result.prevCut).
+	prevFound bool
+	prevMerit int64
+	prevCut   dfg.Cut
 	stats     Stats
 	// ctx is polled every ctxCheckInterval visited nodes (ticks); stop
 	// records why the search ended early (Exhaustive while running).
@@ -273,12 +343,17 @@ func newSearcher(g *dfg.Graph, cfg Config) *searcher {
 	return s
 }
 
-// seedIncumbent warm-starts the incumbent from a windowed-heuristic
-// result of merit W: the threshold is W−1, so any cut of merit ≥ W —
-// including the first one the cold search would have recorded — still
-// replaces the seed, which keeps the returned cut bit-identical to a
-// cold run while PruneMerit skips everything provably below W.
+// seedIncumbent warm-starts the incumbent from a windowed-heuristic (or
+// scheduler-supplied) result of merit W: the threshold is W−1, so any cut
+// of merit ≥ W — including the first one the cold search would have
+// recorded — still replaces the seed, which keeps the returned cut
+// bit-identical to a cold run while PruneMerit skips everything provably
+// below W. When the searcher already carries a seed, only a strictly
+// better one replaces it.
 func (s *searcher) seedIncumbent(w Result) {
+	if s.bestFound && w.Est.Merit-1 <= s.bestMerit {
+		return
+	}
 	s.bestFound = true
 	s.bestMerit = w.Est.Merit - 1
 	s.bestCut = append(dfg.Cut(nil), w.Cut...)
@@ -466,6 +541,11 @@ func (s *searcher) record() {
 	m := s.meritOf()
 	if m <= 0 || (s.bestFound && m <= s.bestMerit) {
 		return
+	}
+	if s.bestCut != nil {
+		// The displaced incumbent becomes the runner-up (bestCut is
+		// replaced wholesale below, so aliasing it is safe).
+		s.prevFound, s.prevMerit, s.prevCut = true, s.bestMerit, s.bestCut
 	}
 	s.bestFound = true
 	s.bestMerit = m

@@ -37,6 +37,9 @@ func FindBestCutWindowedCtx(ctx context.Context, g *dfg.Graph, cfg Config, windo
 	cfg.Window = 0
 	cfg.Workers = 0
 	cfg.WarmStart = false
+	// A scheduler seed cut need not be legal on a Restrict view (its
+	// members may fall outside the window), so the windows run cold.
+	cfg = cfg.stripSeed()
 	n := g.NumOps()
 	if window <= 0 || window >= n {
 		return FindBestCutCtx(ctx, g, cfg)

@@ -1,0 +1,238 @@
+package dfg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// This file differential-checks CollapseIncr (tombstoned, ID-preserving
+// collapse with the word-level quotient closure update) against the
+// from-scratch path: full Collapse for graph structure and a full
+// buildKernel rebuild for the constraint tables, on random graphs with
+// order edges and across repeated collapses.
+
+// rebuiltKernel reruns the full kernel construction on g's node structure
+// (sharing Nodes — buildKernel reads only the edge lists) and returns the
+// resulting tables for word-for-word comparison with an incrementally
+// derived kernel.
+func rebuiltKernel(t *testing.T, g *Graph) *kernel {
+	t.Helper()
+	ng := &Graph{Fn: g.Fn, Block: g.Block, Nodes: g.Nodes}
+	if err := ng.rebuildOrder(); err != nil {
+		t.Fatalf("full rebuild of incrementally collapsed graph failed: %v", err)
+	}
+	if len(ng.OpOrder) != len(g.OpOrder) {
+		t.Fatalf("full rebuild orders %d ops, incremental graph has %d", len(ng.OpOrder), len(g.OpOrder))
+	}
+	for i := range ng.OpOrder {
+		if ng.OpOrder[i] != g.OpOrder[i] {
+			t.Fatalf("full rebuild OpOrder %v != incremental %v", ng.OpOrder, g.OpOrder)
+		}
+	}
+	return ng.kern
+}
+
+func bitTablesEqual(a, b []BitSet) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		for w := range a[i] {
+			if a[i][w] != b[i][w] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func checkKernelEqual(t *testing.T, got, want *kernel, label string) {
+	t.Helper()
+	if got.words != want.words {
+		t.Fatalf("%s: kernel word width %d != %d", label, got.words, want.words)
+	}
+	for _, tbl := range []struct {
+		name      string
+		got, want []BitSet
+	}{
+		{"preds", got.preds, want.preds},
+		{"succs", got.succs, want.succs},
+		{"adj", got.adj, want.adj},
+		{"anc", got.anc, want.anc},
+		{"desc", got.desc, want.desc},
+	} {
+		if !bitTablesEqual(tbl.got, tbl.want) {
+			t.Fatalf("%s: incremental %s table diverges from full rebuild", label, tbl.name)
+		}
+	}
+	if len(got.fused) != len(want.fused) {
+		t.Fatalf("%s: fused table size %d != %d", label, len(got.fused), len(want.fused))
+	}
+	for i := range got.fused {
+		if got.fused[i] != want.fused[i] {
+			t.Fatalf("%s: fused table diverges from full rebuild at word %d", label, i)
+		}
+	}
+}
+
+// convexRandomCut draws a random cut of non-forbidden ops and keeps it
+// only if convex (the only cuts selection ever collapses).
+func convexRandomCut(rng *rand.Rand, g *Graph) Cut {
+	for trial := 0; trial < 12; trial++ {
+		c := randomCut(rng, g)
+		if len(c) > 0 && g.ConvexSpec(c) {
+			return c
+		}
+	}
+	// Fall back to a singleton, which is always convex.
+	for _, id := range g.OpOrder {
+		if !g.Nodes[id].Forbidden {
+			return Cut{id}
+		}
+	}
+	return nil
+}
+
+// TestQuickIncrementalCollapseMatchesFull runs up to three successive
+// collapses on a random graph through both CollapseIncr and the
+// compacting Collapse, and checks at every step that (a) the incremental
+// kernel equals a full buildKernel rebuild word for word, (b) the
+// incremental graph's predicates agree with the §5 specification, and
+// (c) the two lineages are isomorphic under the search-order rank map:
+// same per-rank node payloads, and identical IN/OUT/convexity/components
+// on translated random cuts.
+func TestQuickIncrementalCollapseMatchesFull(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		gi := randomGraphLocal(rng, 8+rng.Intn(12)) // incremental lineage
+		gf := gi                                    // full-rebuild lineage
+		for step := 0; step < 3; step++ {
+			if gi.NumOps() != gf.NumOps() {
+				t.Fatalf("step %d: incremental has %d ops, full has %d", step, gi.NumOps(), gf.NumOps())
+			}
+			ci := convexRandomCut(rng, gi)
+			if ci == nil {
+				return true
+			}
+			// Translate the cut to the compacted lineage by search rank.
+			cf := make(Cut, len(ci))
+			for i, id := range ci {
+				cf[i] = gf.OpOrder[gi.Pos(id)]
+			}
+			parentFP := gi.Fingerprint()
+			ngi, err := gi.CollapseIncr(ci, "s", 1)
+			if err != nil {
+				t.Fatalf("step %d: CollapseIncr of convex cut failed: %v", step, err)
+			}
+			if gi.Fingerprint() != parentFP {
+				t.Fatalf("step %d: CollapseIncr mutated its receiver", step)
+			}
+			ngf, err := gf.Collapse(cf, "s", 1)
+			if err != nil {
+				t.Fatalf("step %d: Collapse of convex cut failed: %v", step, err)
+			}
+			gi, gf = ngi, ngf
+
+			checkKernelEqual(t, gi.kern, rebuiltKernel(t, gi), "after collapse")
+			if gi.NumOps() != gf.NumOps() {
+				t.Fatalf("step %d: op counts diverge after collapse: %d vs %d", step, gi.NumOps(), gf.NumOps())
+			}
+			for r := range gi.OpOrder {
+				ni, nf := &gi.Nodes[gi.OpOrder[r]], &gf.Nodes[gf.OpOrder[r]]
+				if ni.Kind != nf.Kind || ni.Op != nf.Op || ni.InstrIndex != nf.InstrIndex ||
+					ni.Forbidden != nf.Forbidden || ni.SuperLatency != nf.SuperLatency ||
+					len(ni.SuperMembers) != len(nf.SuperMembers) ||
+					len(ni.Preds) != len(nf.Preds) || len(ni.Succs) != len(nf.Succs) ||
+					len(ni.OrderPreds) != len(nf.OrderPreds) || len(ni.OrderSuccs) != len(nf.OrderSuccs) {
+					t.Fatalf("step %d rank %d: node payloads diverge:\nincr %+v\nfull %+v", step, r, ni, nf)
+				}
+				for m := range ni.SuperMembers {
+					if ni.SuperMembers[m] != nf.SuperMembers[m] {
+						t.Fatalf("step %d rank %d: super members diverge", step, r)
+					}
+				}
+			}
+			for trial := 0; trial < 6; trial++ {
+				qi := randomCut(rng, gi)
+				checkKernelAgainstSpec(t, gi, qi, "incremental")
+				qf := make(Cut, len(qi))
+				for i, id := range qi {
+					qf[i] = gf.OpOrder[gi.Pos(id)]
+				}
+				if gi.Inputs(qi) != gf.Inputs(qf) || gi.Outputs(qi) != gf.Outputs(qf) ||
+					gi.Convex(qi) != gf.Convex(qf) || gi.Components(qi) != gf.Components(qf) ||
+					gi.Legal(qi, 4, 2) != gf.Legal(qf, 4, 2) {
+					t.Fatalf("step %d: predicates diverge between lineages on cut %v / %v", step, qi, qf)
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestIncrementalCollapseRejectsNonConvex: CollapseIncr errors on exactly
+// the cuts full Collapse errors on (non-convex contractions), and the
+// empty cut.
+func TestIncrementalCollapseRejectsNonConvex(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	found := 0
+	for attempt := 0; attempt < 400 && found < 10; attempt++ {
+		g := randomGraphLocal(rng, 8+rng.Intn(12))
+		c := randomCut(rng, g)
+		if len(c) == 0 || g.ConvexSpec(c) {
+			continue
+		}
+		found++
+		if _, err := g.CollapseIncr(c, "s", 1); err == nil {
+			t.Fatalf("CollapseIncr accepted non-convex cut %v", c)
+		}
+		if _, err := g.Collapse(c, "s", 1); err == nil {
+			t.Fatalf("Collapse accepted non-convex cut %v", c)
+		}
+	}
+	if found == 0 {
+		t.Skip("no non-convex cut drawn")
+	}
+	g := randomGraphLocal(rng, 6)
+	if _, err := g.CollapseIncr(nil, "s", 1); err == nil {
+		t.Fatal("CollapseIncr accepted an empty cut")
+	}
+}
+
+// TestFingerprint: deterministic, structure-sensitive, name-insensitive.
+func TestFingerprint(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := randomGraphLocal(rng, 12)
+	if g.Fingerprint() != g.Fingerprint() {
+		t.Fatal("fingerprint is not deterministic")
+	}
+	c := convexRandomCut(rng, g)
+	if c == nil {
+		t.Fatal("no convex cut on the test graph")
+	}
+	a, err := g.CollapseIncr(c, "ise_a", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := g.CollapseIncr(c, "ise_b", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Fingerprint() != b.Fingerprint() {
+		t.Fatal("fingerprint depends on the cosmetic super-node name")
+	}
+	if a.Fingerprint() == g.Fingerprint() {
+		t.Fatal("fingerprint did not change across a collapse")
+	}
+	b2, err := g.CollapseIncr(c, "ise_b", 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b2.Fingerprint() == b.Fingerprint() {
+		t.Fatal("fingerprint ignores the super-node latency")
+	}
+}

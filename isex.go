@@ -54,6 +54,13 @@ type Constraints struct {
 	// visit without changing the result. (The parallel engine warm-starts
 	// on its own; this flag is for the serial path.)
 	WarmStart bool
+	// Speculate routes the greedy selection drivers through the
+	// speculative scheduler: idle CPU budget (see Workers) re-identifies
+	// likely next-round winners ahead of demand and seeds every search
+	// with warm incumbent bounds from the previous round. Selections are
+	// bit-identical to the cold serial drivers; only wall-clock and the
+	// SpeculativeCalls/CacheHits accounting change.
+	Speculate bool
 	// Deadline, when positive, bounds the wall-clock time of an
 	// identification call: the search returns the best selection found so
 	// far when it expires (equivalent to passing a context with timeout
@@ -65,7 +72,7 @@ type Constraints struct {
 func (c Constraints) config() core.Config {
 	return core.Config{Nin: c.Nin, Nout: c.Nout, MaxCuts: c.MaxCuts,
 		Window: c.Window, Parallel: c.Parallel,
-		Workers: c.Workers, WarmStart: c.WarmStart}
+		Workers: c.Workers, WarmStart: c.WarmStart, Speculate: c.Speculate}
 }
 
 // SearchStatus classifies how an identification search ended: Exhaustive
