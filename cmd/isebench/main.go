@@ -19,6 +19,9 @@
 //	isebench -fig selbench -seljson BENCH_PR4.json
 //	                          # cold serial vs speculative scheduled greedy
 //	                          # selection (optimal and iterative drivers)
+//	isebench -fig obsbench -obsjson BENCH_PR5.json
+//	                          # telemetry overhead: probe off (A/A) vs
+//	                          # metrics-only vs full flight-recorder tracing
 package main
 
 import (
@@ -33,7 +36,7 @@ import (
 
 func main() {
 	var (
-		fig       = flag.String("fig", "all", "which figure to regenerate: 3, 5, 7, 8, 11, runtime, area, tradeoff, vliw, ifconv, ablation, bench, parbench, selbench, all")
+		fig       = flag.String("fig", "all", "which figure to regenerate: 3, 5, 7, 8, 11, runtime, area, tradeoff, vliw, ifconv, ablation, bench, parbench, selbench, obsbench, all")
 		budget    = flag.Int64("budget", experiments.DefaultBudget, "cut budget per identification call")
 		measure   = flag.Bool("measure", false, "Fig. 11: additionally patch and measure on the cycle simulator")
 		optimal   = flag.Bool("optimal", false, "Fig. 11: include the Optimal selection (slow on large blocks)")
@@ -42,6 +45,7 @@ func main() {
 		benchJSON = flag.String("benchjson", "", "with -fig bench (or all): write the constraint-kernel benchmark report to this file as JSON (e.g. BENCH_PR2.json)")
 		parJSON   = flag.String("parjson", "", "with -fig parbench (or all): write the parallel B&B benchmark report to this file as JSON (e.g. BENCH_PR3.json)")
 		selJSON   = flag.String("seljson", "", "with -fig selbench (or all): write the selection scheduler benchmark report to this file as JSON (e.g. BENCH_PR4.json)")
+		obsJSON   = flag.String("obsjson", "", "with -fig obsbench (or all): write the telemetry overhead benchmark report to this file as JSON (e.g. BENCH_PR5.json)")
 	)
 	flag.Parse()
 	want := func(name string) bool { return *fig == "all" || *fig == name }
@@ -51,13 +55,13 @@ func main() {
 			benchList = append(benchList, b)
 		}
 	}
-	if err := run(want, *budget, *measure, *optimal, benchList, *deadline, *benchJSON, *parJSON, *selJSON); err != nil {
+	if err := run(want, *budget, *measure, *optimal, benchList, *deadline, *benchJSON, *parJSON, *selJSON, *obsJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "isebench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(want func(string) bool, budget int64, measure, optimal bool, benchList []string, deadline time.Duration, benchJSON, parJSON, selJSON string) error {
+func run(want func(string) bool, budget int64, measure, optimal bool, benchList []string, deadline time.Duration, benchJSON, parJSON, selJSON, obsJSON string) error {
 	section := func(s string) { fmt.Println(); fmt.Println(s); fmt.Println() }
 
 	if want("bench") || benchJSON != "" {
@@ -99,6 +103,20 @@ func run(want func(string) bool, budget int64, measure, optimal bool, benchList 
 				return err
 			}
 			fmt.Printf("wrote %s\n", selJSON)
+		}
+	}
+
+	if want("obsbench") || obsJSON != "" {
+		rep, err := experiments.ObsBench()
+		if err != nil {
+			return err
+		}
+		section(experiments.ObsBenchTable(rep))
+		if obsJSON != "" {
+			if err := rep.WriteJSON(obsJSON); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", obsJSON)
 		}
 	}
 

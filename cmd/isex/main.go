@@ -13,8 +13,13 @@ package main
 
 import (
 	"context"
+	"encoding/json"
+	"expvar"
 	"flag"
 	"fmt"
+	"io"
+	"net/http"
+	_ "net/http/pprof"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -27,6 +32,7 @@ import (
 	"isex/internal/ir"
 	"isex/internal/latency"
 	"isex/internal/minic"
+	"isex/internal/obs"
 	"isex/internal/passes"
 	"isex/internal/report"
 	"isex/internal/rtl"
@@ -62,6 +68,11 @@ func run() error {
 		showIR    = flag.Bool("ir", false, "dump the preprocessed IR")
 		emitIR    = flag.String("emit-ir", "", "write the final module (custom instructions included, if patched) in textual IR form to this file")
 		list      = flag.Bool("list", false, "list the built-in benchmark kernels and exit")
+
+		tracePath   = flag.String("trace", "", "record the search's flight-recorder timeline and write it as JSONL (one event per line) to this file")
+		traceChrome = flag.String("trace-chrome", "", "record the search timeline and write it in Chrome trace_event format (load in Perfetto / chrome://tracing)")
+		metricsAddr = flag.String("metrics-addr", "", "serve live search metrics over HTTP on this address (e.g. :6060): Prometheus text on /metrics, expvar JSON on /debug/vars, pprof on /debug/pprof/")
+		jsonOut     = flag.Bool("json", false, "emit the selection report as JSON on stdout instead of the table (includes per-block statuses, Stats, and telemetry counters)")
 	)
 	flag.Parse()
 
@@ -127,6 +138,39 @@ func run() error {
 	model := latency.Default()
 	cfg := core.Config{Nin: *nin, Nout: *nout, Model: model, MaxCuts: *budget,
 		Workers: *workers, Speculate: *speculate}
+
+	// Telemetry: the flight recorder is on when a trace output is wanted,
+	// the metrics registry when anything will read it (the HTTP endpoint
+	// or the JSON report). A nil probe keeps the search byte-for-byte on
+	// its fast path.
+	var probe *obs.Probe
+	wantRec := *tracePath != "" || *traceChrome != ""
+	wantMet := *metricsAddr != "" || *jsonOut
+	if wantRec || wantMet {
+		probe = &obs.Probe{}
+		if wantRec {
+			probe.Rec = obs.NewRecorder(obs.DefaultRingCap)
+		}
+		if wantMet {
+			probe.Met = obs.NewMetrics(obs.NewRegistry())
+		}
+		cfg.Probe = probe
+	}
+	if *metricsAddr != "" {
+		reg := probe.Met.Registry()
+		expvar.Publish("isex", expvar.Func(func() any { return reg.Snapshot() }))
+		http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			reg.WritePrometheus(w)
+		})
+		go func() {
+			if err := http.ListenAndServe(*metricsAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "isex: metrics server:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "serving live metrics on %s (/metrics, /debug/vars, /debug/pprof/)\n", *metricsAddr)
+	}
+
 	ctx := context.Background()
 	if *deadline > 0 {
 		var cancel context.CancelFunc
@@ -147,38 +191,63 @@ func run() error {
 		return fmt.Errorf("unknown method %q", *method)
 	}
 
-	t := &report.Table{
-		Title:  fmt.Sprintf("Selected instruction-set extensions (%s, Nin=%d, Nout=%d)", *method, *nin, *nout),
-		Header: []string{"#", "function", "block", "size", "in", "out", "comps", "hw cyc", "saved/exec", "freq", "merit", "area"},
-	}
-	for i, s := range sel.Instructions {
-		t.AddRow(i, s.Fn.Name, s.Block.Name, s.Est.Size, s.Est.In, s.Est.Out,
-			s.Est.Components, s.Est.HWCycles, s.Est.Saved, s.Est.Freq, s.Est.Merit,
-			fmt.Sprintf("%.3f", s.Est.Area))
-	}
-	fmt.Print(t.String())
-	fmt.Printf("total estimated merit: %d cycles; identification calls: %d; cuts considered: %d",
-		sel.TotalMerit, sel.IdentCalls, sel.Stats.CutsConsidered)
-	if sel.SpeculativeCalls > 0 {
-		fmt.Printf("; speculative calls: %d (%d cache hit(s))", sel.SpeculativeCalls, sel.CacheHits)
-	}
-	if sel.Degraded() {
-		fmt.Printf(" (search degraded: %s; results are lower bounds)", sel.Status)
-	}
-	fmt.Println()
-	if sel.Degraded() {
-		for _, b := range sel.Blocks {
-			if b.Status == core.Exhaustive {
-				continue
+	if wantRec {
+		events := probe.Rec.Merge()
+		if n := probe.Rec.Dropped(); n > 0 {
+			fmt.Fprintf(os.Stderr, "isex: flight recorder dropped %d oldest events (raise ring capacity to keep them)\n", n)
+		}
+		if *tracePath != "" {
+			if err := writeTrace(*tracePath, events, obs.WriteJSONL); err != nil {
+				return fmt.Errorf("writing -trace: %w", err)
 			}
-			line := fmt.Sprintf("  block %s/%s: %s", b.Fn, b.Block, b.Status)
-			if b.Fallback {
-				line += " (rescued with the windowed heuristic)"
+			fmt.Fprintf(os.Stderr, "wrote %s (%d events, JSONL)\n", *tracePath, len(events))
+		}
+		if *traceChrome != "" {
+			if err := writeTrace(*traceChrome, events, obs.WriteChromeTrace); err != nil {
+				return fmt.Errorf("writing -trace-chrome: %w", err)
 			}
-			if b.Err != nil {
-				line += fmt.Sprintf(" — %v", b.Err)
+			fmt.Fprintf(os.Stderr, "wrote %s (%d events, Chrome trace_event)\n", *traceChrome, len(events))
+		}
+	}
+	if *jsonOut {
+		if err := writeJSONReport(os.Stdout, *method, *nin, *nout, *ninstr, sel, probe); err != nil {
+			return err
+		}
+	} else {
+		t := &report.Table{
+			Title:  fmt.Sprintf("Selected instruction-set extensions (%s, Nin=%d, Nout=%d)", *method, *nin, *nout),
+			Header: []string{"#", "function", "block", "size", "in", "out", "comps", "hw cyc", "saved/exec", "freq", "merit", "area"},
+		}
+		for i, s := range sel.Instructions {
+			t.AddRow(i, s.Fn.Name, s.Block.Name, s.Est.Size, s.Est.In, s.Est.Out,
+				s.Est.Components, s.Est.HWCycles, s.Est.Saved, s.Est.Freq, s.Est.Merit,
+				fmt.Sprintf("%.3f", s.Est.Area))
+		}
+		fmt.Print(t.String())
+		fmt.Printf("total estimated merit: %d cycles; identification calls: %d; cuts considered: %d (%d passed, %d pruned)",
+			sel.TotalMerit, sel.IdentCalls, sel.Stats.CutsConsidered, sel.Stats.Passed, sel.Stats.Pruned)
+		if sel.SpeculativeCalls > 0 {
+			fmt.Printf("; speculative calls: %d (%d cache hit(s))", sel.SpeculativeCalls, sel.CacheHits)
+		}
+		fmt.Printf("; status: %s", sel.Status)
+		if sel.Degraded() {
+			fmt.Printf(" (search degraded; results are lower bounds)")
+		}
+		fmt.Println()
+		if sel.Degraded() {
+			for _, b := range sel.Blocks {
+				if b.Status == core.Exhaustive {
+					continue
+				}
+				line := fmt.Sprintf("  block %s/%s: %s", b.Fn, b.Block, b.Status)
+				if b.Fallback {
+					line += " (rescued with the windowed heuristic)"
+				}
+				if b.Err != nil {
+					line += fmt.Sprintf(" — %v", b.Err)
+				}
+				fmt.Println(line)
 			}
-			fmt.Println(line)
 		}
 	}
 
@@ -278,6 +347,108 @@ func run() error {
 		}
 	}
 	return writeIR()
+}
+
+// writeTrace writes the merged event timeline to path in the format
+// implemented by write (JSONL or Chrome trace_event).
+func writeTrace(path string, events []obs.Event, write func(w io.Writer, evs []obs.Event) error) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := write(f, events); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// jsonReport is the machine-readable selection report (-json).
+type jsonReport struct {
+	Method       string         `json:"method"`
+	Nin          int            `json:"nin"`
+	Nout         int            `json:"nout"`
+	Ninstr       int            `json:"ninstr"`
+	TotalMerit   int64          `json:"total_merit"`
+	IdentCalls   int            `json:"ident_calls"`
+	SpecCalls    int            `json:"speculative_calls"`
+	CacheHits    int            `json:"cache_hits"`
+	Status       string         `json:"status"`
+	Degraded     bool           `json:"degraded"`
+	Stats        jsonStats      `json:"stats"`
+	Instructions []jsonInstr    `json:"instructions"`
+	Blocks       []jsonBlock    `json:"blocks"`
+	Metrics      map[string]any `json:"metrics,omitempty"`
+}
+
+type jsonStats struct {
+	CutsConsidered int64 `json:"cuts_considered"`
+	Passed         int64 `json:"passed"`
+	Pruned         int64 `json:"pruned"`
+	Aborted        bool  `json:"aborted"`
+}
+
+type jsonInstr struct {
+	Fn       string  `json:"fn"`
+	Block    string  `json:"block"`
+	Size     int     `json:"size"`
+	In       int     `json:"in"`
+	Out      int     `json:"out"`
+	HWCycles int     `json:"hw_cycles"`
+	Saved    int64   `json:"saved_per_exec"`
+	Freq     int64   `json:"freq"`
+	Merit    int64   `json:"merit"`
+	Area     float64 `json:"area"`
+}
+
+type jsonBlock struct {
+	Fn       string `json:"fn"`
+	Block    string `json:"block"`
+	Status   string `json:"status"`
+	Fallback bool   `json:"fallback,omitempty"`
+	Err      string `json:"err,omitempty"`
+}
+
+func writeJSONReport(w *os.File, method string, nin, nout, ninstr int, sel core.SelectionResult, probe *obs.Probe) error {
+	rep := jsonReport{
+		Method:     method,
+		Nin:        nin,
+		Nout:       nout,
+		Ninstr:     ninstr,
+		TotalMerit: sel.TotalMerit,
+		IdentCalls: sel.IdentCalls,
+		SpecCalls:  sel.SpeculativeCalls,
+		CacheHits:  sel.CacheHits,
+		Status:     sel.Status.String(),
+		Degraded:   sel.Degraded(),
+		Stats: jsonStats{
+			CutsConsidered: sel.Stats.CutsConsidered,
+			Passed:         sel.Stats.Passed,
+			Pruned:         sel.Stats.Pruned,
+			Aborted:        sel.Stats.Aborted,
+		},
+	}
+	for _, s := range sel.Instructions {
+		rep.Instructions = append(rep.Instructions, jsonInstr{
+			Fn: s.Fn.Name, Block: s.Block.Name,
+			Size: s.Est.Size, In: s.Est.In, Out: s.Est.Out,
+			HWCycles: s.Est.HWCycles, Saved: s.Est.Saved, Freq: s.Est.Freq,
+			Merit: s.Est.Merit, Area: s.Est.Area,
+		})
+	}
+	for _, b := range sel.Blocks {
+		jb := jsonBlock{Fn: b.Fn, Block: b.Block, Status: b.Status.String(), Fallback: b.Fallback}
+		if b.Err != nil {
+			jb.Err = b.Err.Error()
+		}
+		rep.Blocks = append(rep.Blocks, jb)
+	}
+	if probe != nil && probe.Met != nil {
+		rep.Metrics = probe.Met.Registry().Snapshot()
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(rep)
 }
 
 // freshModule rebuilds an unpatched copy of the program for baseline

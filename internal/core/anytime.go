@@ -139,10 +139,6 @@ func rescueCtx(ctx context.Context, start time.Time) (context.Context, context.C
 	return context.WithTimeout(context.WithoutCancel(ctx), grace)
 }
 
-// searchHook, when non-nil, runs at the start of every per-block search.
-// Tests use it to inject failures into (parallel) block workers.
-var searchHook func(*dfg.Graph)
-
 // searchBlockSafe runs single-cut identification on one block with the
 // full anytime contract: panics become a Recovered status instead of
 // crashing the process, and a budget- or deadline-stopped exact search is
@@ -159,9 +155,11 @@ func searchBlockSafe(ctx context.Context, g *dfg.Graph, cfg Config) (res Result,
 			bs.Err = fmt.Errorf("core: panic searching %s/%s: %v", bs.Fn, bs.Block, r)
 		}
 	}()
-	if searchHook != nil {
-		searchHook(g)
+	if h := cfg.Probe.HookOf(); h != nil {
+		h(bs.Fn, bs.Block)
 	}
+	tag := bs.Fn + "/" + bs.Block
+	cfg.Probe.SearchBegin(tag, g.NumOps(), cfg.Workers)
 	res = FindBestCutCtx(ctx, g, cfg)
 	bs.Status = res.Status
 	if (res.Status == BudgetStopped || res.Status == DeadlineExceeded) &&
@@ -169,6 +167,7 @@ func searchBlockSafe(ctx context.Context, g *dfg.Graph, cfg Config) (res Result,
 		rctx, cancel := rescueCtx(ctx, start)
 		w := FindBestCutWindowedCtx(rctx, g, cfg, fallbackWindow)
 		cancel()
+		cfg.Probe.Rescue(tag, w.Found, w.Est.Merit, w.Stats.CutsConsidered)
 		// Fallback and the rescue's stats are reported only when the
 		// rescue actually examined something — a rescue killed at its
 		// first context poll contributed nothing.
@@ -182,6 +181,11 @@ func searchBlockSafe(ctx context.Context, g *dfg.Graph, cfg Config) (res Result,
 			}
 		}
 	}
+	endMerit := int64(-1)
+	if res.Found {
+		endMerit = res.Est.Merit
+	}
+	cfg.Probe.SearchEnd(tag, int64(res.Status), endMerit, res.Stats.CutsConsidered)
 	return res, bs
 }
 
@@ -199,9 +203,11 @@ func searchBlockMultiSafe(ctx context.Context, g *dfg.Graph, m int, cfg Config) 
 			bs.Err = fmt.Errorf("core: panic searching %s/%s: %v", bs.Fn, bs.Block, r)
 		}
 	}()
-	if searchHook != nil {
-		searchHook(g)
+	if h := cfg.Probe.HookOf(); h != nil {
+		h(bs.Fn, bs.Block)
 	}
+	tag := bs.Fn + "/" + bs.Block
+	cfg.Probe.SearchBegin(tag, g.NumOps(), cfg.Workers)
 	res = FindBestCutsCtx(ctx, g, m, cfg)
 	bs.Status = res.Status
 	if (res.Status == BudgetStopped || res.Status == DeadlineExceeded) &&
@@ -209,6 +215,7 @@ func searchBlockMultiSafe(ctx context.Context, g *dfg.Graph, m int, cfg Config) 
 		rctx, cancel := rescueCtx(ctx, start)
 		w := FindBestCutWindowedCtx(rctx, g, cfg, fallbackWindow)
 		cancel()
+		cfg.Probe.Rescue(tag, w.Found, w.Est.Merit, w.Stats.CutsConsidered)
 		if w.Stats.CutsConsidered > 0 || w.Found {
 			bs.Fallback = true
 			bs.Status = worse(bs.Status, w.Status)
@@ -222,5 +229,10 @@ func searchBlockMultiSafe(ctx context.Context, g *dfg.Graph, m int, cfg Config) 
 			}
 		}
 	}
+	endMerit := int64(-1)
+	if res.Found {
+		endMerit = res.TotalMerit
+	}
+	cfg.Probe.SearchEnd(tag, int64(res.Status), endMerit, res.Stats.CutsConsidered)
 	return res, bs
 }

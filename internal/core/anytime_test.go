@@ -8,7 +8,7 @@ import (
 	"testing"
 	"time"
 
-	"isex/internal/dfg"
+	"isex/internal/obs"
 )
 
 func TestSearchStatusOrderAndString(t *testing.T) {
@@ -267,15 +267,14 @@ func TestMaxCutsLowerBound(t *testing.T) {
 func TestPanicInWorkerIsolated(t *testing.T) {
 	m := compileAndProfile(t, threeKernels)
 	for _, parallel := range []bool{true, false} {
-		searchHook = func(g *dfg.Graph) {
-			if g.Fn.Name == "warm" {
+		probe := &obs.Probe{Hook: func(fn, block string) {
+			if fn == "warm" {
 				panic("injected failure")
 			}
-		}
+		}}
 		before := runtime.NumGoroutine()
 		res := SelectIterativeCtx(context.Background(), m, 4,
-			Config{Nin: 4, Nout: 2, Parallel: parallel})
-		searchHook = nil
+			Config{Nin: 4, Nout: 2, Parallel: parallel, Probe: probe})
 
 		if res.Status != Recovered {
 			t.Fatalf("parallel=%v: status = %v, want recovered", parallel, res.Status)
@@ -378,9 +377,8 @@ func TestMultiSearchAnytime(t *testing.T) {
 		t.Errorf("canceled multi search status = %v", cres.Status)
 	}
 
-	searchHook = func(*dfg.Graph) { panic("multi boom") }
-	res, bs := searchBlockMultiSafe(context.Background(), g, 2, Config{Nin: 4, Nout: 2})
-	searchHook = nil
+	boom := &obs.Probe{Hook: func(string, string) { panic("multi boom") }}
+	res, bs := searchBlockMultiSafe(context.Background(), g, 2, Config{Nin: 4, Nout: 2, Probe: boom})
 	if bs.Status != Recovered || bs.Err == nil {
 		t.Fatalf("multi panic not recovered: %+v", bs)
 	}

@@ -6,6 +6,7 @@ import (
 
 	"isex/internal/dfg"
 	"isex/internal/latency"
+	"isex/internal/obs"
 )
 
 // MultiResult is the outcome of a multiple-cut identification (§6.2).
@@ -50,6 +51,7 @@ func FindBestCutsCtx(ctx context.Context, g *dfg.Graph, m int, cfg Config) Multi
 	}
 	s := newMultiSearcher(g, m, cfg)
 	s.ctx = ctx
+	s.obs = cfg.Probe.Attach()
 	if cfg.seedOn && cfg.seedMerit > 0 && len(cfg.seedCuts) > 0 {
 		s.seedAssignment(cfg.seedCuts, cfg.seedMerit)
 	}
@@ -116,6 +118,10 @@ type multiSearcher struct {
 	ctx  context.Context
 	stop SearchStatus
 	tick int64
+
+	// obs/boundCuts: telemetry attachment, exactly as in searcher.
+	obs       *obs.SearchObs
+	boundCuts int64
 
 	// Engine attachment, as in searcher: nil for the serial search.
 	eng       *bbEngine
@@ -203,6 +209,22 @@ func (s *multiSearcher) seedAssignment(cuts []dfg.Cut, merit int64) {
 func (s *multiSearcher) run() {
 	s.poll()
 	s.visit(0)
+	s.flushObs()
+}
+
+// flushObs and observeStop mirror searcher's (see single.go).
+func (s *multiSearcher) flushObs() {
+	if s.obs != nil {
+		s.obs.FlushStats(s.stats.CutsConsidered, s.stats.Passed, s.stats.Pruned, s.boundCuts)
+	}
+}
+
+func (s *multiSearcher) observeStop() {
+	if s.obs == nil {
+		return
+	}
+	s.flushObs()
+	s.obs.Stop(int64(s.stop), s.stop == DeadlineExceeded, s.stop == BudgetStopped, s.stop == Canceled)
 }
 
 // poll checks the stop sources: the engine (shared budget and context)
@@ -213,6 +235,7 @@ func (s *multiSearcher) poll() {
 	if s.eng != nil {
 		if st := s.eng.pollSearch(&s.stats, &s.flushMark); st != Exhaustive {
 			s.stop = st
+			s.observeStop()
 			return
 		}
 		if s.eng.sharedOn {
@@ -223,13 +246,17 @@ func (s *multiSearcher) poll() {
 		if s.eng.needWork.Load() {
 			s.tryDonate()
 		}
+		s.flushObs()
 		return
 	}
 	if s.ctx != nil {
 		if err := s.ctx.Err(); err != nil {
 			s.stop = statusOfCtx(err)
+			s.observeStop()
+			return
 		}
 	}
+	s.flushObs()
 }
 
 // totalMerit sums the merit of all non-empty cuts in the current state.
@@ -276,6 +303,10 @@ func (s *multiSearcher) visit(rank int) {
 	if s.cfg.PruneMerit {
 		ub := s.totalMerit() + s.futSW[rank]*s.freq
 		if (s.bestFound && ub <= s.bestMerit) || ub < s.sharedCache {
+			if s.obs != nil {
+				s.boundCuts++
+				s.obs.Bound(rank, s.bestMerit)
+			}
 			return
 		}
 	}
@@ -290,6 +321,7 @@ func (s *multiSearcher) visit(rank int) {
 			}
 			if s.cfg.MaxCuts > 0 && s.stats.CutsConsidered >= s.cfg.MaxCuts {
 				s.stop = BudgetStopped
+				s.observeStop()
 				return
 			}
 			s.stats.CutsConsidered++
@@ -452,6 +484,9 @@ func (s *multiSearcher) tryInclude(rank, id, k int) {
 		s.visit(rank + 1)
 	} else {
 		s.stats.Pruned++
+		if s.obs != nil {
+			s.obs.Pruned(rank)
+		}
 	}
 	s.undoAssign(id, node, k, u)
 }
@@ -483,6 +518,9 @@ func (s *multiSearcher) maybeRecord() {
 		}
 	}
 	s.bestCuts = cuts
+	if s.obs != nil {
+		s.obs.Incumbent(total, s.stats.CutsConsidered, s.curRank)
+	}
 	if s.eng != nil && s.eng.sharedOn {
 		if v := s.eng.publish(total); v > s.sharedCache {
 			s.sharedCache = v

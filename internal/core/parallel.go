@@ -37,6 +37,7 @@ import (
 	"sync/atomic"
 
 	"isex/internal/dfg"
+	"isex/internal/obs"
 )
 
 // bbMinSeqRanks is the subtree depth below which splitting stops: a
@@ -150,6 +151,13 @@ type bbEngine struct {
 	cuts     atomic.Int64
 	needWork atomic.Bool // pending < nworkers: searchers should donate
 
+	// probe is the run's telemetry handle (nil when off); wobs[w] is
+	// worker w's searcher attachment, published by attachSingle/
+	// attachMulti from worker w's own goroutine so that take — also on
+	// worker w's goroutine — can emit steal events on w's private ring.
+	probe *obs.Probe
+	wobs  []*obs.SearchObs
+
 	mu      sync.Mutex
 	cond    *sync.Cond
 	deques  [][]bbSub
@@ -167,6 +175,7 @@ func newBBEngine(ctx context.Context, workers, nranks int, maxCuts int64, shared
 		maxCuts:  maxCuts,
 		sharedOn: sharedOn,
 		deques:   make([][]bbSub, workers),
+		wobs:     make([]*obs.SearchObs, workers),
 	}
 	e.cond = sync.NewCond(&e.mu)
 	e.shared.Store(math.MinInt64)
@@ -268,6 +277,9 @@ func (e *bbEngine) take(w int) (sub bbSub, expand, ok bool) {
 					e.deques[v][i] = bbSub{}
 				}
 				e.deques[v] = e.deques[v][:rest]
+				if o := e.wobs[w]; o != nil {
+					o.Steal(int64(v), int64(k), int64(vn))
+				}
 				continue
 			}
 			if e.active == 0 {
@@ -345,6 +357,8 @@ func (e *bbEngine) finalStatus() SearchStatus {
 // WarmStart / Parallel must not recurse inside a worker, and incumbent
 // seeds are applied once at the engine root (as the warm base), never per
 // subproblem — subproblems inherit their lineage's threshold instead.
+// Probe deliberately survives: each worker attaches its own private
+// flight-recorder ring through it.
 func workerConfig(cfg Config) Config {
 	cfg.MaxCuts = 0
 	cfg.Window = 0

@@ -42,6 +42,7 @@ func findBestCutsParallel(ctx context.Context, g *dfg.Graph, m int, cfg Config) 
 
 	nw := cfg.Workers
 	e := newBBEngine(ctx, nw, len(g.OpOrder), cfg.MaxCuts, cfg.PruneMerit)
+	e.probe = cfg.Probe
 	root := bbSub{prefix: []uint8{}}
 	if base.found {
 		root.seed = base.merit - 1
@@ -55,15 +56,19 @@ func findBestCutsParallel(ctx context.Context, g *dfg.Graph, m int, cfg Config) 
 	wcfg := workerConfig(cfg)
 	outs := make([]bbBest, nw)
 	statsArr := make([]Stats, nw)
+	engineWorkers(cfg.Probe, nw)
 	var wg sync.WaitGroup
 	for w := 0; w < nw; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			e.runMultiWorker(w, g, m, wcfg, &outs[w], &statsArr[w])
+			runLabeled(ctx, cfg.Probe, "multi", w, func() {
+				e.runMultiWorker(w, g, m, wcfg, &outs[w], &statsArr[w])
+			})
 		}(w)
 	}
 	wg.Wait()
+	engineWorkers(cfg.Probe, -nw)
 
 	best := base
 	for w := range outs {
@@ -81,11 +86,16 @@ func findBestCutsParallel(ctx context.Context, g *dfg.Graph, m int, cfg Config) 
 	return res
 }
 
-// attachMulti wires a worker's private multi searcher to the engine.
+// attachMulti wires a worker's private multi searcher to the engine
+// (telemetry handling as in attachSingle).
 func (e *bbEngine) attachMulti(s *multiSearcher, wid int) {
 	s.eng = e
 	s.ctx = e.ctx
 	s.wid = wid
+	if s.obs == nil {
+		s.obs = e.probe.Attach()
+	}
+	e.wobs[wid] = s.obs
 	s.path = make([]uint8, len(s.order))
 	s.donated = make([]bool, len(s.order))
 }
@@ -108,6 +118,8 @@ func (e *bbEngine) runMultiWorker(wid int, g *dfg.Graph, m int, cfg Config, out 
 		holding = true
 		if !e.runOneMulti(s, sub, expand, out) {
 			ns := newMultiSearcher(g, m, cfg)
+			ns.obs = s.obs // keep the ring and its flush marks
+			ns.boundCuts = s.boundCuts
 			e.attachMulti(ns, wid)
 			ns.stats = s.stats
 			ns.tick = s.tick
@@ -118,6 +130,7 @@ func (e *bbEngine) runMultiWorker(wid int, g *dfg.Graph, m int, cfg Config, out 
 		e.release()
 		holding = false
 	}
+	s.flushObs()
 	*stats = s.stats
 }
 
@@ -145,6 +158,9 @@ func (e *bbEngine) runOneMulti(s *multiSearcher, sub bbSub, expand bool, out *bb
 	s.stop = Exhaustive
 	if expand {
 		if children := e.expandMulti(s, sub, out); len(children) > 0 {
+			if s.obs != nil {
+				s.obs.Resplit(len(sub.prefix), len(children))
+			}
 			e.push(s.wid, children)
 		}
 	} else {
@@ -171,6 +187,10 @@ func (e *bbEngine) expandMulti(s *multiSearcher, sub bbSub, out *bbBest) []bbSub
 	if s.cfg.PruneMerit {
 		ub := s.totalMerit() + s.futSW[d]*s.freq
 		if (s.bestFound && ub <= s.bestMerit) || ub < s.sharedCache {
+			if s.obs != nil {
+				s.boundCuts++
+				s.obs.Bound(d, s.bestMerit)
+			}
 			return nil
 		}
 	}
@@ -194,6 +214,9 @@ func (e *bbEngine) expandMulti(s *multiSearcher, sub bbSub, out *bbBest) []bbSub
 				children = append(children, bbSub{prefix: key, seed: s.bestMerit, seeded: s.bestFound})
 			} else {
 				s.stats.Pruned++
+				if s.obs != nil {
+					s.obs.Pruned(d)
+				}
 			}
 			s.undoAssign(id, node, k, u)
 		}
@@ -214,6 +237,9 @@ func (s *multiSearcher) tryDonate() {
 			pfx[r] = 0
 			if s.eng.donate(s.wid, pfx, s.bestMerit, s.bestFound) {
 				s.donated[r] = true
+				if s.obs != nil {
+					s.obs.Donate(r)
+				}
 			}
 			return
 		}

@@ -2,9 +2,12 @@ package core
 
 import (
 	"context"
+	"runtime/pprof"
+	"strconv"
 	"sync"
 
 	"isex/internal/dfg"
+	"isex/internal/obs"
 )
 
 // findBestCutParallel is FindBestCutCtx on the work-stealing engine
@@ -26,6 +29,7 @@ func findBestCutParallel(ctx context.Context, g *dfg.Graph, cfg Config) Result {
 		w := findWarmIncumbent(ctx, g, cfg)
 		if w.Found && (!base.found || w.Est.Merit > base.merit) {
 			base = bbBest{found: true, merit: w.Est.Merit, cut: w.Cut, base: true}
+			cfg.Probe.WarmSeed(w.Est.Merit)
 		}
 		if w.Status != Exhaustive {
 			res := Result{Status: w.Status}
@@ -51,6 +55,7 @@ func findBestCutParallel(ctx context.Context, g *dfg.Graph, cfg Config) Result {
 
 	nw := cfg.Workers
 	e := newBBEngine(ctx, nw, len(g.OpOrder), cfg.MaxCuts, cfg.PruneMerit)
+	e.probe = cfg.Probe
 	root := bbSub{prefix: []uint8{}}
 	if base.found {
 		// Seed the recording threshold one unit below the warm merit, and
@@ -68,15 +73,19 @@ func findBestCutParallel(ctx context.Context, g *dfg.Graph, cfg Config) Result {
 	wcfg := workerConfig(cfg)
 	outs := make([]bbBest, nw)
 	statsArr := make([]Stats, nw)
+	engineWorkers(cfg.Probe, nw)
 	var wg sync.WaitGroup
 	for w := 0; w < nw; w++ {
 		wg.Add(1)
 		go func(w int) {
 			defer wg.Done()
-			e.runSingleWorker(w, g, wcfg, &outs[w], &statsArr[w])
+			runLabeled(ctx, cfg.Probe, "single", w, func() {
+				e.runSingleWorker(w, g, wcfg, &outs[w], &statsArr[w])
+			})
 		}(w)
 	}
 	wg.Wait()
+	engineWorkers(cfg.Probe, -nw)
 
 	best := base
 	for w := range outs {
@@ -134,13 +143,39 @@ func bbKeyEqual(a, b []uint8) bool {
 	return true
 }
 
+// runLabeled runs f under pprof labels identifying the engine worker,
+// so CPU profiles attribute samples per worker — but only when a probe
+// is attached: the disabled path must not pay the label allocation.
+func runLabeled(ctx context.Context, p *obs.Probe, engine string, w int, f func()) {
+	if p == nil {
+		f()
+		return
+	}
+	pprof.Do(ctx, pprof.Labels("isex_engine", engine, "isex_worker", strconv.Itoa(w)),
+		func(context.Context) { f() })
+}
+
+// engineWorkers adjusts the engine_workers_active gauge (no-op when
+// metrics are off).
+func engineWorkers(p *obs.Probe, delta int) {
+	if p != nil && p.Met != nil {
+		p.Met.WorkersActive.Add(int64(delta))
+	}
+}
+
 // attachSingle wires a worker's private searcher to the engine and
 // allocates the donation bookkeeping (path / zeroOK / donated, indexed
-// by rank; see tryDonate).
+// by rank; see tryDonate). The searcher keeps an already-attached
+// telemetry ring (rebuild after a recovered panic); otherwise it gets
+// its own, and either way the engine learns it for steal events.
 func (e *bbEngine) attachSingle(s *searcher, wid int) {
 	s.eng = e
 	s.ctx = e.ctx
 	s.wid = wid
+	if s.obs == nil {
+		s.obs = e.probe.Attach()
+	}
+	e.wobs[wid] = s.obs
 	s.path = make([]uint8, len(s.order))
 	s.zeroOK = make([]bool, len(s.order))
 	s.donated = make([]bool, len(s.order))
@@ -167,6 +202,8 @@ func (e *bbEngine) runSingleWorker(wid int, g *dfg.Graph, cfg Config, out *bbBes
 		holding = true
 		if !e.runOneSingle(s, sub, expand, out) {
 			ns := newSearcher(g, cfg)
+			ns.obs = s.obs // keep the ring and its flush marks
+			ns.boundCuts = s.boundCuts
 			e.attachSingle(ns, wid)
 			ns.stats = s.stats
 			ns.tick = s.tick
@@ -177,6 +214,7 @@ func (e *bbEngine) runSingleWorker(wid int, g *dfg.Graph, cfg Config, out *bbBes
 		e.release()
 		holding = false
 	}
+	s.flushObs()
 	*stats = s.stats
 }
 
@@ -205,6 +243,9 @@ func (e *bbEngine) runOneSingle(s *searcher, sub bbSub, expand bool, out *bbBest
 	s.stop = Exhaustive
 	if expand {
 		if children := e.expandSingle(s, sub, out); len(children) > 0 {
+			if s.obs != nil {
+				s.obs.Resplit(len(sub.prefix), len(children))
+			}
 			e.push(s.wid, children)
 		}
 	} else {
@@ -232,6 +273,10 @@ func (e *bbEngine) expandSingle(s *searcher, sub bbSub, out *bbBest) []bbSub {
 	if s.cfg.PruneMerit {
 		ub := s.meritUB(d)
 		if (s.bestFound && ub <= s.bestMerit) || ub < s.sharedCache {
+			if s.obs != nil {
+				s.boundCuts++
+				s.obs.Bound(d, s.bestMerit)
+			}
 			return nil
 		}
 	}
@@ -257,6 +302,9 @@ func (e *bbEngine) expandSingle(s *searcher, sub bbSub, out *bbBest) []bbSub {
 			}
 		} else {
 			s.stats.Pruned++
+			if s.obs != nil {
+				s.obs.Pruned(d)
+			}
 		}
 		s.undoInclude(id, node, u)
 	}
@@ -285,6 +333,9 @@ func (s *searcher) tryDonate() {
 			pfx[r] = 0
 			if s.eng.donate(s.wid, pfx, s.bestMerit, s.bestFound) {
 				s.donated[r] = true
+				if s.obs != nil {
+					s.obs.Donate(r)
+				}
 			}
 			return
 		}

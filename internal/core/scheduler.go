@@ -187,6 +187,7 @@ func (sc *selScheduler) specMulti(g *dfg.Graph, fp uint64, m int, cfg Config) bo
 	sc.specLaunches++
 	sc.wg.Add(1)
 	sc.mu.Unlock()
+	cfg.Probe.SpecLaunch(g.Fn.Name+"/"+g.Block.Name, m, false)
 	go func() {
 		defer sc.wg.Done()
 		defer close(t.done)
@@ -240,6 +241,7 @@ func (sc *selScheduler) specCollapseSearch(g *dfg.Graph, cut dfg.Cut, name strin
 	sc.specLaunches++
 	sc.wg.Add(1)
 	sc.mu.Unlock()
+	cfg.Probe.SpecLaunch(g.Fn.Name+"/"+g.Block.Name, 0, true)
 	go func() {
 		defer sc.wg.Done()
 		defer close(t.done)
@@ -289,6 +291,7 @@ func selectOptimalScheduled(ctx context.Context, mod *ir.Module, ninstr int, cfg
 		res.IdentCalls++
 		if t.spec {
 			res.CacheHits++
+			cfg.Probe.SpecAdopt(bgs[bi].fn.Name+"/"+bgs[bi].b.Name, states[bi].m+1)
 		}
 		res.Stats.add(t.mres.Stats)
 		mergeBlockStatus(&blockStat[bi], t.bs)
@@ -434,6 +437,7 @@ func selectIterativeScheduled(ctx context.Context, mod *ir.Module, ninstr int, c
 			if sp.t.cancel != nil {
 				sp.t.cancel()
 			}
+			cfg.Probe.SpecDiscard(bgs[i].fn.Name + "/" + bgs[i].b.Name)
 		}
 	}
 	// Initial pass: all blocks demanded up front, consumed in index
@@ -509,6 +513,7 @@ func selectIterativeScheduled(ctx context.Context, mod *ir.Module, ninstr int, c
 			dropSpec(bestB)
 			continue
 		}
+		cfg.Probe.Collapse(name, chosen, len(st.best.Cut))
 		prev := st.best
 		st.g = ng
 		st.fp = ng.Fingerprint()
@@ -527,8 +532,11 @@ func selectIterativeScheduled(ctx context.Context, mod *ir.Module, ninstr int, c
 			specs[bestB] = nil
 			if sp.gen == st.gen {
 				t = sp.t
-			} else if sp.t.cancel != nil {
-				sp.t.cancel() // stale speculation from an older generation
+			} else {
+				if sp.t.cancel != nil {
+					sp.t.cancel() // stale speculation from an older generation
+				}
+				cfg.Probe.SpecDiscard(bgs[bestB].fn.Name + "/" + bgs[bestB].b.Name)
 			}
 		}
 		if t == nil {
@@ -554,6 +562,7 @@ func selectIterativeScheduled(ctx context.Context, mod *ir.Module, ninstr int, c
 		res.IdentCalls++
 		if t.spec {
 			res.CacheHits++
+			cfg.Probe.SpecAdopt(bgs[bestB].fn.Name+"/"+bgs[bestB].b.Name, 0)
 		}
 		res.Stats.add(t.res.Stats)
 		st.best = t.res

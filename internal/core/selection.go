@@ -340,6 +340,7 @@ func SelectIterativeCtx(ctx context.Context, m *ir.Module, ninstr int, cfg Confi
 			st.best = Result{}
 			continue
 		}
+		cfg.Probe.Collapse(name, chosen, len(st.best.Cut))
 		st.g = ng
 		// Out of time: keep harvesting the bests already identified on
 		// other blocks, but do not start new searches.

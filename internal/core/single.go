@@ -6,6 +6,7 @@ import (
 
 	"isex/internal/dfg"
 	"isex/internal/latency"
+	"isex/internal/obs"
 )
 
 // Config holds the microarchitectural constraints and search options.
@@ -86,6 +87,15 @@ type Config struct {
 	// of max(Workers, 1) slots between concurrent block searches and each
 	// search's own worker pool.
 	Speculate bool
+	// Probe, when non-nil, enables the search telemetry subsystem: a
+	// flight recorder of typed search events, an atomic metrics
+	// registry, or both (see internal/obs). Observation is strictly
+	// write-only — results, Stats and Status are bit-identical with the
+	// probe on or off — and a nil probe costs one predictable branch
+	// per probe point. Sub-searches too fine-grained to trace (windowed
+	// heuristic windows, warm-start passes) automatically drop the
+	// flight recorder but keep feeding the metrics.
+	Probe *obs.Probe
 
 	// Incumbent seeding for the selection scheduler (package-internal; see
 	// scheduler.go). When seedOn is set, the search starts with its
@@ -196,6 +206,7 @@ func FindBestCutCtx(ctx context.Context, g *dfg.Graph, cfg Config) Result {
 	}
 	s := newSearcher(g, cfg)
 	s.ctx = ctx
+	s.obs = cfg.Probe.Attach()
 	if cfg.seedOn && cfg.seedMerit > 0 && len(cfg.seedCut) > 0 {
 		s.seedIncumbent(Result{Found: true, Cut: cfg.seedCut, Est: Estimate{Merit: cfg.seedMerit}})
 	}
@@ -203,6 +214,7 @@ func FindBestCutCtx(ctx context.Context, g *dfg.Graph, cfg Config) Result {
 		w := findWarmIncumbent(ctx, g, cfg)
 		if w.Found {
 			s.seedIncumbent(w) // keeps the better of seed and warm
+			s.obs.WarmSeed(w.Est.Merit)
 		}
 		if w.Status != Exhaustive {
 			res := Result{Status: w.Status}
@@ -247,6 +259,10 @@ func findWarmIncumbent(ctx context.Context, g *dfg.Graph, cfg Config) Result {
 	cfg.Workers = 0
 	cfg.MaxCuts = 0
 	cfg.Parallel = false
+	// The warm pass still feeds the metrics registry (its work is real
+	// engine work), but never the flight recorder — its per-window
+	// events would drown the exact search's timeline.
+	cfg.Probe = cfg.Probe.MetricsOnly()
 	return FindBestCutWindowedCtx(ctx, g, cfg.stripSeed(), warmWindow)
 }
 
@@ -291,6 +307,14 @@ type searcher struct {
 	ctx  context.Context
 	stop SearchStatus
 	tick int64
+
+	// obs is the searcher's telemetry attachment (nil when observability
+	// is off — the only cost is then the nil checks at the probe
+	// points). boundCuts counts PruneMerit subtree cutoffs; it is only
+	// maintained while observed, feeding the metrics registry via
+	// flushObs, never the search itself.
+	obs       *obs.SearchObs
+	boundCuts int64
 
 	// Engine attachment (nil for the serial search): eng supplies the
 	// shared incumbent bound and the global budget, sharedCache is the
@@ -363,6 +387,26 @@ func (s *searcher) run() {
 	s.poll()
 	s.visit(0)
 	s.stats.Aborted = s.stop != Exhaustive
+	s.flushObs()
+}
+
+// flushObs publishes the searcher's running tallies into the metrics
+// registry as deltas (see obs.SearchObs.FlushStats). Called at poll
+// cadence and at search end; a no-op when observability is off.
+func (s *searcher) flushObs() {
+	if s.obs != nil {
+		s.obs.FlushStats(s.stats.CutsConsidered, s.stats.Passed, s.stats.Pruned, s.boundCuts)
+	}
+}
+
+// observeStop reports the searcher noticing its stop condition (s.stop
+// already set) to the telemetry subsystem.
+func (s *searcher) observeStop() {
+	if s.obs == nil {
+		return
+	}
+	s.flushObs()
+	s.obs.Stop(int64(s.stop), s.stop == DeadlineExceeded, s.stop == BudgetStopped, s.stop == Canceled)
 }
 
 // poll checks the stop sources: the engine (shared budget, context, and
@@ -374,6 +418,7 @@ func (s *searcher) poll() {
 	if s.eng != nil {
 		if st := s.eng.pollSearch(&s.stats, &s.flushMark); st != Exhaustive {
 			s.stop = st
+			s.observeStop()
 			return
 		}
 		if s.eng.sharedOn {
@@ -384,13 +429,17 @@ func (s *searcher) poll() {
 		if s.eng.needWork.Load() {
 			s.tryDonate()
 		}
+		s.flushObs()
 		return
 	}
 	if s.ctx != nil {
 		if err := s.ctx.Err(); err != nil {
 			s.stop = statusOfCtx(err)
+			s.observeStop()
+			return
 		}
 	}
+	s.flushObs()
 }
 
 // meritOf converts the current (non-empty) cut state into merit. The
@@ -550,6 +599,9 @@ func (s *searcher) record() {
 	s.bestFound = true
 	s.bestMerit = m
 	s.bestCut = s.currentCut()
+	if s.obs != nil {
+		s.obs.Incumbent(m, s.stats.CutsConsidered, s.curRank)
+	}
 	if s.eng != nil && s.eng.sharedOn {
 		if v := s.eng.publish(m); v > s.sharedCache {
 			s.sharedCache = v
@@ -572,6 +624,10 @@ func (s *searcher) visit(rank int) {
 	if s.cfg.PruneMerit {
 		ub := s.meritUB(rank)
 		if (s.bestFound && ub <= s.bestMerit) || ub < s.sharedCache {
+			if s.obs != nil {
+				s.boundCuts++
+				s.obs.Bound(rank, s.bestMerit)
+			}
 			return
 		}
 	}
@@ -593,6 +649,7 @@ func (s *searcher) visit(rank int) {
 	if !node.Forbidden {
 		if s.cfg.MaxCuts > 0 && s.stats.CutsConsidered >= s.cfg.MaxCuts {
 			s.stop = BudgetStopped
+			s.observeStop()
 			return
 		}
 		s.stats.CutsConsidered++
@@ -611,6 +668,9 @@ func (s *searcher) visit(rank int) {
 			}
 		} else {
 			s.stats.Pruned++
+			if s.obs != nil {
+				s.obs.Pruned(rank)
+			}
 		}
 		s.undoInclude(id, node, u)
 	}

@@ -37,6 +37,10 @@ func FindBestCutWindowedCtx(ctx context.Context, g *dfg.Graph, cfg Config, windo
 	cfg.Window = 0
 	cfg.Workers = 0
 	cfg.WarmStart = false
+	// Per-window sub-searches feed the metrics but never the flight
+	// recorder: a rescue pass would otherwise flood the rings with events
+	// indistinguishable from the main search's.
+	cfg.Probe = cfg.Probe.MetricsOnly()
 	// A scheduler seed cut need not be legal on a Restrict view (its
 	// members may fall outside the window), so the windows run cold.
 	cfg = cfg.stripSeed()

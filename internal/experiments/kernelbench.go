@@ -33,6 +33,10 @@ type KernelBenchEntry struct {
 	// CutsPerSec is search throughput (cuts considered per second), set
 	// on the end-to-end search rows.
 	CutsPerSec float64 `json:"cuts_per_sec,omitempty"`
+	// Status and Aborted report how the end-to-end search ended; empty on
+	// the constraint-predicate rows, which run no search.
+	Status  string `json:"status,omitempty"`
+	Aborted bool   `json:"aborted,omitempty"`
 }
 
 // KernelBenchReport is the BENCH_PR2.json payload.
@@ -134,19 +138,21 @@ func KernelBench() (*KernelBenchReport, error) {
 
 	// End-to-end: the exact (2,1) search on the hot block, reported as
 	// cuts/sec — the number the §8 run-time discussion is about.
-	var cuts int64
+	var last core.Result
 	r := testing.Benchmark(func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			res := core.FindBestCut(g, core.Config{Nin: 2, Nout: 1})
-			cuts = res.Stats.CutsConsidered
+			last = core.FindBestCut(g, core.Config{Nin: 2, Nout: 1})
 		}
 	})
+	cuts := last.Stats.CutsConsidered
 	e := KernelBenchEntry{
 		Name:        "FindBestCut(2,1)",
 		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
 		AllocsPerOp: r.AllocsPerOp(),
 		BytesPerOp:  r.AllocedBytesPerOp(),
+		Status:      last.Status.String(),
+		Aborted:     last.Stats.Aborted,
 	}
 	if r.T > 0 {
 		e.CutsPerSec = float64(cuts) * float64(r.N) / r.T.Seconds()

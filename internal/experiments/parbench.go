@@ -46,6 +46,11 @@ type ParBenchEntry struct {
 	// the serial baseline (the engine is bit-identical by construction).
 	Merit int64   `json:"merit"`
 	Cut   dfg.Cut `json:"cut"`
+	// Status and Aborted report how the measured search ended (always
+	// "exhaustive"/false here — ParBench rejects anything else — but the
+	// report schema carries them so consumers need not assume).
+	Status  string `json:"status"`
+	Aborted bool   `json:"aborted"`
 	// SpeedupVsSerial is ns/op(serial) ÷ ns/op(this row), set on the
 	// parallel rows.
 	SpeedupVsSerial float64 `json:"speedup_vs_serial,omitempty"`
@@ -128,6 +133,8 @@ func ParBench() (*ParBenchReport, error) {
 			CutsConsidered: res.Stats.CutsConsidered,
 			Merit:          res.Est.Merit,
 			Cut:            res.Cut.Canon(),
+			Status:         res.Status.String(),
+			Aborted:        res.Stats.Aborted,
 		}, nil
 	}
 

@@ -50,6 +50,11 @@ type SelBenchEntry struct {
 	// must agree with the serial driver (bit-identical by construction).
 	TotalMerit   int64 `json:"total_merit"`
 	Instructions int   `json:"instructions"`
+	// Status and Aborted report how the measured selection ended (always
+	// "exhaustive"/false here — SelBench rejects anything else — but the
+	// report schema carries them so consumers need not assume).
+	Status  string `json:"status"`
+	Aborted bool   `json:"aborted"`
 	// SpeedupVsSerial is ns/op(serial) ÷ ns/op(this row), set on the
 	// non-baseline rows of each (driver, ninstr) group.
 	SpeedupVsSerial float64 `json:"speedup_vs_serial,omitempty"`
@@ -141,6 +146,8 @@ func SelBench(benchmark string, nin, nout int) (*SelBenchReport, error) {
 			CacheHits:        res.CacheHits,
 			TotalMerit:       res.TotalMerit,
 			Instructions:     len(res.Instructions),
+			Status:           res.Status.String(),
+			Aborted:          res.Stats.Aborted,
 		}, res, nil
 	}
 	check := func(e SelBenchEntry, got, want core.SelectionResult) error {

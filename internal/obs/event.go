@@ -1,0 +1,117 @@
+// Package obs is the search telemetry subsystem: a per-worker lock-free
+// flight recorder of typed search events, an atomic metrics registry, and
+// the Probe handle that internal/core threads through every search layer.
+//
+// Design constraints, in priority order:
+//
+//  1. Observation must never change what the search computes. Events and
+//     metrics are strictly write-only side channels; nothing in this
+//     package feeds a value back into search decisions.
+//  2. A nil probe must cost one predictable branch per probe point. All
+//     Probe and SearchObs methods are nil-receiver safe, and the hot
+//     per-cut counters are not emitted per cut at all — they are flushed
+//     as deltas at the search's existing poll cadence.
+//  3. The enabled path must be allocation-free per event. Events are
+//     fixed-size structs written into preallocated rings; metric updates
+//     are single atomic adds.
+package obs
+
+import "fmt"
+
+// Kind identifies the type of a recorded search event.
+type Kind uint8
+
+const (
+	// KSearchStart marks the start of one block search. Tag is
+	// "fn/block", A the operation count, B the worker count.
+	KSearchStart Kind = iota
+	// KSearchEnd marks the end of one block search. Tag is "fn/block",
+	// A the SearchStatus code, B the merit found (-1 when none), C the
+	// cuts considered.
+	KSearchEnd
+	// KIncumbent records an incumbent improvement: A the new merit, B
+	// the cuts considered so far by the emitting searcher, C the node
+	// rank at which the cut completed.
+	KIncumbent
+	// KPrune records a feasibility rejection (ports or convexity) at
+	// node rank A.
+	KPrune
+	// KBound records a merit-upper-bound subtree cutoff at node rank A
+	// with incumbent B (PruneMerit only).
+	KBound
+	// KSteal records worker Ring stealing A subproblems from victim
+	// worker B.
+	KSteal
+	// KDonate records the emitting worker donating the unexplored
+	// 0-branch at prefix rank A back to the deques.
+	KDonate
+	// KResplit records the emitting worker expanding a shallow
+	// subproblem at depth A into B children instead of searching it.
+	KResplit
+	// KSpecLaunch records the scheduler launching a speculative search.
+	// Tag is "fn/block", A the per-cut limit m (0 for a single-cut or
+	// collapse speculation), B is 1 for a speculative collapse.
+	KSpecLaunch
+	// KSpecAdopt records a speculative result adopted by the round
+	// logic. Tag is "fn/block", A the per-cut limit m.
+	KSpecAdopt
+	// KSpecDiscard records a speculative result discarded as stale.
+	// Tag is "fn/block".
+	KSpecDiscard
+	// KStop records a searcher observing a stop condition: A the
+	// SearchStatus code (BudgetStopped, DeadlineExceeded, Canceled).
+	KStop
+	// KRescue records a §9 windowed rescue attempt after a trip. Tag is
+	// "fn/block", A is 1 when the rescue found a cut, B its merit, C
+	// the cuts the rescue examined.
+	KRescue
+	// KCollapse records a selection-round winner collapse. Tag is the
+	// super-node name, A the selection round, B the cut size.
+	KCollapse
+	// KWarmSeed records a warm-start pass seeding the incumbent with
+	// merit A before the exact search starts.
+	KWarmSeed
+
+	kindCount = int(KWarmSeed) + 1
+)
+
+var kindNames = [kindCount]string{
+	KSearchStart: "search_start",
+	KSearchEnd:   "search_end",
+	KIncumbent:   "incumbent",
+	KPrune:       "prune",
+	KBound:       "bound",
+	KSteal:       "steal",
+	KDonate:      "donate",
+	KResplit:     "resplit",
+	KSpecLaunch:  "spec_launch",
+	KSpecAdopt:   "spec_adopt",
+	KSpecDiscard: "spec_discard",
+	KStop:        "stop",
+	KRescue:      "rescue",
+	KCollapse:    "collapse",
+	KWarmSeed:    "warm_seed",
+}
+
+// String returns the stable wire name of the kind ("incumbent", "steal",
+// ...) used by both export formats.
+func (k Kind) String() string {
+	if int(k) < len(kindNames) {
+		return kindNames[k]
+	}
+	return fmt.Sprintf("kind(%d)", uint8(k))
+}
+
+// Event is one fixed-size flight-recorder entry. T is nanoseconds since
+// the owning Recorder's epoch; Ring identifies the buffer that recorded
+// it (one per searcher goroutine, plus the shared "sys" ring 0). The
+// meaning of A, B, C and Tag depends on Kind; unused fields are zero.
+type Event struct {
+	T    int64
+	Ring int32
+	Kind Kind
+	A    int64
+	B    int64
+	C    int64
+	Tag  string
+}

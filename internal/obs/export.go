@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"bufio"
+	"encoding/json"
+	"io"
+)
+
+// jsonlEvent is the JSONL wire form of an Event. Field meanings follow
+// the Kind documentation; zero payload fields are omitted.
+type jsonlEvent struct {
+	T    int64  `json:"t_ns"`
+	Ring int32  `json:"ring"`
+	Kind string `json:"kind"`
+	A    int64  `json:"a,omitempty"`
+	B    int64  `json:"b,omitempty"`
+	C    int64  `json:"c,omitempty"`
+	Tag  string `json:"tag,omitempty"`
+}
+
+// WriteJSONL writes events as one JSON object per line.
+func WriteJSONL(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	enc := json.NewEncoder(bw)
+	for _, e := range events {
+		je := jsonlEvent{T: e.T, Ring: e.Ring, Kind: e.Kind.String(),
+			A: e.A, B: e.B, C: e.C, Tag: e.Tag}
+		if err := enc.Encode(je); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// chromeEvent is one entry of the Chrome trace_event format
+// (https://docs.google.com/document/d/1CvAClvFfyA5R-PhYUmn5OOQtYMH4h6I0nSsKchNAySU):
+// instant events on one process, one thread per flight-recorder ring,
+// loadable by chrome://tracing and Perfetto.
+type chromeEvent struct {
+	Name  string         `json:"name"`
+	Phase string         `json:"ph"`
+	TS    float64        `json:"ts"` // microseconds
+	PID   int            `json:"pid"`
+	TID   int32          `json:"tid"`
+	Scope string         `json:"s,omitempty"`
+	Args  map[string]any `json:"args,omitempty"`
+}
+
+// chromeArgNames maps each kind's A/B/C payload onto named trace args.
+var chromeArgNames = map[Kind][3]string{
+	KSearchStart: {"ops", "workers", ""},
+	KSearchEnd:   {"status", "merit", "cuts"},
+	KIncumbent:   {"merit", "cuts", "rank"},
+	KPrune:       {"rank", "", ""},
+	KBound:       {"rank", "incumbent", ""},
+	KSteal:       {"count", "victim", "deque_depth"},
+	KDonate:      {"rank", "", ""},
+	KResplit:     {"depth", "children", ""},
+	KSpecLaunch:  {"m", "collapse", ""},
+	KSpecAdopt:   {"m", "", ""},
+	KSpecDiscard: {"reason", "", ""},
+	KStop:        {"status", "", ""},
+	KRescue:      {"found", "merit", "cuts"},
+	KCollapse:    {"round", "cut_size", ""},
+	KWarmSeed:    {"merit", "", ""},
+}
+
+// chrome converts an Event to its trace_event form: a thread-scoped
+// instant on tid = ring id, so the per-worker interleaving is visible
+// on separate tracks.
+func (e Event) chrome() chromeEvent {
+	ce := chromeEvent{
+		Name:  e.Kind.String(),
+		Phase: "i",
+		TS:    float64(e.T) / 1e3,
+		PID:   1,
+		TID:   e.Ring,
+		Scope: "t",
+	}
+	names := chromeArgNames[e.Kind]
+	args := make(map[string]any, 4)
+	for i, v := range [3]int64{e.A, e.B, e.C} {
+		if names[i] != "" {
+			args[names[i]] = v
+		}
+	}
+	if e.Tag != "" {
+		args["tag"] = e.Tag
+	}
+	if len(args) > 0 {
+		ce.Args = args
+	}
+	return ce
+}
+
+// WriteChromeTrace writes events as a Chrome trace_event JSON array for
+// chrome://tracing / Perfetto.
+func WriteChromeTrace(w io.Writer, events []Event) error {
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString("[\n"); err != nil {
+		return err
+	}
+	for i, e := range events {
+		if i > 0 {
+			if _, err := bw.WriteString(",\n"); err != nil {
+				return err
+			}
+		}
+		data, err := json.Marshal(e.chrome())
+		if err != nil {
+			return err
+		}
+		if _, err := bw.Write(data); err != nil {
+			return err
+		}
+	}
+	if _, err := bw.WriteString("\n]\n"); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

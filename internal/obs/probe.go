@@ -1,0 +1,412 @@
+package obs
+
+// Metrics is the well-known instrument set the search layers update.
+// Resolving the instruments once here keeps registry lookups off every
+// probe point. All fields are non-nil after NewMetrics.
+type Metrics struct {
+	reg *Registry
+
+	// Search-progress counters (flushed as deltas at poll cadence, so
+	// they lag live state by at most one poll interval).
+	CutsConsidered *Counter
+	CutsPassed     *Counter
+	CutsPruned     *Counter
+	BoundCutoffs   *Counter
+	Incumbents     *Counter
+	Searches       *Counter
+
+	// Anytime-contract counters.
+	DeadlineTrips *Counter
+	BudgetTrips   *Counter
+	CancelTrips   *Counter
+	Rescues       *Counter
+	RescueHits    *Counter
+
+	// Work-stealing engine counters.
+	Steals        *Counter
+	StolenSubs    *Counter
+	Donations     *Counter
+	Resplits      *Counter
+	WarmSeedHits  *Counter
+	WorkersActive *Gauge
+	DequeDepth    *Histogram
+
+	// Selection-scheduler counters.
+	SpecLaunches *Counter
+	SpecAdopts   *Counter
+	SpecDiscards *Counter
+	CacheHits    *Counter
+	Collapses    *Counter
+}
+
+// NewMetrics resolves the well-known instrument set in reg.
+func NewMetrics(reg *Registry) *Metrics {
+	return &Metrics{
+		reg:            reg,
+		CutsConsidered: reg.Counter("search_cuts_considered_total"),
+		CutsPassed:     reg.Counter("search_cuts_passed_total"),
+		CutsPruned:     reg.Counter("search_cuts_pruned_total"),
+		BoundCutoffs:   reg.Counter("search_bound_cutoffs_total"),
+		Incumbents:     reg.Counter("search_incumbents_total"),
+		Searches:       reg.Counter("search_block_searches_total"),
+		DeadlineTrips:  reg.Counter("search_deadline_trips_total"),
+		BudgetTrips:    reg.Counter("search_budget_trips_total"),
+		CancelTrips:    reg.Counter("search_cancel_trips_total"),
+		Rescues:        reg.Counter("search_rescues_total"),
+		RescueHits:     reg.Counter("search_rescue_hits_total"),
+		Steals:         reg.Counter("engine_steals_total"),
+		StolenSubs:     reg.Counter("engine_stolen_subproblems_total"),
+		Donations:      reg.Counter("engine_donations_total"),
+		Resplits:       reg.Counter("engine_resplits_total"),
+		WarmSeedHits:   reg.Counter("engine_warm_seed_hits_total"),
+		WorkersActive:  reg.Gauge("engine_workers_active"),
+		DequeDepth:     reg.Histogram("engine_deque_depth"),
+		SpecLaunches:   reg.Counter("sched_spec_launches_total"),
+		SpecAdopts:     reg.Counter("sched_spec_adopts_total"),
+		SpecDiscards:   reg.Counter("sched_spec_discards_total"),
+		CacheHits:      reg.Counter("sched_cache_hits_total"),
+		Collapses:      reg.Counter("sched_collapses_total"),
+	}
+}
+
+// Registry returns the registry the metrics were resolved from.
+func (m *Metrics) Registry() *Registry { return m.reg }
+
+// Probe is the observability handle carried in core.Config. A nil
+// *Probe means observability is off and every probe point reduces to
+// one nil check. Any combination of fields may be set: Rec enables the
+// flight recorder, Met enables metrics, Hook is the per-block-search
+// test seam that replaced the old core.searchHook global.
+type Probe struct {
+	// Rec, when non-nil, records the event timeline.
+	Rec *Recorder
+	// Met, when non-nil, receives metric updates.
+	Met *Metrics
+	// Hook, when non-nil, runs at the start of every panic-guarded
+	// block search with the function and block names. It exists for
+	// fault injection in tests; a panic inside it is handled by the
+	// search's normal recovery path.
+	Hook func(fn, block string)
+}
+
+// MetricsOnly returns a probe that keeps the metrics and hook but drops
+// the flight recorder. Sub-searches that would flood the timeline with
+// repetitive fine-grained events (windowed-heuristic windows, warm-start
+// passes) still contribute to the aggregate counters through it.
+// Nil-safe; returns nil when nothing would remain enabled.
+func (p *Probe) MetricsOnly() *Probe {
+	if p == nil || p.Rec == nil {
+		return p
+	}
+	if p.Met == nil && p.Hook == nil {
+		return nil
+	}
+	return &Probe{Met: p.Met, Hook: p.Hook}
+}
+
+// HookOf returns the probe's hook, nil-safe.
+func (p *Probe) HookOf() func(fn, block string) {
+	if p == nil {
+		return nil
+	}
+	return p.Hook
+}
+
+// Attach binds a new searcher goroutine to the probe, allocating it a
+// private flight-recorder ring. Returns nil when the probe is nil or
+// fully disabled, so searchers keep a single `s.obs != nil` gate.
+func (p *Probe) Attach() *SearchObs {
+	if p == nil || (p.Rec == nil && p.Met == nil) {
+		return nil
+	}
+	o := &SearchObs{met: p.Met}
+	if p.Rec != nil {
+		o.ring = p.Rec.NewRing()
+	}
+	return o
+}
+
+// Sys records a coordinator-side event if the flight recorder is on.
+// Nil-safe; safe from any goroutine.
+func (p *Probe) Sys(k Kind, tag string, a, b, c int64) {
+	if p == nil || p.Rec == nil {
+		return
+	}
+	p.Rec.Sys(k, tag, a, b, c)
+}
+
+// Count increments counter c if metrics are on. Nil-safe.
+func (p *Probe) Count(c func(*Metrics) *Counter) {
+	if p == nil || p.Met == nil {
+		return
+	}
+	c(p.Met).Inc()
+}
+
+// SearchBegin records a panic-guarded block search starting. Tag is
+// "fn/block"; ops and workers describe the searched graph and engine.
+func (p *Probe) SearchBegin(tag string, ops, workers int) {
+	if p == nil {
+		return
+	}
+	if p.Met != nil {
+		p.Met.Searches.Inc()
+	}
+	if p.Rec != nil {
+		p.Rec.Sys(KSearchStart, tag, int64(ops), int64(workers), 0)
+	}
+}
+
+// SearchEnd records a block search ending with the given status code,
+// merit (-1 when nothing was found) and cuts-considered tally.
+func (p *Probe) SearchEnd(tag string, status, merit, cuts int64) {
+	if p == nil || p.Rec == nil {
+		return
+	}
+	p.Rec.Sys(KSearchEnd, tag, status, merit, cuts)
+}
+
+// Rescue records a §9 windowed rescue attempt after a budget or
+// deadline trip, with whether it found a cut, at what merit, and how
+// many cuts it examined.
+func (p *Probe) Rescue(tag string, found bool, merit, cuts int64) {
+	if p == nil {
+		return
+	}
+	if p.Met != nil {
+		p.Met.Rescues.Inc()
+		if found {
+			p.Met.RescueHits.Inc()
+		}
+	}
+	if p.Rec != nil {
+		var f int64
+		if found {
+			f = 1
+		}
+		p.Rec.Sys(KRescue, tag, f, merit, cuts)
+	}
+}
+
+// WarmSeed records a warm-start pass seeding an engine-level incumbent
+// (the searcher-side analog is SearchObs.WarmSeed).
+func (p *Probe) WarmSeed(merit int64) {
+	if p == nil {
+		return
+	}
+	if p.Met != nil {
+		p.Met.WarmSeedHits.Inc()
+	}
+	if p.Rec != nil {
+		p.Rec.Sys(KWarmSeed, "", merit, 0, 0)
+	}
+}
+
+// SpecLaunch records the scheduler launching a speculative search (m is
+// the per-cut limit, 0 for single-cut; collapse marks a speculative
+// collapse-and-search task).
+func (p *Probe) SpecLaunch(tag string, m int, collapse bool) {
+	if p == nil {
+		return
+	}
+	if p.Met != nil {
+		p.Met.SpecLaunches.Inc()
+	}
+	if p.Rec != nil {
+		var c int64
+		if collapse {
+			c = 1
+		}
+		p.Rec.Sys(KSpecLaunch, tag, int64(m), c, 0)
+	}
+}
+
+// SpecAdopt records a speculative result consumed by the round logic (a
+// scheduler cache hit).
+func (p *Probe) SpecAdopt(tag string, m int) {
+	if p == nil {
+		return
+	}
+	if p.Met != nil {
+		p.Met.SpecAdopts.Inc()
+		p.Met.CacheHits.Inc()
+	}
+	if p.Rec != nil {
+		p.Rec.Sys(KSpecAdopt, tag, int64(m), 0, 0)
+	}
+}
+
+// SpecDiscard records a speculative task discarded as stale.
+func (p *Probe) SpecDiscard(tag string) {
+	if p == nil {
+		return
+	}
+	if p.Met != nil {
+		p.Met.SpecDiscards.Inc()
+	}
+	if p.Rec != nil {
+		p.Rec.Sys(KSpecDiscard, tag, 0, 0, 0)
+	}
+}
+
+// Collapse records a selection-round winner collapse: tag is the
+// super-node name, round the selection round, cutSize the collapsed
+// cut's node count.
+func (p *Probe) Collapse(tag string, round, cutSize int) {
+	if p == nil {
+		return
+	}
+	if p.Met != nil {
+		p.Met.Collapses.Inc()
+	}
+	if p.Rec != nil {
+		p.Rec.Sys(KCollapse, tag, int64(round), int64(cutSize), 0)
+	}
+}
+
+// SearchObs is one searcher goroutine's view of the probe: a private
+// ring (may be nil under MetricsOnly) plus the shared metrics. The
+// flush marks implement delta-flushing of the searcher's running Stats
+// into the global counters without per-cut atomics.
+type SearchObs struct {
+	ring *Ring
+	met  *Metrics
+
+	flushedConsidered int64
+	flushedPassed     int64
+	flushedPruned     int64
+	flushedBounds     int64
+}
+
+// FlushStats publishes the searcher's running totals as deltas against
+// what was already flushed. Called at poll cadence and at search end;
+// totals must be monotone per SearchObs.
+func (o *SearchObs) FlushStats(considered, passed, pruned, bounds int64) {
+	if o == nil || o.met == nil {
+		return
+	}
+	if d := considered - o.flushedConsidered; d > 0 {
+		o.met.CutsConsidered.Add(d)
+		o.flushedConsidered = considered
+	}
+	if d := passed - o.flushedPassed; d > 0 {
+		o.met.CutsPassed.Add(d)
+		o.flushedPassed = passed
+	}
+	if d := pruned - o.flushedPruned; d > 0 {
+		o.met.CutsPruned.Add(d)
+		o.flushedPruned = pruned
+	}
+	if d := bounds - o.flushedBounds; d > 0 {
+		o.met.BoundCutoffs.Add(d)
+		o.flushedBounds = bounds
+	}
+}
+
+// Incumbent records an incumbent improvement to merit at node rank,
+// after cuts considered cuts.
+func (o *SearchObs) Incumbent(merit, cuts int64, rank int) {
+	if o == nil {
+		return
+	}
+	if o.met != nil {
+		o.met.Incumbents.Inc()
+	}
+	if o.ring != nil {
+		o.ring.Emit(KIncumbent, "", merit, cuts, int64(rank))
+	}
+}
+
+// Stop records the searcher observing stop condition status (the
+// core.SearchStatus code) and bumps the matching trip counter.
+func (o *SearchObs) Stop(status int64, deadline, budget, canceled bool) {
+	if o == nil {
+		return
+	}
+	if o.met != nil {
+		switch {
+		case deadline:
+			o.met.DeadlineTrips.Inc()
+		case budget:
+			o.met.BudgetTrips.Inc()
+		case canceled:
+			o.met.CancelTrips.Inc()
+		}
+	}
+	if o.ring != nil {
+		o.ring.Emit(KStop, "", status, 0, 0)
+	}
+}
+
+// Steal records this searcher stealing n subproblems from victim.
+func (o *SearchObs) Steal(victim, n, depth int64) {
+	if o == nil {
+		return
+	}
+	if o.met != nil {
+		o.met.Steals.Inc()
+		o.met.StolenSubs.Add(n)
+		o.met.DequeDepth.Observe(depth)
+	}
+	if o.ring != nil {
+		o.ring.Emit(KSteal, "", n, victim, depth)
+	}
+}
+
+// Donate records this searcher donating its 0-branch at prefix rank.
+func (o *SearchObs) Donate(rank int) {
+	if o == nil {
+		return
+	}
+	if o.met != nil {
+		o.met.Donations.Inc()
+	}
+	if o.ring != nil {
+		o.ring.Emit(KDonate, "", int64(rank), 0, 0)
+	}
+}
+
+// Resplit records this searcher expanding a shallow subproblem at depth
+// into children child subproblems.
+func (o *SearchObs) Resplit(depth, children int) {
+	if o == nil {
+		return
+	}
+	if o.met != nil {
+		o.met.Resplits.Inc()
+	}
+	if o.ring != nil {
+		o.ring.Emit(KResplit, "", int64(depth), int64(children), 0)
+	}
+}
+
+// Pruned records a feasibility rejection (ports or convexity) at node
+// rank. Ring-only: the aggregate count flows through FlushStats.
+func (o *SearchObs) Pruned(rank int) {
+	if o == nil || o.ring == nil {
+		return
+	}
+	o.ring.Emit(KPrune, "", int64(rank), 0, 0)
+}
+
+// Bound records a merit-upper-bound subtree cutoff at node rank against
+// the current incumbent. Ring-only, like Pruned.
+func (o *SearchObs) Bound(rank int, incumbent int64) {
+	if o == nil || o.ring == nil {
+		return
+	}
+	o.ring.Emit(KBound, "", int64(rank), incumbent, 0)
+}
+
+// WarmSeed records the search starting from a warm incumbent of merit.
+func (o *SearchObs) WarmSeed(merit int64) {
+	if o == nil {
+		return
+	}
+	if o.met != nil {
+		o.met.WarmSeedHits.Inc()
+	}
+	if o.ring != nil {
+		o.ring.Emit(KWarmSeed, "", merit, 0, 0)
+	}
+}
