@@ -9,11 +9,20 @@
 //
 //	isex -kernel adpcmdecode -nin 4 -nout 2 -ninstr 8 -simulate
 //	isex -src prog.mc -entry main -nin 2 -nout 1 -verilog out/
+//
+// Exit codes:
+//
+//	0  success
+//	1  error (bad flags, compile/profile failure, I/O failure, ...)
+//	2  -strict was set and the selection degraded below the exact
+//	   search (any per-block status other than "exhaustive": budget,
+//	   deadline, cancellation, watchdog stall, or a recovered failure)
 package main
 
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"expvar"
 	"flag"
 	"fmt"
@@ -43,9 +52,17 @@ import (
 func main() {
 	if err := run(); err != nil {
 		fmt.Fprintln(os.Stderr, "isex:", err)
+		if errors.Is(err, errStrictDegraded) {
+			os.Exit(2)
+		}
 		os.Exit(1)
 	}
 }
+
+// errStrictDegraded is returned by run when -strict is set and the
+// selection is not exact; main translates it into exit code 2 so CI can
+// distinguish "degraded result" from a hard failure.
+var errStrictDegraded = errors.New("selection degraded below the exact search (-strict)")
 
 func run() error {
 	var (
@@ -61,6 +78,8 @@ func run() error {
 		workers   = flag.Int("workers", 0, "run each block's exact search on the work-stealing parallel branch-and-bound engine with this many workers (0 = serial; results are bit-identical)")
 		speculate = flag.Bool("speculate", false, "route iterative/optimal selection through the speculative scheduler: idle workers pre-identify likely next-round winners and every search is warm-seeded (bit-identical selections; see also -workers)")
 		deadline  = flag.Duration("deadline", 0, "wall-clock budget for identification (e.g. 500ms; 0 = none); on expiry the best selection found so far is reported")
+		stallWin  = flag.Duration("stall-window", 0, "arm the parallel engine's watchdog (needs -workers): a worker with no progress for two such windows has its subproblem requeued for the others and the block degrades to 'stalled' (0 = off)")
+		strict    = flag.Bool("strict", false, "exit with code 2 when any block's search degraded below the exact algorithm (the report is still written); for CI gates that must not accept lower bounds")
 		unroll    = flag.Int("unroll", 0, "fully unroll counted loops up to this trip count (-src mode)")
 		simulate  = flag.Bool("simulate", false, "patch the selection in and measure the speedup on the cycle simulator")
 		verilogTo = flag.String("verilog", "", "directory to write one Verilog file (+ testbench) per AFU")
@@ -137,7 +156,7 @@ func run() error {
 
 	model := latency.Default()
 	cfg := core.Config{Nin: *nin, Nout: *nout, Model: model, MaxCuts: *budget,
-		Workers: *workers, Speculate: *speculate}
+		Workers: *workers, Speculate: *speculate, StallWindow: *stallWin}
 
 	// Telemetry: the flight recorder is on when a trace output is wanted,
 	// the metrics registry when anything will read it (the HTTP endpoint
@@ -240,8 +259,11 @@ func run() error {
 					continue
 				}
 				line := fmt.Sprintf("  block %s/%s: %s", b.Fn, b.Block, b.Status)
-				if b.Fallback {
+				switch b.Rung {
+				case core.RungWindowed:
 					line += " (rescued with the windowed heuristic)"
+				case core.RungGreedy:
+					line += " (rescued with the greedy last resort)"
 				}
 				if b.Err != nil {
 					line += fmt.Sprintf(" — %v", b.Err)
@@ -249,6 +271,13 @@ func run() error {
 				fmt.Println(line)
 			}
 		}
+	}
+
+	if *strict && sel.Degraded() {
+		// The report above was still written; the nonzero exit is the
+		// machine-checkable signal that it holds lower bounds, not the
+		// exact answer.
+		return errStrictDegraded
 	}
 
 	if *dotTo != "" && len(sel.Instructions) > 0 {
@@ -375,6 +404,7 @@ type jsonReport struct {
 	CacheHits    int            `json:"cache_hits"`
 	Status       string         `json:"status"`
 	Degraded     bool           `json:"degraded"`
+	FirstPanic   string         `json:"first_panic,omitempty"`
 	Stats        jsonStats      `json:"stats"`
 	Instructions []jsonInstr    `json:"instructions"`
 	Blocks       []jsonBlock    `json:"blocks"`
@@ -405,6 +435,7 @@ type jsonBlock struct {
 	Fn       string `json:"fn"`
 	Block    string `json:"block"`
 	Status   string `json:"status"`
+	Rung     string `json:"rung"`
 	Fallback bool   `json:"fallback,omitempty"`
 	Err      string `json:"err,omitempty"`
 }
@@ -421,6 +452,7 @@ func writeJSONReport(w *os.File, method string, nin, nout, ninstr int, sel core.
 		CacheHits:  sel.CacheHits,
 		Status:     sel.Status.String(),
 		Degraded:   sel.Degraded(),
+		FirstPanic: sel.FirstPanic,
 		Stats: jsonStats{
 			CutsConsidered: sel.Stats.CutsConsidered,
 			Passed:         sel.Stats.Passed,
@@ -437,7 +469,8 @@ func writeJSONReport(w *os.File, method string, nin, nout, ninstr int, sel core.
 		})
 	}
 	for _, b := range sel.Blocks {
-		jb := jsonBlock{Fn: b.Fn, Block: b.Block, Status: b.Status.String(), Fallback: b.Fallback}
+		jb := jsonBlock{Fn: b.Fn, Block: b.Block, Status: b.Status.String(),
+			Rung: b.Rung.String(), Fallback: b.Fallback}
 		if b.Err != nil {
 			jb.Err = b.Err.Error()
 		}

@@ -5,6 +5,7 @@ import (
 
 	"isex/internal/core"
 	"isex/internal/dfg"
+	"isex/internal/greedy"
 	"isex/internal/ir"
 	"isex/internal/latency"
 )
@@ -29,60 +30,11 @@ func instrIndexes(g *dfg.Graph, c dfg.Cut) []int {
 
 // Clubbing greedily clusters the operations of a graph into "clubs" under
 // explicit n-input / m-output limits, following the linear-complexity
-// scheme of Baleani et al. (ref. 16): instructions are scanned in program
-// order and each is merged into the club of one of its producers whenever
-// the merged club still satisfies the port limits and stays convex;
-// otherwise it opens a club of its own. Forbidden nodes never join clubs.
+// scheme of Baleani et al. (ref. 16). The algorithm itself lives in
+// internal/greedy so that core's degradation ladder can reuse it; this
+// wrapper keeps the historical baseline API.
 func Clubbing(g *dfg.Graph, nin, nout int) []dfg.Cut {
-	// club[id] = representative (first) node of the club, -1 for none.
-	club := make([]int, len(g.Nodes))
-	for i := range club {
-		club[i] = -1
-	}
-	members := map[int]dfg.Cut{}
-	// Scan in program order: reverse of the search order.
-	ids := append([]int(nil), g.OpOrder...)
-	sort.Slice(ids, func(i, j int) bool {
-		return g.Nodes[ids[i]].InstrIndex < g.Nodes[ids[j]].InstrIndex
-	})
-	// One membership bitset, refilled per merge trial; the merged slice is
-	// materialized only when a trial succeeds.
-	trial := g.NewSet()
-	for _, id := range ids {
-		n := &g.Nodes[id]
-		if n.Forbidden {
-			continue
-		}
-		club[id] = id
-		members[id] = dfg.Cut{id}
-		// Try merging into each producer's club, in order; keep the first
-		// merge that stays legal.
-		for _, p := range n.Preds {
-			pn := &g.Nodes[p]
-			if pn.Kind != dfg.KindOp || pn.Forbidden || club[p] < 0 || club[p] == id {
-				continue
-			}
-			rep := club[p]
-			trial = g.SetOf(members[rep], trial)
-			trial.Set(id)
-			if g.InputsSet(trial) <= nin && g.OutputsSet(trial) <= nout && g.ConvexSet(trial) {
-				delete(members, id)
-				club[id] = rep
-				members[rep] = append(members[rep], id)
-				break
-			}
-		}
-	}
-	var out []dfg.Cut
-	var reps []int
-	for rep := range members {
-		reps = append(reps, rep)
-	}
-	sort.Ints(reps)
-	for _, rep := range reps {
-		out = append(out, members[rep].Canon())
-	}
-	return out
+	return greedy.Clubbing(g, nin, nout)
 }
 
 // SelectClubbing selects up to ninstr clubs across all blocks, best merit

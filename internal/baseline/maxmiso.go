@@ -17,67 +17,16 @@ import (
 
 	"isex/internal/core"
 	"isex/internal/dfg"
+	"isex/internal/greedy"
 	"isex/internal/ir"
 )
 
 // MaxMISODecompose partitions the non-forbidden operation nodes of g into
-// maximal single-output subgraphs (MISOs). A node belongs to the MISO of
-// its consumers iff all of its data consumers are operation nodes inside
-// that same MISO; nodes with external uses, multiple distinct consumer
-// MISOs, or forbidden consumers root their own MISO.
+// maximal single-output subgraphs (MISOs). The algorithm itself lives in
+// internal/greedy so that core's degradation ladder can reuse it; this
+// wrapper keeps the historical baseline API.
 func MaxMISODecompose(g *dfg.Graph) []dfg.Cut {
-	// Process nodes in search order (consumers before producers): by the
-	// time a node is seen, every consumer already has a MISO assignment.
-	miso := make([]int, len(g.Nodes)) // node -> MISO id (by root node id), -1 none
-	for i := range miso {
-		miso[i] = -1
-	}
-	var roots []int
-	for _, id := range g.OpOrder {
-		n := &g.Nodes[id]
-		if n.Forbidden {
-			continue
-		}
-		// Determine the unique consumer MISO, if any.
-		target := -2 // -2 unset, -1 external/conflict
-		for _, s := range n.Succs {
-			sn := &g.Nodes[s]
-			var t int
-			switch {
-			case sn.Kind != dfg.KindOp || sn.Forbidden:
-				t = -1 // value escapes to V+ or into a barrier
-			default:
-				t = miso[s]
-			}
-			if target == -2 {
-				target = t
-			} else if target != t {
-				target = -1
-			}
-		}
-		if len(n.OrderSuccs) > 0 {
-			target = -1 // defensive: pure nodes have none
-		}
-		if target >= 0 {
-			miso[id] = target
-			continue
-		}
-		// Root a new MISO (also for sink nodes with no consumers at all).
-		miso[id] = id
-		roots = append(roots, id)
-	}
-	cuts := map[int]dfg.Cut{}
-	for id, m := range miso {
-		if m >= 0 {
-			cuts[m] = append(cuts[m], id)
-		}
-	}
-	out := make([]dfg.Cut, 0, len(roots))
-	for _, r := range roots {
-		out = append(out, cuts[r].Canon())
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
-	return out
+	return greedy.MaxMISODecompose(g)
 }
 
 // SelectMaxMISO selects up to ninstr MaxMISOs across all blocks, best

@@ -4,18 +4,29 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"time"
 
 	"isex/internal/dfg"
+	"isex/internal/greedy"
+	"isex/internal/obs"
 )
 
 // This file makes identification an *anytime* engine: every search accepts
 // a context.Context whose deadline/cancellation is polled periodically,
-// every per-block worker is panic-safe, and an exact search stopped by the
-// cut budget or the deadline is transparently rescued by the §9 windowed
-// heuristic — the engine returns the best sound answer it has, annotated
-// with how it was obtained, and never crashes or comes back empty-handed
-// when anything at all was found.
+// every per-block worker is panic-safe, and every block search descends a
+// guaranteed-sound degradation ladder:
+//
+//	rung 0  exact §6 branch-and-bound (anytime: budget/deadline/cancel)
+//	rung 1  §9 windowed rescue under a detached grace context
+//	rung 2  greedy last resort: clubbing + MaxMISO candidates revalidated
+//	        with Legal/Evaluate (linear time, always terminates)
+//
+// Each rung is individually panic-guarded, so a fault in one rung drops
+// the search to the next instead of unwinding the block; the engine
+// returns the best sound answer it has, annotated with how it was
+// obtained (SearchStatus + Rung), and never crashes or comes back
+// empty-handed when the block has any legal positive-merit cut.
 
 // SearchStatus classifies how a search ended, so callers know exactly how
 // trustworthy a result is.
@@ -32,10 +43,16 @@ const (
 	// result is the best found so far.
 	DeadlineExceeded
 	// Canceled: the context was canceled; the result is the best found so
-	// far (no windowed rescue is attempted — the caller asked to stop).
+	// far (no windowed rescue is attempted — the caller asked to stop;
+	// only the O(E) greedy rung may still fill in an empty result).
 	Canceled
-	// Recovered: the block's worker panicked (or its graph could not be
-	// built); the block contributes nothing, other blocks are unaffected.
+	// Stalled: the engine watchdog found a worker making no poll
+	// progress and re-split its subproblem; the result is sound but the
+	// stalled subtree may not have been searched exhaustively.
+	Stalled
+	// Recovered: a worker panicked (or the block's graph could not be
+	// built); the block contributes whatever the lower rungs salvaged,
+	// other blocks are unaffected.
 	Recovered
 )
 
@@ -49,6 +66,8 @@ func (s SearchStatus) String() string {
 		return "deadline-exceeded"
 	case Canceled:
 		return "canceled"
+	case Stalled:
+		return "stalled"
 	case Recovered:
 		return "recovered"
 	}
@@ -72,6 +91,34 @@ func statusOfCtx(err error) SearchStatus {
 	return Canceled
 }
 
+// Rung identifies which rung of the degradation ladder produced the
+// cut a block search returned.
+type Rung uint8
+
+const (
+	// RungExact: the returned cut (or the absence of one) came from the
+	// exact §6 branch-and-bound search.
+	RungExact Rung = iota
+	// RungWindowed: the §9 windowed rescue's cut replaced (or supplied)
+	// the exact search's answer.
+	RungWindowed
+	// RungGreedy: the greedy last resort (clubbing/MaxMISO candidates
+	// revalidated with Legal/Evaluate) supplied the answer.
+	RungGreedy
+)
+
+func (r Rung) String() string {
+	switch r {
+	case RungExact:
+		return "exact"
+	case RungWindowed:
+		return "windowed"
+	case RungGreedy:
+		return "greedy"
+	}
+	return fmt.Sprintf("Rung(%d)", uint8(r))
+}
+
 // BlockStatus reports how the search of one basic block ended.
 type BlockStatus struct {
 	Fn, Block string
@@ -80,8 +127,11 @@ type BlockStatus struct {
 	// after the exact search tripped its budget or deadline; the block's
 	// contribution is the better of the two sound answers.
 	Fallback bool
-	// Err carries the recovered panic or graph-construction failure when
-	// Status is Recovered.
+	// Rung reports which ladder rung produced the block's returned cut
+	// (the degradation reason when below RungExact).
+	Rung Rung
+	// Err carries the first recovered panic (message plus truncated
+	// stack) or graph-construction failure observed for the block.
 	Err error
 }
 
@@ -90,9 +140,126 @@ type BlockStatus struct {
 func mergeBlockStatus(dst *BlockStatus, s BlockStatus) {
 	dst.Status = worse(dst.Status, s.Status)
 	dst.Fallback = dst.Fallback || s.Fallback
+	if s.Rung > dst.Rung {
+		dst.Rung = s.Rung
+	}
 	if dst.Err == nil {
 		dst.Err = s.Err
 	}
+}
+
+// panicStackMax bounds the debug.Stack excerpt attached to recovered
+// panics, keeping BlockStatus.Err (and its JSON rendering) readable.
+const panicStackMax = 2048
+
+// panicErr wraps a recovered panic value with the failing block's tag
+// and a truncated stack excerpt.
+func panicErr(tag string, r any) error {
+	stack := debug.Stack()
+	if len(stack) > panicStackMax {
+		stack = append(stack[:panicStackMax:panicStackMax], "... [truncated]"...)
+	}
+	return fmt.Errorf("core: panic searching %s: %v\n%s", tag, r, stack)
+}
+
+// panicMsg renders a recovered panic value as a short one-line message
+// for trace events.
+func panicMsg(r any) string {
+	s := fmt.Sprintf("%v", r)
+	if i := len(s); i > 160 {
+		s = s[:160] + "..."
+	}
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\n' {
+			s = s[:i]
+			break
+		}
+	}
+	return s
+}
+
+// guardRung runs one ladder rung, converting a panic inside it into a
+// Recovered status with a stack-annotated error instead of unwinding
+// the block search — the next rung still runs.
+func guardRung(p *obs.Probe, tag string, bs *BlockStatus, fn func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			bs.Status = worse(bs.Status, Recovered)
+			if bs.Err == nil {
+				bs.Err = panicErr(tag, r)
+			}
+			p.Panic(tag, panicMsg(r), 0)
+		}
+	}()
+	fn()
+}
+
+// guardDriver is deferred by the public selection entry points: a panic
+// escaping the per-block and per-task guards (for example one raised at a
+// driver-side probe site, where no block worker is on the stack) is
+// converted into a Recovered selection instead of crashing the caller.
+// Whatever the driver had assembled into res before the panic survives; a
+// synthetic "(driver)" block records the failure, and the result is
+// re-finalized so Status/Degraded/FirstPanic stay truthful.
+func guardDriver(p *obs.Probe, res *SelectionResult) {
+	if r := recover(); r != nil {
+		p.Panic("select-driver", panicMsg(r), 0)
+		res.Blocks = append(res.Blocks, BlockStatus{
+			Fn:     "(driver)",
+			Status: Recovered,
+			Err:    panicErr("select-driver", r),
+		})
+		res.finalize()
+	}
+}
+
+// legalCut revalidates a cut defensively: a panic inside Legal (e.g. a
+// cut corrupted by the very fault being recovered) counts as illegal.
+func legalCut(g *dfg.Graph, c dfg.Cut, nin, nout int) (ok bool) {
+	defer func() {
+		if recover() != nil {
+			ok = false
+		}
+	}()
+	return len(c) > 0 && g.Legal(c, nin, nout)
+}
+
+// rescueWorthwhile reports whether the §9 windowed rescue should re-run
+// a block that ended with status s. Canceled is excluded: the caller
+// asked all work to stop, and the windowed pass is a real (if bounded)
+// search. Recovered and Stalled are included — the exact answer may be
+// missing or partial through no fault of the block.
+func rescueWorthwhile(s SearchStatus) bool {
+	switch s {
+	case BudgetStopped, DeadlineExceeded, Stalled, Recovered:
+		return true
+	}
+	return false
+}
+
+// greedyRescue is the bottom rung: screen the linear-time clubbing and
+// MaxMISO decompositions for the best cut that is Legal under the
+// configured ports and has positive merit. O(E) overall, no search, no
+// context — it always terminates, even under a canceled context, which
+// is what makes the ladder's guarantee unconditional. Deterministic:
+// candidate order is fixed and ties keep the first candidate.
+func greedyRescue(g *dfg.Graph, cfg Config) (best dfg.Cut, bestEst Estimate, cands int, found bool) {
+	model := cfg.model()
+	list := greedy.Clubbing(g, cfg.Nin, cfg.Nout)
+	list = append(list, greedy.MaxMISODecompose(g)...)
+	for _, c := range list {
+		if !legalCut(g, c, cfg.Nin, cfg.Nout) {
+			continue
+		}
+		est := Evaluate(g, c, model)
+		if est.Merit <= 0 {
+			continue
+		}
+		if !found || est.Merit > bestEst.Merit {
+			found, best, bestEst = true, c, est
+		}
+	}
+	return best, bestEst, len(list), found
 }
 
 // ctxCheckInterval is the number of 1-branches between context polls in
@@ -139,100 +306,190 @@ func rescueCtx(ctx context.Context, start time.Time) (context.Context, context.C
 	return context.WithTimeout(context.WithoutCancel(ctx), grace)
 }
 
-// searchBlockSafe runs single-cut identification on one block with the
-// full anytime contract: panics become a Recovered status instead of
-// crashing the process, and a budget- or deadline-stopped exact search is
-// rescued with the windowed heuristic, keeping the better of the two
-// sound answers.
+// searchBlockSafe runs single-cut identification on one block down the
+// degradation ladder: the exact anytime search, then (when it tripped or
+// failed) the §9 windowed rescue under a grace context, then the greedy
+// last resort. Every rung is panic-guarded individually, so any fault —
+// including one injected inside a probe site — degrades the answer
+// instead of losing it; the final backstop keeps a result only if its
+// cut revalidates as Legal.
 func searchBlockSafe(ctx context.Context, g *dfg.Graph, cfg Config) (res Result, bs BlockStatus) {
 	start := time.Now()
 	bs = BlockStatus{Fn: g.Fn.Name, Block: g.Block.Name}
-	defer func() {
-		if r := recover(); r != nil {
-			res = Result{}
-			bs.Status = Recovered
-			bs.Fallback = false
-			bs.Err = fmt.Errorf("core: panic searching %s/%s: %v", bs.Fn, bs.Block, r)
-		}
-	}()
-	if h := cfg.Probe.HookOf(); h != nil {
-		h(bs.Fn, bs.Block)
-	}
 	tag := bs.Fn + "/" + bs.Block
-	cfg.Probe.SearchBegin(tag, g.NumOps(), cfg.Workers)
-	res = FindBestCutCtx(ctx, g, cfg)
-	bs.Status = res.Status
-	if (res.Status == BudgetStopped || res.Status == DeadlineExceeded) &&
-		cfg.Window == 0 && g.NumOps() > fallbackWindow {
-		rctx, cancel := rescueCtx(ctx, start)
-		w := FindBestCutWindowedCtx(rctx, g, cfg, fallbackWindow)
-		cancel()
-		cfg.Probe.Rescue(tag, w.Found, w.Est.Merit, w.Stats.CutsConsidered)
-		// Fallback and the rescue's stats are reported only when the
-		// rescue actually examined something — a rescue killed at its
-		// first context poll contributed nothing.
-		if w.Stats.CutsConsidered > 0 || w.Found {
-			bs.Fallback = true
-			bs.Status = worse(bs.Status, w.Status)
-			res.Status = bs.Status
-			res.Stats.add(w.Stats)
-			if w.Found && (!res.Found || w.Est.Merit > res.Est.Merit) {
-				res.Found, res.Cut, res.Est = true, w.Cut, w.Est
+	defer func() {
+		// Backstop for panics escaping the rung guards themselves
+		// (including a fault injected at the SearchEnd site below): keep
+		// the answer when it revalidates, never report an illegal cut.
+		if r := recover(); r != nil {
+			bs.Status = worse(bs.Status, Recovered)
+			if bs.Err == nil {
+				bs.Err = panicErr(tag, r)
+			}
+			if res.Found && !legalCut(g, res.Cut, cfg.Nin, cfg.Nout) {
+				res = Result{}
 			}
 		}
+		res.Status = bs.Status
+	}()
+
+	// Rung 0: exact B&B (serial, engine or windowed per cfg).
+	guardRung(cfg.Probe, tag, &bs, func() {
+		if h := cfg.Probe.HookOf(); h != nil {
+			h(bs.Fn, bs.Block)
+		}
+		cfg.Probe.SearchBegin(tag, g.NumOps(), cfg.Workers)
+		res = FindBestCutCtx(ctx, g, cfg)
+		bs.Status = res.Status
+		if bs.Err == nil {
+			bs.Err = res.Err
+		}
+	})
+
+	// Rung 1: §9 windowed rescue. Fallback and the rescue's stats are
+	// reported only when the rescue actually examined something — a
+	// rescue killed at its first context poll contributed nothing.
+	if rescueWorthwhile(bs.Status) && cfg.Window == 0 && g.NumOps() > fallbackWindow {
+		guardRung(cfg.Probe, tag, &bs, func() {
+			rctx, cancel := rescueCtx(ctx, start)
+			defer cancel()
+			w := FindBestCutWindowedCtx(rctx, g, cfg, fallbackWindow)
+			if w.Stats.CutsConsidered > 0 || w.Found {
+				bs.Fallback = true
+				bs.Status = worse(bs.Status, w.Status)
+				res.Stats.add(w.Stats)
+				if w.Found && (!res.Found || w.Est.Merit > res.Est.Merit) {
+					res.Found, res.Cut, res.Est = true, w.Cut, w.Est
+					bs.Rung = RungWindowed
+				}
+			}
+			// Adoption precedes the probe so an injected fault at the
+			// rescue site cannot discard a rescue already computed.
+			cfg.Probe.Rescue(tag, w.Found, w.Est.Merit, w.Stats.CutsConsidered)
+		})
 	}
-	endMerit := int64(-1)
-	if res.Found {
-		endMerit = res.Est.Merit
+
+	// Rung 2: greedy last resort, only when the block is otherwise
+	// empty-handed for an abnormal reason (an Exhaustive not-found is
+	// proof that no positive-merit cut exists). Runs even under a
+	// canceled context: it is O(E) straight-line work, not a search.
+	if !res.Found && bs.Status != Exhaustive {
+		guardRung(cfg.Probe, tag, &bs, func() {
+			cut, est, cands, found := greedyRescue(g, cfg)
+			if found {
+				res.Found, res.Cut, res.Est = true, cut, est
+				bs.Rung = RungGreedy
+			}
+			// Adoption precedes the probe so an injected fault at the
+			// greedy site cannot discard a rescue already computed.
+			cfg.Probe.Greedy(tag, found, est.Merit, int64(cands))
+		})
 	}
-	cfg.Probe.SearchEnd(tag, int64(res.Status), endMerit, res.Stats.CutsConsidered)
+
+	guardRung(cfg.Probe, tag, &bs, func() {
+		endMerit := int64(-1)
+		if res.Found {
+			endMerit = res.Est.Merit
+		}
+		cfg.Probe.SearchEnd(tag, int64(bs.Status), endMerit, res.Stats.CutsConsidered)
+	})
 	return res, bs
 }
 
 // searchBlockMultiSafe is searchBlockSafe for the multiple-cut search of
-// §6.2. The windowed rescue contributes a single cut (a valid 1-of-m
-// assignment) when it beats the exact search's best assignment.
+// §6.2. The windowed rescue and the greedy rung contribute a single cut
+// (a valid 1-of-m assignment) when they beat the exact search's best
+// assignment.
 func searchBlockMultiSafe(ctx context.Context, g *dfg.Graph, m int, cfg Config) (res MultiResult, bs BlockStatus) {
 	start := time.Now()
 	bs = BlockStatus{Fn: g.Fn.Name, Block: g.Block.Name}
+	tag := bs.Fn + "/" + bs.Block
 	defer func() {
 		if r := recover(); r != nil {
-			res = MultiResult{}
-			bs.Status = Recovered
-			bs.Fallback = false
-			bs.Err = fmt.Errorf("core: panic searching %s/%s: %v", bs.Fn, bs.Block, r)
-		}
-	}()
-	if h := cfg.Probe.HookOf(); h != nil {
-		h(bs.Fn, bs.Block)
-	}
-	tag := bs.Fn + "/" + bs.Block
-	cfg.Probe.SearchBegin(tag, g.NumOps(), cfg.Workers)
-	res = FindBestCutsCtx(ctx, g, m, cfg)
-	bs.Status = res.Status
-	if (res.Status == BudgetStopped || res.Status == DeadlineExceeded) &&
-		cfg.Window == 0 && g.NumOps() > fallbackWindow {
-		rctx, cancel := rescueCtx(ctx, start)
-		w := FindBestCutWindowedCtx(rctx, g, cfg, fallbackWindow)
-		cancel()
-		cfg.Probe.Rescue(tag, w.Found, w.Est.Merit, w.Stats.CutsConsidered)
-		if w.Stats.CutsConsidered > 0 || w.Found {
-			bs.Fallback = true
-			bs.Status = worse(bs.Status, w.Status)
-			res.Status = bs.Status
-			res.Stats.add(w.Stats)
-			if w.Found && (!res.Found || w.Est.Merit > res.TotalMerit) {
-				res.Found = true
-				res.Cuts = []dfg.Cut{w.Cut}
-				res.Ests = []Estimate{w.Est}
-				res.TotalMerit = w.Est.Merit
+			bs.Status = worse(bs.Status, Recovered)
+			if bs.Err == nil {
+				bs.Err = panicErr(tag, r)
+			}
+			if res.Found && !cutsLegal(g, res.Cuts, cfg.Nin, cfg.Nout) {
+				res = MultiResult{}
 			}
 		}
+		res.Status = bs.Status
+	}()
+
+	guardRung(cfg.Probe, tag, &bs, func() {
+		if h := cfg.Probe.HookOf(); h != nil {
+			h(bs.Fn, bs.Block)
+		}
+		cfg.Probe.SearchBegin(tag, g.NumOps(), cfg.Workers)
+		res = FindBestCutsCtx(ctx, g, m, cfg)
+		bs.Status = res.Status
+		if bs.Err == nil {
+			bs.Err = res.Err
+		}
+	})
+
+	if rescueWorthwhile(bs.Status) && cfg.Window == 0 && g.NumOps() > fallbackWindow {
+		guardRung(cfg.Probe, tag, &bs, func() {
+			rctx, cancel := rescueCtx(ctx, start)
+			defer cancel()
+			w := FindBestCutWindowedCtx(rctx, g, cfg, fallbackWindow)
+			if w.Stats.CutsConsidered > 0 || w.Found {
+				bs.Fallback = true
+				bs.Status = worse(bs.Status, w.Status)
+				res.Stats.add(w.Stats)
+				if w.Found && (!res.Found || w.Est.Merit > res.TotalMerit) {
+					res.Found = true
+					res.Cuts = []dfg.Cut{w.Cut}
+					res.Ests = []Estimate{w.Est}
+					res.TotalMerit = w.Est.Merit
+					bs.Rung = RungWindowed
+				}
+			}
+			// Adoption precedes the probe so an injected fault at the
+			// rescue site cannot discard a rescue already computed.
+			cfg.Probe.Rescue(tag, w.Found, w.Est.Merit, w.Stats.CutsConsidered)
+		})
 	}
-	endMerit := int64(-1)
-	if res.Found {
-		endMerit = res.TotalMerit
+
+	if !res.Found && bs.Status != Exhaustive {
+		guardRung(cfg.Probe, tag, &bs, func() {
+			cut, est, cands, found := greedyRescue(g, cfg)
+			if found {
+				res.Found = true
+				res.Cuts = []dfg.Cut{cut}
+				res.Ests = []Estimate{est}
+				res.TotalMerit = est.Merit
+				bs.Rung = RungGreedy
+			}
+			// Adoption precedes the probe so an injected fault at the
+			// greedy site cannot discard a rescue already computed.
+			cfg.Probe.Greedy(tag, found, est.Merit, int64(cands))
+		})
 	}
-	cfg.Probe.SearchEnd(tag, int64(res.Status), endMerit, res.Stats.CutsConsidered)
+
+	guardRung(cfg.Probe, tag, &bs, func() {
+		endMerit := int64(-1)
+		if res.Found {
+			endMerit = res.TotalMerit
+		}
+		cfg.Probe.SearchEnd(tag, int64(bs.Status), endMerit, res.Stats.CutsConsidered)
+	})
 	return res, bs
+}
+
+// cutsLegal revalidates a multi-cut answer: every cut must be Legal.
+func cutsLegal(g *dfg.Graph, cuts []dfg.Cut, nin, nout int) bool {
+	if len(cuts) == 0 {
+		return false
+	}
+	for _, c := range cuts {
+		if len(c) == 0 {
+			continue
+		}
+		if !legalCut(g, c, nin, nout) {
+			return false
+		}
+	}
+	return true
 }

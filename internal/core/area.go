@@ -28,7 +28,8 @@ func SelectAreaConstrained(m *ir.Module, ninstr int, areaBudget float64, poolSiz
 // candidate pool is built with SelectIterativeCtx (deadline-aware,
 // panic-safe, windowed rescue), so the knapsack always has the best pool
 // the budget allowed; the per-block statuses of the pool run carry over.
-func SelectAreaConstrainedCtx(ctx context.Context, m *ir.Module, ninstr int, areaBudget float64, poolSize int, cfg Config) SelectionResult {
+func SelectAreaConstrainedCtx(ctx context.Context, m *ir.Module, ninstr int, areaBudget float64, poolSize int, cfg Config) (res SelectionResult) {
+	defer guardDriver(cfg.Probe, &res)
 	if poolSize <= 0 {
 		poolSize = 2 * ninstr
 	}
@@ -36,7 +37,7 @@ func SelectAreaConstrainedCtx(ctx context.Context, m *ir.Module, ninstr int, are
 		poolSize = ninstr
 	}
 	pool := SelectIterativeCtx(ctx, m, poolSize, cfg)
-	res := SelectionResult{Stats: pool.Stats, IdentCalls: pool.IdentCalls,
+	res = SelectionResult{Stats: pool.Stats, IdentCalls: pool.IdentCalls,
 		SpeculativeCalls: pool.SpeculativeCalls, CacheHits: pool.CacheHits,
 		Blocks: pool.Blocks, Status: pool.Status}
 	if areaBudget <= 0 || len(pool.Instructions) == 0 {

@@ -22,6 +22,9 @@ type MultiResult struct {
 	// Status reports how the search ended; anything but Exhaustive means
 	// the assignment is a best-so-far lower bound, not a proven optimum.
 	Status SearchStatus
+	// Err carries the first panic recovered inside the parallel engine;
+	// see Result.Err.
+	Err error
 }
 
 // FindBestCuts identifies up to m disjoint cuts in one graph that jointly
@@ -233,7 +236,7 @@ func (s *multiSearcher) observeStop() {
 // run of 0-branches or forbidden nodes cannot outlive a cancellation.
 func (s *multiSearcher) poll() {
 	if s.eng != nil {
-		if st := s.eng.pollSearch(&s.stats, &s.flushMark); st != Exhaustive {
+		if st := s.eng.pollSearch(s.wid, &s.stats, &s.flushMark); st != Exhaustive {
 			s.stop = st
 			s.observeStop()
 			return

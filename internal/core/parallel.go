@@ -35,6 +35,7 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"isex/internal/dfg"
 	"isex/internal/obs"
@@ -45,6 +46,19 @@ import (
 // sequentially. Small enough that work can always be balanced, large
 // enough that subproblems amortize their replay cost.
 const bbMinSeqRanks = 12
+
+// bbSubRetries is how many times a worker re-runs a subproblem whose
+// execution panicked (after rebuilding its searcher) before giving up
+// and noting Recovered. Replay is deterministic, so a retry that
+// succeeds yields exactly the answer the first attempt would have — a
+// transient fault (e.g. an injected one-shot panic) then costs nothing
+// but the retry, and the run can still end Exhaustive.
+const bbSubRetries = 2
+
+// bbRetryBackoff is the base sleep between subproblem retries, doubled
+// per attempt. Small: it only spaces out re-executions of a fault that
+// may be load-dependent.
+const bbRetryBackoff = 200 * time.Microsecond
 
 // bbSubHook, when non-nil, runs at the start of every subproblem
 // execution; tests use it to inject worker panics.
@@ -158,13 +172,22 @@ type bbEngine struct {
 	probe *obs.Probe
 	wobs  []*obs.SearchObs
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	deques  [][]bbSub
-	pending int // subproblems across all deques
-	active  int // workers currently executing a subproblem
-	stopped bool
-	status  SearchStatus
+	// progress[w] counts worker w's pollSearch calls; holding[w] marks w
+	// as executing a subproblem; aborted[w] tells w to re-split and
+	// abandon its current subproblem at its next poll. All three are the
+	// watchdog's view of the workers (see watch).
+	progress []atomic.Int64
+	holding  []atomic.Bool
+	aborted  []atomic.Bool
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	deques   [][]bbSub
+	pending  int // subproblems across all deques
+	active   int // workers currently executing a subproblem
+	stopped  bool
+	status   SearchStatus
+	firstErr error // first recovered worker panic (stack-annotated)
 }
 
 func newBBEngine(ctx context.Context, workers, nranks int, maxCuts int64, sharedOn bool) *bbEngine {
@@ -176,6 +199,9 @@ func newBBEngine(ctx context.Context, workers, nranks int, maxCuts int64, shared
 		sharedOn: sharedOn,
 		deques:   make([][]bbSub, workers),
 		wobs:     make([]*obs.SearchObs, workers),
+		progress: make([]atomic.Int64, workers),
+		holding:  make([]atomic.Bool, workers),
+		aborted:  make([]atomic.Bool, workers),
 	}
 	e.cond = sync.NewCond(&e.mu)
 	e.shared.Store(math.MinInt64)
@@ -196,14 +222,22 @@ func (e *bbEngine) publish(m int64) int64 {
 	}
 }
 
-// pollSearch is the engine side of searcher.poll: flush the caller's
-// cut-count delta into the global counter, then check the global budget
-// and the context. MaxCuts is therefore enforced at poll granularity —
-// the engine can overshoot by up to nworkers × ctxCheckInterval cuts.
-func (e *bbEngine) pollSearch(stats *Stats, flushMark *int64) SearchStatus {
+// pollSearch is the engine side of searcher.poll: bump the worker's
+// progress counter (the watchdog's liveness signal), flush the caller's
+// cut-count delta into the global counter, then check the watchdog
+// abort flag, the global budget and the context. MaxCuts is therefore
+// enforced at poll granularity — the engine can overshoot by up to
+// nworkers × ctxCheckInterval cuts.
+func (e *bbEngine) pollSearch(wid int, stats *Stats, flushMark *int64) SearchStatus {
+	if wid >= 0 && wid < len(e.progress) {
+		e.progress[wid].Add(1)
+	}
 	if d := stats.CutsConsidered - *flushMark; d > 0 {
 		e.cuts.Add(d)
 		*flushMark = stats.CutsConsidered
+	}
+	if wid >= 0 && wid < len(e.aborted) && e.aborted[wid].Load() {
+		return Stalled
 	}
 	if e.maxCuts > 0 && e.cuts.Load() >= e.maxCuts {
 		return BudgetStopped
@@ -240,6 +274,23 @@ func (e *bbEngine) donate(w int, prefix []uint8, seed int64, seeded bool) bool {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if e.stopped || e.pending >= e.nworkers {
+		return false
+	}
+	e.deques[w] = append(e.deques[w], bbSub{prefix: prefix, seed: seed, seeded: seeded})
+	e.pending++
+	e.updateNeed()
+	e.cond.Broadcast()
+	return true
+}
+
+// forceDonate requeues a subproblem unconditionally (unless the engine
+// stopped). Used by the stall path to hand a stalled worker's whole
+// subproblem back to the deques, so its unexplored work is picked up by
+// the other workers instead of lost.
+func (e *bbEngine) forceDonate(w int, prefix []uint8, seed int64, seeded bool) bool {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.stopped {
 		return false
 	}
 	e.deques[w] = append(e.deques[w], bbSub{prefix: prefix, seed: seed, seeded: seeded})
@@ -322,22 +373,58 @@ func (e *bbEngine) halt(st SearchStatus) {
 	e.mu.Unlock()
 }
 
-// note records a non-fatal worker outcome (a recovered subproblem panic)
-// without stopping the engine.
+// note records a non-fatal worker outcome (a recovered subproblem panic
+// or a watchdog stall) without stopping the engine.
 func (e *bbEngine) note(st SearchStatus) {
 	e.mu.Lock()
 	e.status = worse(e.status, st)
 	e.mu.Unlock()
 }
 
+// noteErr records the first recovered worker panic, surfaced through
+// Result.Err even when a retry then kept the status Exhaustive.
+func (e *bbEngine) noteErr(err error) {
+	if err == nil {
+		return
+	}
+	e.mu.Lock()
+	if e.firstErr == nil {
+		e.firstErr = err
+	}
+	e.mu.Unlock()
+}
+
+func (e *bbEngine) finalErr() error {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.firstErr
+}
+
+// countRetry bumps the worker-retry metric before a subproblem re-run.
+func (e *bbEngine) countRetry() {
+	e.probe.Count(func(m *obs.Metrics) *obs.Counter { return m.WorkerRetries })
+}
+
+// clearAbort re-arms worker w after it has honored a stall abort.
+func (e *bbEngine) clearAbort(w int) {
+	if w >= 0 && w < len(e.aborted) {
+		e.aborted[w].Store(false)
+	}
+}
+
 // workerAbort handles a panic that escaped the per-subproblem recovery
 // (an engine bug, not a search bug): fix the active count so the other
-// workers cannot deadlock, and stop — the lost subproblem makes every
-// further "exhaustive" claim wrong.
-func (e *bbEngine) workerAbort(holding bool) {
+// workers cannot deadlock, record the panic, and stop — the lost
+// subproblem makes every further "exhaustive" claim wrong.
+func (e *bbEngine) workerAbort(holding bool, r any) {
+	err := panicErr("engine-worker", r)
+	e.probe.Panic("engine-worker", panicMsg(r), 0)
 	e.mu.Lock()
 	if holding {
 		e.active--
+	}
+	if e.firstErr == nil {
+		e.firstErr = err
 	}
 	e.status = worse(e.status, Recovered)
 	e.stopped = true
@@ -350,6 +437,58 @@ func (e *bbEngine) finalStatus() SearchStatus {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.status
+}
+
+// watch is the engine watchdog: every window it samples each worker's
+// poll-progress counter, and a worker that is executing a subproblem yet
+// shows no progress for two consecutive windows is declared stalled —
+// its abort flag is raised so that, at its next poll, it requeues its
+// whole subproblem (forceDonate) for the other workers and moves on,
+// and the run's status is noted Stalled (conservative: the requeue
+// loses no work — duplicated exploration is absorbed by the idempotent
+// merge — but exhaustiveness is no longer claimed). The watchdog can
+// only intervene cooperatively: a goroutine that never polls again
+// cannot be killed in Go, so the run still waits for it — the watchdog
+// bounds the extra search work, not a non-cooperative goroutine.
+// Returns a stop function; no-op when window <= 0 (watchdog off).
+func (e *bbEngine) watch(window time.Duration) func() {
+	if window <= 0 {
+		return func() {}
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		t := time.NewTicker(window)
+		defer t.Stop()
+		last := make([]int64, e.nworkers)
+		stuck := make([]int, e.nworkers)
+		for {
+			select {
+			case <-stop:
+				return
+			case <-t.C:
+			}
+			for w := 0; w < e.nworkers; w++ {
+				cur := e.progress[w].Load()
+				if !e.holding[w].Load() || cur != last[w] {
+					last[w] = cur
+					stuck[w] = 0
+					continue
+				}
+				stuck[w]++
+				if stuck[w] >= 2 && !e.aborted[w].Load() {
+					e.aborted[w].Store(true)
+					e.note(Stalled)
+					e.probe.Stall(w, stuck[w])
+				}
+			}
+		}
+	}()
+	return func() {
+		close(stop)
+		<-done
+	}
 }
 
 // workerConfig strips the options the engine owns from the per-worker
@@ -380,6 +519,7 @@ type cpuPool struct {
 	mu     sync.Mutex
 	cond   *sync.Cond
 	free   int
+	slots  int // capacity, for leak accounting
 	closed bool
 }
 
@@ -387,7 +527,7 @@ func newCPUPool(slots int) *cpuPool {
 	if slots < 1 {
 		slots = 1
 	}
-	p := &cpuPool{free: slots}
+	p := &cpuPool{free: slots, slots: slots}
 	p.cond = sync.NewCond(&p.mu)
 	return p
 }
@@ -436,10 +576,25 @@ func (p *cpuPool) release(n int) {
 	p.mu.Unlock()
 }
 
-// close wakes every blocked acquire with 0 slots (used on abandon).
+// close wakes every blocked acquire with 0 slots (used on abandon). It
+// cannot assert full occupancy itself: close runs before the scheduler's
+// wg.Wait precisely so that blocked acquires unblock, while holders are
+// still releasing their tokens via defers — leak detection is leaked(),
+// checked after every holder has exited.
 func (p *cpuPool) close() {
 	p.mu.Lock()
 	p.closed = true
 	p.cond.Broadcast()
 	p.mu.Unlock()
+}
+
+// leaked returns the number of tokens still held. Only meaningful once
+// every acquirer has finished (after the scheduler's wg.Wait): a
+// positive value then means a release was lost — e.g. a panic path that
+// skipped its deferred release — and the pool would have throttled
+// forever in a long-lived service.
+func (p *cpuPool) leaked() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.slots - p.free
 }

@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"sync"
+	"time"
 
 	"isex/internal/dfg"
 )
@@ -57,6 +58,7 @@ func findBestCutsParallel(ctx context.Context, g *dfg.Graph, m int, cfg Config) 
 	outs := make([]bbBest, nw)
 	statsArr := make([]Stats, nw)
 	engineWorkers(cfg.Probe, nw)
+	stopWatch := e.watch(cfg.StallWindow)
 	var wg sync.WaitGroup
 	for w := 0; w < nw; w++ {
 		wg.Add(1)
@@ -68,13 +70,14 @@ func findBestCutsParallel(ctx context.Context, g *dfg.Graph, m int, cfg Config) 
 		}(w)
 	}
 	wg.Wait()
+	stopWatch()
 	engineWorkers(cfg.Probe, -nw)
 
 	best := base
 	for w := range outs {
 		best.better(outs[w])
 	}
-	res := MultiResult{Status: e.finalStatus()}
+	res := MultiResult{Status: e.finalStatus(), Err: e.finalErr()}
 	for w := range statsArr {
 		res.Stats.add(statsArr[w])
 	}
@@ -100,14 +103,27 @@ func (e *bbEngine) attachMulti(s *multiSearcher, wid int) {
 	s.donated = make([]bool, len(s.order))
 }
 
-// runMultiWorker is runSingleWorker for the multi-cut tree.
+// runMultiWorker is runSingleWorker for the multi-cut tree: same retry
+// loop with doubling backoff around panicked subproblems, same searcher
+// rebuild carrying the telemetry ring and counters across attempts.
 func (e *bbEngine) runMultiWorker(wid int, g *dfg.Graph, m int, cfg Config, out *bbBest, stats *Stats) {
 	holding := false
 	defer func() {
 		if r := recover(); r != nil {
-			e.workerAbort(holding)
+			e.workerAbort(holding, r)
 		}
 	}()
+	rebuild := func(s *multiSearcher) *multiSearcher {
+		ns := newMultiSearcher(g, m, cfg)
+		ns.obs = s.obs // keep the ring and its flush marks
+		ns.boundCuts = s.boundCuts
+		e.attachMulti(ns, wid)
+		ns.stats = s.stats
+		ns.tick = s.tick
+		ns.flushMark = s.flushMark
+		ns.sharedCache = s.sharedCache
+		return ns
+	}
 	s := newMultiSearcher(g, m, cfg)
 	e.attachMulti(s, wid)
 	for {
@@ -116,17 +132,20 @@ func (e *bbEngine) runMultiWorker(wid int, g *dfg.Graph, m int, cfg Config, out 
 			break
 		}
 		holding = true
-		if !e.runOneMulti(s, sub, expand, out) {
-			ns := newMultiSearcher(g, m, cfg)
-			ns.obs = s.obs // keep the ring and its flush marks
-			ns.boundCuts = s.boundCuts
-			e.attachMulti(ns, wid)
-			ns.stats = s.stats
-			ns.tick = s.tick
-			ns.flushMark = s.flushMark
-			ns.sharedCache = s.sharedCache
-			s = ns
+		e.holding[wid].Store(true)
+		for attempt := 0; ; attempt++ {
+			if e.runOneMulti(s, sub, expand, out, attempt) {
+				break
+			}
+			s = rebuild(s)
+			if attempt >= bbSubRetries {
+				e.note(Recovered)
+				break
+			}
+			e.countRetry()
+			time.Sleep(bbRetryBackoff << attempt)
 		}
+		e.holding[wid].Store(false)
 		e.release()
 		holding = false
 	}
@@ -134,11 +153,13 @@ func (e *bbEngine) runMultiWorker(wid int, g *dfg.Graph, m int, cfg Config, out 
 	*stats = s.stats
 }
 
-// runOneMulti executes one subproblem, mirroring runOneSingle.
-func (e *bbEngine) runOneMulti(s *multiSearcher, sub bbSub, expand bool, out *bbBest) (ok bool) {
+// runOneMulti executes one subproblem, mirroring runOneSingle (panic
+// containment with retry by the caller; watchdog stall requeue).
+func (e *bbEngine) runOneMulti(s *multiSearcher, sub bbSub, expand bool, out *bbBest, attempt int) (ok bool) {
 	defer func() {
 		if r := recover(); r != nil {
-			e.note(Recovered)
+			e.noteErr(panicErr("engine-sub", r))
+			e.probe.Panic("engine-sub", panicMsg(r), attempt)
 			ok = false
 		}
 	}()
@@ -170,7 +191,12 @@ func (e *bbEngine) runOneMulti(s *multiSearcher, sub bbSub, expand bool, out *bb
 			out.better(bbBest{found: true, merit: s.bestMerit, cuts: s.bestCuts, key: sub.prefix})
 		}
 	}
-	if s.stop != Exhaustive {
+	if s.stop == Stalled {
+		// Watchdog abort: requeue the whole subproblem (see runOneSingle;
+		// the local best was merged above and seeds the requeue).
+		e.forceDonate(s.wid, sub.prefix, s.bestMerit, s.bestFound)
+		e.clearAbort(s.wid)
+	} else if s.stop != Exhaustive {
 		e.halt(s.stop)
 	}
 	s.unreplay()

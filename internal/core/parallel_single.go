@@ -5,6 +5,7 @@ import (
 	"runtime/pprof"
 	"strconv"
 	"sync"
+	"time"
 
 	"isex/internal/dfg"
 	"isex/internal/obs"
@@ -74,6 +75,7 @@ func findBestCutParallel(ctx context.Context, g *dfg.Graph, cfg Config) Result {
 	outs := make([]bbBest, nw)
 	statsArr := make([]Stats, nw)
 	engineWorkers(cfg.Probe, nw)
+	stopWatch := e.watch(cfg.StallWindow)
 	var wg sync.WaitGroup
 	for w := 0; w < nw; w++ {
 		wg.Add(1)
@@ -85,13 +87,14 @@ func findBestCutParallel(ctx context.Context, g *dfg.Graph, cfg Config) Result {
 		}(w)
 	}
 	wg.Wait()
+	stopWatch()
 	engineWorkers(cfg.Probe, -nw)
 
 	best := base
 	for w := range outs {
 		best.better(outs[w])
 	}
-	res := Result{Status: e.finalStatus()}
+	res := Result{Status: e.finalStatus(), Err: e.finalErr()}
 	for w := range statsArr {
 		res.Stats.add(statsArr[w])
 	}
@@ -184,14 +187,28 @@ func (e *bbEngine) attachSingle(s *searcher, wid int) {
 // runSingleWorker is one worker's life: pop (or steal) subproblems until
 // the engine stops or the work is exhausted. The searcher clone persists
 // across subproblems — replay/unreplay keep it clean — and is rebuilt
-// (carrying its counters) if a recovered panic left it unreliable.
+// (carrying its counters) if a recovered panic left it unreliable; a
+// panicked subproblem is retried up to bbSubRetries times with doubling
+// backoff before its loss is accepted as Recovered (replay makes the
+// retry produce exactly what the first attempt would have).
 func (e *bbEngine) runSingleWorker(wid int, g *dfg.Graph, cfg Config, out *bbBest, stats *Stats) {
 	holding := false
 	defer func() {
 		if r := recover(); r != nil {
-			e.workerAbort(holding)
+			e.workerAbort(holding, r)
 		}
 	}()
+	rebuild := func(s *searcher) *searcher {
+		ns := newSearcher(g, cfg)
+		ns.obs = s.obs // keep the ring and its flush marks
+		ns.boundCuts = s.boundCuts
+		e.attachSingle(ns, wid)
+		ns.stats = s.stats
+		ns.tick = s.tick
+		ns.flushMark = s.flushMark
+		ns.sharedCache = s.sharedCache
+		return ns
+	}
 	s := newSearcher(g, cfg)
 	e.attachSingle(s, wid)
 	for {
@@ -200,17 +217,20 @@ func (e *bbEngine) runSingleWorker(wid int, g *dfg.Graph, cfg Config, out *bbBes
 			break
 		}
 		holding = true
-		if !e.runOneSingle(s, sub, expand, out) {
-			ns := newSearcher(g, cfg)
-			ns.obs = s.obs // keep the ring and its flush marks
-			ns.boundCuts = s.boundCuts
-			e.attachSingle(ns, wid)
-			ns.stats = s.stats
-			ns.tick = s.tick
-			ns.flushMark = s.flushMark
-			ns.sharedCache = s.sharedCache
-			s = ns
+		e.holding[wid].Store(true)
+		for attempt := 0; ; attempt++ {
+			if e.runOneSingle(s, sub, expand, out, attempt) {
+				break
+			}
+			s = rebuild(s)
+			if attempt >= bbSubRetries {
+				e.note(Recovered)
+				break
+			}
+			e.countRetry()
+			time.Sleep(bbRetryBackoff << attempt)
 		}
+		e.holding[wid].Store(false)
 		e.release()
 		holding = false
 	}
@@ -219,12 +239,16 @@ func (e *bbEngine) runSingleWorker(wid int, g *dfg.Graph, cfg Config, out *bbBes
 }
 
 // runOneSingle executes one subproblem on worker searcher s. A panic is
-// contained to the subproblem: its subtree is lost, the engine notes
-// Recovered, and the caller rebuilds the searcher (ok=false).
-func (e *bbEngine) runOneSingle(s *searcher, sub bbSub, expand bool, out *bbBest) (ok bool) {
+// contained to the subproblem (ok=false): the panic is recorded, the
+// caller rebuilds the searcher and retries; only when the retries are
+// exhausted does the caller note Recovered. A watchdog stall abort
+// (stop == Stalled) requeues the whole subproblem for the other workers
+// instead of halting the engine.
+func (e *bbEngine) runOneSingle(s *searcher, sub bbSub, expand bool, out *bbBest, attempt int) (ok bool) {
 	defer func() {
 		if r := recover(); r != nil {
-			e.note(Recovered)
+			e.noteErr(panicErr("engine-sub", r))
+			e.probe.Panic("engine-sub", panicMsg(r), attempt)
 			ok = false
 		}
 	}()
@@ -255,7 +279,17 @@ func (e *bbEngine) runOneSingle(s *searcher, sub bbSub, expand bool, out *bbBest
 			out.better(bbBest{found: true, merit: s.bestMerit, cut: s.bestCut, key: sub.prefix})
 		}
 	}
-	if s.stop != Exhaustive {
+	if s.stop == Stalled {
+		// Watchdog abort: requeue the whole subproblem for the other
+		// workers instead of halting. The already-searched part is
+		// re-explored, which the idempotent result merge makes sound
+		// (the local best found so far was merged above and travels as
+		// the requeue's recording seed, so no solution is lost and no
+		// worse one can displace it); Stalled was already noted by the
+		// watchdog, so the final status stays honest.
+		e.forceDonate(s.wid, sub.prefix, s.bestMerit, s.bestFound)
+		e.clearAbort(s.wid)
+	} else if s.stop != Exhaustive {
 		e.halt(s.stop)
 	}
 	s.unreplay()

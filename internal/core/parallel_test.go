@@ -4,6 +4,7 @@ import (
 	"context"
 	"math/rand"
 	"runtime"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -201,11 +202,17 @@ func TestParallelBudget(t *testing.T) {
 }
 
 // TestParallelPanicRecovered: a panicking subproblem poisons neither the
-// engine nor the process — the run completes with Status Recovered and
-// no leaked worker goroutines.
+// engine nor the process. A transient (one-shot) panic is absorbed by
+// the retry loop — the run still completes Exhaustive, bit-identical to
+// the serial search, with the survived panic surfaced in Result.Err. A
+// persistent panic exhausts the retries and degrades the status to
+// Recovered. Neither leaks worker goroutines.
 func TestParallelPanicRecovered(t *testing.T) {
 	rng := rand.New(rand.NewSource(407))
 	g := randomGraph(t, rng, 20)
+	ref := FindBestCut(g, Config{Nin: 3, Nout: 2})
+
+	// Transient: fires once, the retry re-runs the subproblem cleanly.
 	var fired atomic.Bool
 	bbSubHook = func(prefix []uint8) {
 		if len(prefix) > 0 && fired.CompareAndSwap(false, true) {
@@ -215,12 +222,41 @@ func TestParallelPanicRecovered(t *testing.T) {
 	defer func() { bbSubHook = nil }()
 	before := runtime.NumGoroutine()
 	res := FindBestCut(g, Config{Nin: 3, Nout: 2, Workers: 4})
-	if res.Status != Recovered {
-		t.Fatalf("status %v, want Recovered", res.Status)
+	if res.Status != Exhaustive {
+		t.Fatalf("transient panic: status %v, want Exhaustive (the retry replays the subproblem)", res.Status)
+	}
+	if res.Err == nil || !strings.Contains(res.Err.Error(), "injected subproblem panic") {
+		t.Errorf("transient panic not surfaced in Result.Err: %v", res.Err)
+	}
+	if res.Found != ref.Found || (res.Found && res.Est.Merit != ref.Est.Merit) {
+		t.Errorf("retried run diverged from serial: found=%v merit=%d, want found=%v merit=%d",
+			res.Found, res.Est.Merit, ref.Found, ref.Est.Merit)
 	}
 	if res.Found && !g.Legal(res.Cut, 3, 2) {
 		t.Errorf("illegal cut: %v", res.Cut)
 	}
+
+	// Persistent: every attempt on the poisoned subtree dies, so the
+	// retries are exhausted and its loss degrades the run to Recovered.
+	bbSubHook = func(prefix []uint8) {
+		if len(prefix) > 0 && prefix[0] == 1 {
+			panic("persistent subproblem panic")
+		}
+	}
+	pres := FindBestCut(g, Config{Nin: 3, Nout: 2, Workers: 4})
+	if pres.Status != Recovered {
+		t.Fatalf("persistent panic: status %v, want Recovered", pres.Status)
+	}
+	if pres.Err == nil {
+		t.Error("persistent panic: Result.Err not set")
+	}
+	if pres.Found && !g.Legal(pres.Cut, 3, 2) {
+		t.Errorf("persistent panic: illegal cut %v", pres.Cut)
+	}
+	if pres.Found && ref.Found && pres.Est.Merit > ref.Est.Merit {
+		t.Errorf("persistent panic: merit %d exceeds serial optimum %d", pres.Est.Merit, ref.Est.Merit)
+	}
+
 	for i := 0; i < 100 && runtime.NumGoroutine() > before; i++ {
 		time.Sleep(time.Millisecond)
 	}

@@ -8,6 +8,7 @@ import (
 
 	"isex/internal/dfg"
 	"isex/internal/ir"
+	"isex/internal/obs"
 )
 
 // This file is the selection-level scheduler behind Config.Speculate: the
@@ -85,11 +86,13 @@ type selScheduler struct {
 	cancel context.CancelFunc
 	pool   *cpuPool
 	budget int
+	probe  *obs.Probe
 
 	mu           sync.Mutex
 	tasks        map[schedKey]*selTask
 	specLaunches int
 	wg           sync.WaitGroup
+	leakCheck    sync.Once
 }
 
 func newSelScheduler(parent context.Context, cfg Config) *selScheduler {
@@ -103,17 +106,63 @@ func newSelScheduler(parent context.Context, cfg Config) *selScheduler {
 		cancel: cancel,
 		pool:   newCPUPool(budget),
 		budget: budget,
+		probe:  cfg.Probe,
 		tasks:  make(map[schedKey]*selTask),
 	}
 }
 
 // shutdown aborts every task still in flight (only unconsumed
-// speculations by the time the drivers call it) and waits them out.
-// Idempotent.
+// speculations by the time the drivers call it) and waits them out,
+// then audits the CPU pool: every token must have come back once no
+// acquirer is left — a shortfall means some task lost its release (a
+// leak that would throttle a long-lived service forever), which is
+// reported through the metrics registry and a trace event. Idempotent.
 func (sc *selScheduler) shutdown() {
 	sc.cancel()
 	sc.pool.close()
 	sc.wg.Wait()
+	sc.leakCheck.Do(func() {
+		if n := sc.pool.leaked(); n > 0 {
+			if sc.probe != nil && sc.probe.Met != nil {
+				sc.probe.Met.PoolLeaks.Add(int64(n))
+			}
+			sc.probe.Sys(obs.KStall, "cpupool-leak", int64(n), int64(sc.budget), 0)
+		}
+	})
+}
+
+// guardTask is the last-resort recover for a scheduler task goroutine:
+// a panic that escapes the block search's own recovery — or fires
+// before the search starts, e.g. in a speculative collapse — is
+// converted into an honest Recovered block status (with the panic and
+// a stack excerpt in Err) instead of crashing the process. The pool
+// token and the task's done channel are handled by the goroutine's own
+// defers, which still run.
+func guardTask(p *obs.Probe, fn, block string, bs *BlockStatus) {
+	if r := recover(); r != nil {
+		p.Panic("sched-task/"+fn+"/"+block, panicMsg(r), 0)
+		if bs.Fn == "" {
+			bs.Fn, bs.Block = fn, block
+		}
+		mergeBlockStatus(bs, BlockStatus{Status: Recovered, Err: panicErr("sched-task", r)})
+	}
+}
+
+// fireSpecLaunch fires a SpecLaunch probe site with the speculative
+// pool token already held but before any other scheduler state exists.
+// If the probe panics (fault injection), the token is returned before
+// the panic resumes toward the driver guard — so the WaitGroup is never
+// left incremented without a goroutine to decrement it (shutdown would
+// deadlock) and the task table never holds an entry whose done channel
+// cannot close (a later demand lookup would block forever).
+func (sc *selScheduler) fireSpecLaunch(fire func()) {
+	defer func() {
+		if r := recover(); r != nil {
+			sc.pool.release(1)
+			panic(r)
+		}
+	}()
+	fire()
 }
 
 // speculativeCalls returns the number of speculative launches so far.
@@ -154,6 +203,7 @@ func (sc *selScheduler) demandMulti(g *dfg.Graph, fp uint64, m int, cfg Config, 
 	go func() {
 		defer sc.wg.Done()
 		defer close(t.done)
+		defer guardTask(cfg.Probe, g.Fn.Name, g.Block.Name, &t.bs)
 		tokens := sc.pool.acquire(want)
 		if tokens == 0 { // pool closed: scheduler shut down
 			t.mres = MultiResult{Status: Canceled, Stats: Stats{Aborted: true}}
@@ -181,16 +231,19 @@ func (sc *selScheduler) specMulti(g *dfg.Graph, fp uint64, m int, cfg Config) bo
 		sc.mu.Unlock()
 		return false
 	}
+	sc.mu.Unlock()
+	sc.fireSpecLaunch(func() { cfg.Probe.SpecLaunch(g.Fn.Name+"/"+g.Block.Name, m, false) })
 	tctx, tcancel := context.WithCancel(sc.ctx)
 	t := &selTask{done: make(chan struct{}), spec: true, g: g, cancel: tcancel}
+	sc.mu.Lock()
 	sc.tasks[key] = t
 	sc.specLaunches++
 	sc.wg.Add(1)
 	sc.mu.Unlock()
-	cfg.Probe.SpecLaunch(g.Fn.Name+"/"+g.Block.Name, m, false)
 	go func() {
 		defer sc.wg.Done()
 		defer close(t.done)
+		defer guardTask(cfg.Probe, g.Fn.Name, g.Block.Name, &t.bs)
 		defer sc.pool.release(1)
 		t.mres, t.bs = searchBlockMultiSafe(tctx, g, m, sc.taskConfig(cfg, 1))
 	}()
@@ -212,6 +265,7 @@ func (sc *selScheduler) demandSingle(g *dfg.Graph, fp uint64, cfg Config, want i
 	go func() {
 		defer sc.wg.Done()
 		defer close(t.done)
+		defer guardTask(cfg.Probe, g.Fn.Name, g.Block.Name, &t.bs)
 		tokens := sc.pool.acquire(want)
 		if tokens == 0 {
 			t.res = Result{Status: Canceled, Stats: Stats{Aborted: true}}
@@ -235,16 +289,17 @@ func (sc *selScheduler) specCollapseSearch(g *dfg.Graph, cut dfg.Cut, name strin
 	if !sc.pool.tryAcquireSpec() {
 		return nil
 	}
+	sc.fireSpecLaunch(func() { cfg.Probe.SpecLaunch(g.Fn.Name+"/"+g.Block.Name, 0, true) })
 	tctx, tcancel := context.WithCancel(sc.ctx)
 	t := &selTask{done: make(chan struct{}), spec: true, cancel: tcancel}
 	sc.mu.Lock()
 	sc.specLaunches++
 	sc.wg.Add(1)
 	sc.mu.Unlock()
-	cfg.Probe.SpecLaunch(g.Fn.Name+"/"+g.Block.Name, 0, true)
 	go func() {
 		defer sc.wg.Done()
 		defer close(t.done)
+		defer guardTask(cfg.Probe, g.Fn.Name, g.Block.Name, &t.bs)
 		defer sc.pool.release(1)
 		ng, err := g.CollapseIncr(cut, name, hwCycles)
 		if err != nil {

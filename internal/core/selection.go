@@ -44,6 +44,11 @@ type SelectionResult struct {
 	// ran to completion and the result is exact under the configured
 	// algorithm; anything else means the result is a sound lower bound.
 	Status SearchStatus
+	// FirstPanic is the first recovered panic across the per-block
+	// searches (message plus a truncated stack excerpt), in the sorted
+	// block order; empty when nothing panicked. The selection survives
+	// recovered panics — this surfaces what was survived.
+	FirstPanic string
 }
 
 // Degraded reports whether any per-block search ended early (budget,
@@ -63,6 +68,9 @@ func (r *SelectionResult) finalize() {
 	r.Status = Exhaustive
 	for _, b := range r.Blocks {
 		r.Status = worse(r.Status, b.Status)
+		if r.FirstPanic == "" && b.Err != nil {
+			r.FirstPanic = b.Err.Error()
+		}
 	}
 }
 
@@ -127,12 +135,13 @@ func SelectOptimal(m *ir.Module, ninstr int, cfg Config) SelectionResult {
 // §9 windowed heuristic, per-block workers are panic-safe, and the best
 // selection assembled so far is always returned (see SelectionResult's
 // Blocks/Status for how trustworthy each block's answer is).
-func SelectOptimalCtx(ctx context.Context, m *ir.Module, ninstr int, cfg Config) SelectionResult {
+func SelectOptimalCtx(ctx context.Context, m *ir.Module, ninstr int, cfg Config) (res SelectionResult) {
+	defer guardDriver(cfg.Probe, &res)
 	if cfg.Speculate {
 		return selectOptimalScheduled(ctx, m, ninstr, cfg)
 	}
 	bgs, failed := allBlockGraphs(m)
-	res := SelectionResult{Blocks: failed}
+	res = SelectionResult{Blocks: failed}
 	if ninstr < 1 || len(bgs) == 0 {
 		res.finalize()
 		return res
@@ -262,12 +271,13 @@ func SelectIterative(m *ir.Module, ninstr int, cfg Config) SelectionResult {
 // better sound answer), and every block worker — parallel or serial — is
 // panic-safe: a panicking block is reported as Recovered and the other
 // blocks' selections survive.
-func SelectIterativeCtx(ctx context.Context, m *ir.Module, ninstr int, cfg Config) SelectionResult {
+func SelectIterativeCtx(ctx context.Context, m *ir.Module, ninstr int, cfg Config) (res SelectionResult) {
+	defer guardDriver(cfg.Probe, &res)
 	if cfg.Speculate {
 		return selectIterativeScheduled(ctx, m, ninstr, cfg)
 	}
 	bgs, failed := allBlockGraphs(m)
-	res := SelectionResult{Blocks: failed}
+	res = SelectionResult{Blocks: failed}
 	if ninstr < 1 || len(bgs) == 0 {
 		res.finalize()
 		return res

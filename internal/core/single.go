@@ -3,6 +3,7 @@ package core
 import (
 	"context"
 	"math"
+	"time"
 
 	"isex/internal/dfg"
 	"isex/internal/latency"
@@ -76,6 +77,19 @@ type Config struct {
 	// engine warm-starts whenever PruneMerit is set, with or without this
 	// flag; the serial search only when it is set.
 	WarmStart bool
+	// StallWindow, when positive and Workers > 0, arms the engine
+	// watchdog: a worker that shows no poll progress for two consecutive
+	// windows while executing a subproblem is told to abandon it at its
+	// next poll — the subproblem is requeued whole for the other workers
+	// and the run's status is degraded to Stalled (the requeue loses no
+	// work, but exhaustiveness is no longer claimed). The watchdog is
+	// cooperative: it cannot interrupt a goroutine that never polls, and
+	// it cannot distinguish a wedged worker from one an overloaded
+	// machine descheduled — size the window generously (hundreds of
+	// milliseconds at least). 0 (the default) disables it, preserving
+	// the engine's bit-identical guarantee; serial searches
+	// (Workers == 0) ignore it entirely.
+	StallWindow time.Duration
 	// Speculate routes SelectOptimalCtx / SelectIterativeCtx (and, through
 	// the latter, SelectAreaConstrainedCtx) through the selection-level
 	// scheduler (see scheduler.go): idle workers speculatively re-identify
@@ -172,6 +186,10 @@ type Result struct {
 	// Status reports how the search ended; anything but Exhaustive means
 	// the result is a best-so-far lower bound, not a proven optimum.
 	Status SearchStatus
+	// Err carries the first panic recovered inside the parallel engine
+	// (message plus truncated stack), even when a retry then finished the
+	// subproblem and Status stayed Exhaustive. Nil on serial searches.
+	Err error
 
 	// prev* expose the runner-up incumbent — the cut the winner displaced
 	// last (serial) or the best losing merge candidate (parallel). It is a
@@ -416,7 +434,7 @@ func (s *searcher) observeStop() {
 // outlive a cancellation (the old poll fired only on 1-branches).
 func (s *searcher) poll() {
 	if s.eng != nil {
-		if st := s.eng.pollSearch(&s.stats, &s.flushMark); st != Exhaustive {
+		if st := s.eng.pollSearch(s.wid, &s.stats, &s.flushMark); st != Exhaustive {
 			s.stop = st
 			s.observeStop()
 			return

@@ -1,0 +1,89 @@
+package faultinject
+
+import (
+	"context"
+	"sync"
+	"time"
+)
+
+// fuseCtx is a context.Context whose Done/Err can be tripped on demand
+// by the injector with a chosen error (context.Canceled or
+// context.DeadlineExceeded), letting ActCancel and ActDeadline rules
+// exercise the anytime layer's statusOfCtx paths exactly as a real
+// cancellation or deadline would. It also follows its parent: if the
+// parent is done first, the fuse adopts the parent's error.
+type fuseCtx struct {
+	parent context.Context
+
+	mu   sync.Mutex
+	err  error
+	done chan struct{}
+	stop chan struct{} // closes the parent-watcher goroutine
+}
+
+// Context returns a child of parent that every ActCancel/ActDeadline
+// rule of the injector will trip when it fires. The CancelFunc releases
+// the watcher goroutine and (if the fuse is still live) cancels it with
+// context.Canceled; callers must call it, as with context.WithCancel.
+func (in *Injector) Context(parent context.Context) (context.Context, context.CancelFunc) {
+	f := &fuseCtx{
+		parent: parent,
+		done:   make(chan struct{}),
+		stop:   make(chan struct{}),
+	}
+	go func() {
+		select {
+		case <-parent.Done():
+			f.trip(parent.Err())
+		case <-f.done:
+		case <-f.stop:
+		}
+	}()
+	in.mu.Lock()
+	in.fuses = append(in.fuses, f)
+	in.mu.Unlock()
+	var once sync.Once
+	cancel := func() {
+		once.Do(func() { close(f.stop) })
+		f.trip(context.Canceled)
+	}
+	return f, cancel
+}
+
+// trip fires every live fuse with err.
+func (in *Injector) trip(err error) {
+	in.mu.Lock()
+	fuses := append([]*fuseCtx(nil), in.fuses...)
+	in.mu.Unlock()
+	for _, f := range fuses {
+		f.trip(err)
+	}
+}
+
+func (f *fuseCtx) trip(err error) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.err != nil {
+		return
+	}
+	if err == nil {
+		err = context.Canceled
+	}
+	f.err = err
+	close(f.done)
+}
+
+func (f *fuseCtx) Done() <-chan struct{} { return f.done }
+
+func (f *fuseCtx) Err() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.err != nil {
+		return f.err
+	}
+	return f.parent.Err()
+}
+
+func (f *fuseCtx) Deadline() (time.Time, bool) { return f.parent.Deadline() }
+
+func (f *fuseCtx) Value(key any) any { return f.parent.Value(key) }

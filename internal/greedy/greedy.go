@@ -1,0 +1,142 @@
+// Package greedy holds the graph-level greedy identification algorithms
+// shared by internal/baseline (the §8 comparison harness) and
+// internal/core (the last rung of the degradation ladder in
+// anytime.go). It depends only on internal/dfg: baseline wraps these
+// with core's merit model for selection, and core cannot import
+// baseline back (baseline imports core), so the algorithms live here.
+//
+//   - MaxMISO (Alippi, Fornaciari, Pozzi, Sami — DATE 1999, ref. 13): a
+//     linear-time decomposition of the dataflow graph into maximal
+//     single-output, unbounded-input subgraphs.
+//   - Clubbing (Baleani et al. — CODES 2002, ref. 16): a greedy
+//     linear-time clustering that grows "clubs" under explicit input
+//     and output count limits.
+//
+// Both are deterministic (stable scan orders, canonical cuts) and run
+// in time linear in the graph, which is what qualifies them as an
+// always-terminating fallback.
+package greedy
+
+import (
+	"sort"
+
+	"isex/internal/dfg"
+)
+
+// Clubbing greedily clusters the operations of a graph into "clubs" under
+// explicit n-input / m-output limits, following the linear-complexity
+// scheme of Baleani et al. (ref. 16): instructions are scanned in program
+// order and each is merged into the club of one of its producers whenever
+// the merged club still satisfies the port limits and stays convex;
+// otherwise it opens a club of its own. Forbidden nodes never join clubs.
+func Clubbing(g *dfg.Graph, nin, nout int) []dfg.Cut {
+	// club[id] = representative (first) node of the club, -1 for none.
+	club := make([]int, len(g.Nodes))
+	for i := range club {
+		club[i] = -1
+	}
+	members := map[int]dfg.Cut{}
+	// Scan in program order: reverse of the search order.
+	ids := append([]int(nil), g.OpOrder...)
+	sort.Slice(ids, func(i, j int) bool {
+		return g.Nodes[ids[i]].InstrIndex < g.Nodes[ids[j]].InstrIndex
+	})
+	// One membership bitset, refilled per merge trial; the merged slice is
+	// materialized only when a trial succeeds.
+	trial := g.NewSet()
+	for _, id := range ids {
+		n := &g.Nodes[id]
+		if n.Forbidden {
+			continue
+		}
+		club[id] = id
+		members[id] = dfg.Cut{id}
+		// Try merging into each producer's club, in order; keep the first
+		// merge that stays legal.
+		for _, p := range n.Preds {
+			pn := &g.Nodes[p]
+			if pn.Kind != dfg.KindOp || pn.Forbidden || club[p] < 0 || club[p] == id {
+				continue
+			}
+			rep := club[p]
+			trial = g.SetOf(members[rep], trial)
+			trial.Set(id)
+			if g.InputsSet(trial) <= nin && g.OutputsSet(trial) <= nout && g.ConvexSet(trial) {
+				delete(members, id)
+				club[id] = rep
+				members[rep] = append(members[rep], id)
+				break
+			}
+		}
+	}
+	var out []dfg.Cut
+	var reps []int
+	for rep := range members {
+		reps = append(reps, rep)
+	}
+	sort.Ints(reps)
+	for _, rep := range reps {
+		out = append(out, members[rep].Canon())
+	}
+	return out
+}
+
+// MaxMISODecompose partitions the non-forbidden operation nodes of g into
+// maximal single-output subgraphs (MISOs). A node belongs to the MISO of
+// its consumers iff all of its data consumers are operation nodes inside
+// that same MISO; nodes with external uses, multiple distinct consumer
+// MISOs, or forbidden consumers root their own MISO.
+func MaxMISODecompose(g *dfg.Graph) []dfg.Cut {
+	// Process nodes in search order (consumers before producers): by the
+	// time a node is seen, every consumer already has a MISO assignment.
+	miso := make([]int, len(g.Nodes)) // node -> MISO id (by root node id), -1 none
+	for i := range miso {
+		miso[i] = -1
+	}
+	var roots []int
+	for _, id := range g.OpOrder {
+		n := &g.Nodes[id]
+		if n.Forbidden {
+			continue
+		}
+		// Determine the unique consumer MISO, if any.
+		target := -2 // -2 unset, -1 external/conflict
+		for _, s := range n.Succs {
+			sn := &g.Nodes[s]
+			var t int
+			switch {
+			case sn.Kind != dfg.KindOp || sn.Forbidden:
+				t = -1 // value escapes to V+ or into a barrier
+			default:
+				t = miso[s]
+			}
+			if target == -2 {
+				target = t
+			} else if target != t {
+				target = -1
+			}
+		}
+		if len(n.OrderSuccs) > 0 {
+			target = -1 // defensive: pure nodes have none
+		}
+		if target >= 0 {
+			miso[id] = target
+			continue
+		}
+		// Root a new MISO (also for sink nodes with no consumers at all).
+		miso[id] = id
+		roots = append(roots, id)
+	}
+	cuts := map[int]dfg.Cut{}
+	for id, m := range miso {
+		if m >= 0 {
+			cuts[m] = append(cuts[m], id)
+		}
+	}
+	out := make([]dfg.Cut, 0, len(roots))
+	for _, r := range roots {
+		out = append(out, cuts[r].Canon())
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}

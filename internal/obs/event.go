@@ -71,8 +71,19 @@ const (
 	// KWarmSeed records a warm-start pass seeding the incumbent with
 	// merit A before the exact search starts.
 	KWarmSeed
+	// KPanic records a recovered panic. Tag is "fn/block: message"
+	// (truncated); A is the retry attempt that recovered it (0 for the
+	// block-level guard).
+	KPanic
+	// KGreedy records a greedy last-resort rescue attempt (the bottom
+	// rung of the degradation ladder). Tag is "fn/block", A is 1 when
+	// the rung produced a cut, B its merit, C the candidate count.
+	KGreedy
+	// KStall records the engine watchdog declaring worker A stalled
+	// after B poll-window samples without progress.
+	KStall
 
-	kindCount = int(KWarmSeed) + 1
+	kindCount = int(KStall) + 1
 )
 
 var kindNames = [kindCount]string{
@@ -91,6 +102,9 @@ var kindNames = [kindCount]string{
 	KRescue:      "rescue",
 	KCollapse:    "collapse",
 	KWarmSeed:    "warm_seed",
+	KPanic:       "panic",
+	KGreedy:      "greedy_rescue",
+	KStall:       "stall",
 }
 
 // String returns the stable wire name of the kind ("incumbent", "steal",

@@ -22,12 +22,19 @@ type Metrics struct {
 	Rescues       *Counter
 	RescueHits    *Counter
 
+	// Degradation-ladder and fault-recovery counters.
+	PanicsRecovered *Counter
+	GreedyRescues   *Counter
+	GreedyHits      *Counter
+
 	// Work-stealing engine counters.
 	Steals        *Counter
 	StolenSubs    *Counter
 	Donations     *Counter
 	Resplits      *Counter
 	WarmSeedHits  *Counter
+	WorkerRetries *Counter
+	Stalls        *Counter
 	WorkersActive *Gauge
 	DequeDepth    *Histogram
 
@@ -37,35 +44,42 @@ type Metrics struct {
 	SpecDiscards *Counter
 	CacheHits    *Counter
 	Collapses    *Counter
+	PoolLeaks    *Counter
 }
 
 // NewMetrics resolves the well-known instrument set in reg.
 func NewMetrics(reg *Registry) *Metrics {
 	return &Metrics{
-		reg:            reg,
-		CutsConsidered: reg.Counter("search_cuts_considered_total"),
-		CutsPassed:     reg.Counter("search_cuts_passed_total"),
-		CutsPruned:     reg.Counter("search_cuts_pruned_total"),
-		BoundCutoffs:   reg.Counter("search_bound_cutoffs_total"),
-		Incumbents:     reg.Counter("search_incumbents_total"),
-		Searches:       reg.Counter("search_block_searches_total"),
-		DeadlineTrips:  reg.Counter("search_deadline_trips_total"),
-		BudgetTrips:    reg.Counter("search_budget_trips_total"),
-		CancelTrips:    reg.Counter("search_cancel_trips_total"),
-		Rescues:        reg.Counter("search_rescues_total"),
-		RescueHits:     reg.Counter("search_rescue_hits_total"),
-		Steals:         reg.Counter("engine_steals_total"),
-		StolenSubs:     reg.Counter("engine_stolen_subproblems_total"),
-		Donations:      reg.Counter("engine_donations_total"),
-		Resplits:       reg.Counter("engine_resplits_total"),
-		WarmSeedHits:   reg.Counter("engine_warm_seed_hits_total"),
-		WorkersActive:  reg.Gauge("engine_workers_active"),
-		DequeDepth:     reg.Histogram("engine_deque_depth"),
-		SpecLaunches:   reg.Counter("sched_spec_launches_total"),
-		SpecAdopts:     reg.Counter("sched_spec_adopts_total"),
-		SpecDiscards:   reg.Counter("sched_spec_discards_total"),
-		CacheHits:      reg.Counter("sched_cache_hits_total"),
-		Collapses:      reg.Counter("sched_collapses_total"),
+		reg:             reg,
+		CutsConsidered:  reg.Counter("search_cuts_considered_total"),
+		CutsPassed:      reg.Counter("search_cuts_passed_total"),
+		CutsPruned:      reg.Counter("search_cuts_pruned_total"),
+		BoundCutoffs:    reg.Counter("search_bound_cutoffs_total"),
+		Incumbents:      reg.Counter("search_incumbents_total"),
+		Searches:        reg.Counter("search_block_searches_total"),
+		DeadlineTrips:   reg.Counter("search_deadline_trips_total"),
+		BudgetTrips:     reg.Counter("search_budget_trips_total"),
+		CancelTrips:     reg.Counter("search_cancel_trips_total"),
+		Rescues:         reg.Counter("search_rescues_total"),
+		RescueHits:      reg.Counter("search_rescue_hits_total"),
+		PanicsRecovered: reg.Counter("search_panics_recovered_total"),
+		GreedyRescues:   reg.Counter("search_greedy_rescues_total"),
+		GreedyHits:      reg.Counter("search_greedy_hits_total"),
+		Steals:          reg.Counter("engine_steals_total"),
+		StolenSubs:      reg.Counter("engine_stolen_subproblems_total"),
+		Donations:       reg.Counter("engine_donations_total"),
+		Resplits:        reg.Counter("engine_resplits_total"),
+		WarmSeedHits:    reg.Counter("engine_warm_seed_hits_total"),
+		WorkerRetries:   reg.Counter("engine_worker_retries_total"),
+		Stalls:          reg.Counter("engine_stalls_total"),
+		WorkersActive:   reg.Gauge("engine_workers_active"),
+		DequeDepth:      reg.Histogram("engine_deque_depth"),
+		SpecLaunches:    reg.Counter("sched_spec_launches_total"),
+		SpecAdopts:      reg.Counter("sched_spec_adopts_total"),
+		SpecDiscards:    reg.Counter("sched_spec_discards_total"),
+		CacheHits:       reg.Counter("sched_cache_hits_total"),
+		Collapses:       reg.Counter("sched_collapses_total"),
+		PoolLeaks:       reg.Counter("sched_pool_leaks_total"),
 	}
 }
 
@@ -87,6 +101,18 @@ type Probe struct {
 	// fault injection in tests; a panic inside it is handled by the
 	// search's normal recovery path.
 	Hook func(fn, block string)
+	// Inj, when non-nil, fires at the head of every probe method with
+	// the method's Site, before any recorder/metrics work — so a fault
+	// injector observes every site even with telemetry off.
+	Inj Injector
+}
+
+// fire dispatches a site to the injector, nil-safe on both levels.
+func (p *Probe) fire(s Site, tag string) {
+	if p == nil || p.Inj == nil {
+		return
+	}
+	p.Inj.Fire(s, tag)
 }
 
 // MetricsOnly returns a probe that keeps the metrics and hook but drops
@@ -98,10 +124,10 @@ func (p *Probe) MetricsOnly() *Probe {
 	if p == nil || p.Rec == nil {
 		return p
 	}
-	if p.Met == nil && p.Hook == nil {
+	if p.Met == nil && p.Hook == nil && p.Inj == nil {
 		return nil
 	}
-	return &Probe{Met: p.Met, Hook: p.Hook}
+	return &Probe{Met: p.Met, Hook: p.Hook, Inj: p.Inj}
 }
 
 // HookOf returns the probe's hook, nil-safe.
@@ -116,10 +142,10 @@ func (p *Probe) HookOf() func(fn, block string) {
 // private flight-recorder ring. Returns nil when the probe is nil or
 // fully disabled, so searchers keep a single `s.obs != nil` gate.
 func (p *Probe) Attach() *SearchObs {
-	if p == nil || (p.Rec == nil && p.Met == nil) {
+	if p == nil || (p.Rec == nil && p.Met == nil && p.Inj == nil) {
 		return nil
 	}
-	o := &SearchObs{met: p.Met}
+	o := &SearchObs{met: p.Met, inj: p.Inj}
 	if p.Rec != nil {
 		o.ring = p.Rec.NewRing()
 	}
@@ -149,6 +175,7 @@ func (p *Probe) SearchBegin(tag string, ops, workers int) {
 	if p == nil {
 		return
 	}
+	p.fire(SiteSearchBegin, tag)
 	if p.Met != nil {
 		p.Met.Searches.Inc()
 	}
@@ -160,7 +187,11 @@ func (p *Probe) SearchBegin(tag string, ops, workers int) {
 // SearchEnd records a block search ending with the given status code,
 // merit (-1 when nothing was found) and cuts-considered tally.
 func (p *Probe) SearchEnd(tag string, status, merit, cuts int64) {
-	if p == nil || p.Rec == nil {
+	if p == nil {
+		return
+	}
+	p.fire(SiteSearchEnd, tag)
+	if p.Rec == nil {
 		return
 	}
 	p.Rec.Sys(KSearchEnd, tag, status, merit, cuts)
@@ -173,6 +204,7 @@ func (p *Probe) Rescue(tag string, found bool, merit, cuts int64) {
 	if p == nil {
 		return
 	}
+	p.fire(SiteRescue, tag)
 	if p.Met != nil {
 		p.Met.Rescues.Inc()
 		if found {
@@ -194,6 +226,7 @@ func (p *Probe) WarmSeed(merit int64) {
 	if p == nil {
 		return
 	}
+	p.fire(SiteWarmSeed, "")
 	if p.Met != nil {
 		p.Met.WarmSeedHits.Inc()
 	}
@@ -209,6 +242,7 @@ func (p *Probe) SpecLaunch(tag string, m int, collapse bool) {
 	if p == nil {
 		return
 	}
+	p.fire(SiteSpecLaunch, tag)
 	if p.Met != nil {
 		p.Met.SpecLaunches.Inc()
 	}
@@ -227,6 +261,7 @@ func (p *Probe) SpecAdopt(tag string, m int) {
 	if p == nil {
 		return
 	}
+	p.fire(SiteSpecAdopt, tag)
 	if p.Met != nil {
 		p.Met.SpecAdopts.Inc()
 		p.Met.CacheHits.Inc()
@@ -241,6 +276,7 @@ func (p *Probe) SpecDiscard(tag string) {
 	if p == nil {
 		return
 	}
+	p.fire(SiteSpecDiscard, tag)
 	if p.Met != nil {
 		p.Met.SpecDiscards.Inc()
 	}
@@ -256,11 +292,68 @@ func (p *Probe) Collapse(tag string, round, cutSize int) {
 	if p == nil {
 		return
 	}
+	p.fire(SiteCollapse, tag)
 	if p.Met != nil {
 		p.Met.Collapses.Inc()
 	}
 	if p.Rec != nil {
 		p.Rec.Sys(KCollapse, tag, int64(round), int64(cutSize), 0)
+	}
+}
+
+// Panic records a recovered panic. Tag is "fn/block" (or a worker
+// label); msg is the panic message, already truncated by the caller;
+// attempt is the retry attempt the panic was recovered on (0 for the
+// block-level guard). No site fires here: the reporting of a fault must
+// not itself be a fault-injection point, or a panic-action rule would
+// recurse through its own recovery path.
+func (p *Probe) Panic(tag, msg string, attempt int) {
+	if p == nil {
+		return
+	}
+	if p.Met != nil {
+		p.Met.PanicsRecovered.Inc()
+	}
+	if p.Rec != nil {
+		p.Rec.Sys(KPanic, tag+": "+msg, int64(attempt), 0, 0)
+	}
+}
+
+// Greedy records a greedy last-resort rescue attempt (the bottom rung
+// of the degradation ladder) with whether it produced a cut, at what
+// merit, and how many baseline candidates it screened.
+func (p *Probe) Greedy(tag string, found bool, merit, cands int64) {
+	if p == nil {
+		return
+	}
+	p.fire(SiteGreedy, tag)
+	if p.Met != nil {
+		p.Met.GreedyRescues.Inc()
+		if found {
+			p.Met.GreedyHits.Inc()
+		}
+	}
+	if p.Rec != nil {
+		var f int64
+		if found {
+			f = 1
+		}
+		p.Rec.Sys(KGreedy, tag, f, merit, cands)
+	}
+}
+
+// Stall records the engine watchdog declaring a worker stalled after
+// samples consecutive watchdog windows without poll progress. Like
+// Panic, it is not an injection site.
+func (p *Probe) Stall(wid, samples int) {
+	if p == nil {
+		return
+	}
+	if p.Met != nil {
+		p.Met.Stalls.Inc()
+	}
+	if p.Rec != nil {
+		p.Rec.Sys(KStall, "", int64(wid), int64(samples), 0)
 	}
 }
 
@@ -271,6 +364,7 @@ func (p *Probe) Collapse(tag string, round, cutSize int) {
 type SearchObs struct {
 	ring *Ring
 	met  *Metrics
+	inj  Injector
 
 	flushedConsidered int64
 	flushedPassed     int64
@@ -281,8 +375,20 @@ type SearchObs struct {
 // FlushStats publishes the searcher's running totals as deltas against
 // what was already flushed. Called at poll cadence and at search end;
 // totals must be monotone per SearchObs.
+// fire dispatches a searcher-local site to the injector, nil-safe.
+func (o *SearchObs) fire(s Site) {
+	if o == nil || o.inj == nil {
+		return
+	}
+	o.inj.Fire(s, "")
+}
+
 func (o *SearchObs) FlushStats(considered, passed, pruned, bounds int64) {
-	if o == nil || o.met == nil {
+	if o == nil {
+		return
+	}
+	o.fire(SitePoll)
+	if o.met == nil {
 		return
 	}
 	if d := considered - o.flushedConsidered; d > 0 {
@@ -309,6 +415,7 @@ func (o *SearchObs) Incumbent(merit, cuts int64, rank int) {
 	if o == nil {
 		return
 	}
+	o.fire(SiteIncumbent)
 	if o.met != nil {
 		o.met.Incumbents.Inc()
 	}
@@ -323,6 +430,7 @@ func (o *SearchObs) Stop(status int64, deadline, budget, canceled bool) {
 	if o == nil {
 		return
 	}
+	o.fire(SiteStop)
 	if o.met != nil {
 		switch {
 		case deadline:
@@ -343,6 +451,7 @@ func (o *SearchObs) Steal(victim, n, depth int64) {
 	if o == nil {
 		return
 	}
+	o.fire(SiteSteal)
 	if o.met != nil {
 		o.met.Steals.Inc()
 		o.met.StolenSubs.Add(n)
@@ -358,6 +467,7 @@ func (o *SearchObs) Donate(rank int) {
 	if o == nil {
 		return
 	}
+	o.fire(SiteDonate)
 	if o.met != nil {
 		o.met.Donations.Inc()
 	}
@@ -372,6 +482,7 @@ func (o *SearchObs) Resplit(depth, children int) {
 	if o == nil {
 		return
 	}
+	o.fire(SiteResplit)
 	if o.met != nil {
 		o.met.Resplits.Inc()
 	}
@@ -383,7 +494,11 @@ func (o *SearchObs) Resplit(depth, children int) {
 // Pruned records a feasibility rejection (ports or convexity) at node
 // rank. Ring-only: the aggregate count flows through FlushStats.
 func (o *SearchObs) Pruned(rank int) {
-	if o == nil || o.ring == nil {
+	if o == nil {
+		return
+	}
+	o.fire(SitePrune)
+	if o.ring == nil {
 		return
 	}
 	o.ring.Emit(KPrune, "", int64(rank), 0, 0)
@@ -392,7 +507,11 @@ func (o *SearchObs) Pruned(rank int) {
 // Bound records a merit-upper-bound subtree cutoff at node rank against
 // the current incumbent. Ring-only, like Pruned.
 func (o *SearchObs) Bound(rank int, incumbent int64) {
-	if o == nil || o.ring == nil {
+	if o == nil {
+		return
+	}
+	o.fire(SitePrune)
+	if o.ring == nil {
 		return
 	}
 	o.ring.Emit(KBound, "", int64(rank), incumbent, 0)
@@ -403,6 +522,7 @@ func (o *SearchObs) WarmSeed(merit int64) {
 	if o == nil {
 		return
 	}
+	o.fire(SiteWarmSeed)
 	if o.met != nil {
 		o.met.WarmSeedHits.Inc()
 	}

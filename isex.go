@@ -67,12 +67,23 @@ type Constraints struct {
 	// to the *Ctx variants). Per-block outcomes are reported on the
 	// Selection's BlockStatuses.
 	Deadline time.Duration
+	// StallWindow, when positive and Workers > 0, arms the parallel
+	// engine's watchdog: a worker showing no progress for two
+	// consecutive windows is told to abandon its subproblem, which is
+	// requeued whole for the other workers, and the block's status
+	// degrades to Stalled (sound, but exhaustiveness is no longer
+	// claimed). Size it generously — hundreds of milliseconds at least:
+	// the watchdog cannot distinguish a wedged worker from one an
+	// overloaded machine simply descheduled. 0 disables the watchdog
+	// (the default, preserving the engine's bit-identical guarantee).
+	StallWindow time.Duration
 }
 
 func (c Constraints) config() core.Config {
 	return core.Config{Nin: c.Nin, Nout: c.Nout, MaxCuts: c.MaxCuts,
 		Window: c.Window, Parallel: c.Parallel,
-		Workers: c.Workers, WarmStart: c.WarmStart, Speculate: c.Speculate}
+		Workers: c.Workers, WarmStart: c.WarmStart, Speculate: c.Speculate,
+		StallWindow: c.StallWindow}
 }
 
 // SearchStatus classifies how an identification search ended: Exhaustive
@@ -87,6 +98,7 @@ const (
 	BudgetStopped    = core.BudgetStopped
 	DeadlineExceeded = core.DeadlineExceeded
 	Canceled         = core.Canceled
+	Stalled          = core.Stalled
 	Recovered        = core.Recovered
 )
 
@@ -121,6 +133,12 @@ func (s Selection) Degraded() bool { return s.inner.Degraded() }
 func (s Selection) BlockStatuses() []BlockStatus {
 	return append([]BlockStatus(nil), s.inner.Blocks...)
 }
+
+// FirstPanic returns the first recovered panic across the per-block
+// searches (message plus a truncated stack excerpt), or "" when nothing
+// panicked. The selection survives recovered panics; this surfaces what
+// was survived for logging and bug reports.
+func (s Selection) FirstPanic() string { return s.inner.FirstPanic }
 
 // Describe returns a one-line summary per instruction.
 func (s Selection) Describe() []string {
