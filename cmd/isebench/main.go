@@ -22,6 +22,10 @@
 //	isebench -fig obsbench -obsjson BENCH_PR5.json
 //	                          # telemetry overhead: probe off (A/A) vs
 //	                          # metrics-only vs full flight-recorder tracing
+//	isebench -fig dedupbench -dedupjson BENCH_PR7.json
+//	                          # cross-block dedup on a repeated-blocks
+//	                          # corpus: identify-stage wall time and search
+//	                          # work with the memo off (reference) vs on
 package main
 
 import (
@@ -36,7 +40,7 @@ import (
 
 func main() {
 	var (
-		fig       = flag.String("fig", "all", "which figure to regenerate: 3, 5, 7, 8, 11, runtime, area, tradeoff, vliw, ifconv, ablation, bench, parbench, selbench, obsbench, all")
+		fig       = flag.String("fig", "all", "which figure to regenerate: 3, 5, 7, 8, 11, runtime, area, tradeoff, vliw, ifconv, ablation, bench, parbench, selbench, obsbench, dedupbench, all")
 		budget    = flag.Int64("budget", experiments.DefaultBudget, "cut budget per identification call")
 		measure   = flag.Bool("measure", false, "Fig. 11: additionally patch and measure on the cycle simulator")
 		optimal   = flag.Bool("optimal", false, "Fig. 11: include the Optimal selection (slow on large blocks)")
@@ -46,6 +50,7 @@ func main() {
 		parJSON   = flag.String("parjson", "", "with -fig parbench (or all): write the parallel B&B benchmark report to this file as JSON (e.g. BENCH_PR3.json)")
 		selJSON   = flag.String("seljson", "", "with -fig selbench (or all): write the selection scheduler benchmark report to this file as JSON (e.g. BENCH_PR4.json)")
 		obsJSON   = flag.String("obsjson", "", "with -fig obsbench (or all): write the telemetry overhead benchmark report to this file as JSON (e.g. BENCH_PR5.json)")
+		dedupJSON = flag.String("dedupjson", "", "with -fig dedupbench (or all): write the cross-block dedup benchmark report to this file as JSON (e.g. BENCH_PR7.json)")
 	)
 	flag.Parse()
 	want := func(name string) bool { return *fig == "all" || *fig == name }
@@ -55,13 +60,13 @@ func main() {
 			benchList = append(benchList, b)
 		}
 	}
-	if err := run(want, *budget, *measure, *optimal, benchList, *deadline, *benchJSON, *parJSON, *selJSON, *obsJSON); err != nil {
+	if err := run(want, *budget, *measure, *optimal, benchList, *deadline, *benchJSON, *parJSON, *selJSON, *obsJSON, *dedupJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "isebench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(want func(string) bool, budget int64, measure, optimal bool, benchList []string, deadline time.Duration, benchJSON, parJSON, selJSON, obsJSON string) error {
+func run(want func(string) bool, budget int64, measure, optimal bool, benchList []string, deadline time.Duration, benchJSON, parJSON, selJSON, obsJSON, dedupJSON string) error {
 	section := func(s string) { fmt.Println(); fmt.Println(s); fmt.Println() }
 
 	if want("bench") || benchJSON != "" {
@@ -117,6 +122,20 @@ func run(want func(string) bool, budget int64, measure, optimal bool, benchList 
 				return err
 			}
 			fmt.Printf("wrote %s\n", obsJSON)
+		}
+	}
+
+	if want("dedupbench") || dedupJSON != "" {
+		rep, err := experiments.DedupBench()
+		if err != nil {
+			return err
+		}
+		section(experiments.DedupBenchTable(rep))
+		if dedupJSON != "" {
+			if err := rep.WriteJSON(dedupJSON); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", dedupJSON)
 		}
 	}
 

@@ -77,6 +77,7 @@ func run() error {
 		budget    = flag.Int64("budget", 2_000_000, "cut budget per identification call (0 = unlimited)")
 		workers   = flag.Int("workers", 0, "run each block's exact search on the work-stealing parallel branch-and-bound engine with this many workers (0 = serial; results are bit-identical)")
 		speculate = flag.Bool("speculate", false, "route iterative/optimal selection through the speculative scheduler: idle workers pre-identify likely next-round winners and every search is warm-seeded (bit-identical selections; see also -workers)")
+		dedup     = flag.Bool("dedup", true, "share identification results between isomorphic basic blocks: canonical graph hashing finds repeated structure, adopted cuts are translated and revalidated on the adopting block (bit-identical selections modulo node renaming; see dedup_hits and shared_instructions in -json)")
 		deadline  = flag.Duration("deadline", 0, "wall-clock budget for identification (e.g. 500ms; 0 = none); on expiry the best selection found so far is reported")
 		stallWin  = flag.Duration("stall-window", 0, "arm the parallel engine's watchdog (needs -workers): a worker with no progress for two such windows has its subproblem requeued for the others and the block degrades to 'stalled' (0 = off)")
 		strict    = flag.Bool("strict", false, "exit with code 2 when any block's search degraded below the exact algorithm (the report is still written); for CI gates that must not accept lower bounds")
@@ -156,7 +157,8 @@ func run() error {
 
 	model := latency.Default()
 	cfg := core.Config{Nin: *nin, Nout: *nout, Model: model, MaxCuts: *budget,
-		Workers: *workers, Speculate: *speculate, StallWindow: *stallWin}
+		Workers: *workers, Speculate: *speculate, Dedup: *dedup,
+		StallWindow: *stallWin}
 
 	// Telemetry: the flight recorder is on when a trace output is wanted,
 	// the metrics registry when anything will read it (the HTTP endpoint
@@ -248,11 +250,18 @@ func run() error {
 		if sel.SpeculativeCalls > 0 {
 			fmt.Printf("; speculative calls: %d (%d cache hit(s))", sel.SpeculativeCalls, sel.CacheHits)
 		}
+		if sel.DedupHits > 0 {
+			fmt.Printf("; dedup hits: %d", sel.DedupHits)
+		}
 		fmt.Printf("; status: %s", sel.Status)
 		if sel.Degraded() {
 			fmt.Printf(" (search degraded; results are lower bounds)")
 		}
 		fmt.Println()
+		for _, sh := range sel.SharedInstructions {
+			fmt.Printf("  shared datapath %s: %d instruction(s) (%s)\n",
+				sh.Hash[:16], sh.Count, strings.Join(sh.Blocks, ", "))
+		}
 		if sel.Degraded() {
 			for _, b := range sel.Blocks {
 				if b.Status == core.Exhaustive {
@@ -402,13 +411,24 @@ type jsonReport struct {
 	IdentCalls   int            `json:"ident_calls"`
 	SpecCalls    int            `json:"speculative_calls"`
 	CacheHits    int            `json:"cache_hits"`
+	DedupHits    int            `json:"dedup_hits"`
 	Status       string         `json:"status"`
 	Degraded     bool           `json:"degraded"`
 	FirstPanic   string         `json:"first_panic,omitempty"`
 	Stats        jsonStats      `json:"stats"`
 	Instructions []jsonInstr    `json:"instructions"`
+	Shared       []jsonShared   `json:"shared_instructions,omitempty"`
 	Blocks       []jsonBlock    `json:"blocks"`
 	Metrics      map[string]any `json:"metrics,omitempty"`
+}
+
+// jsonShared is one group of selected instructions whose datapaths
+// canonicalize identically (cross-block dedup; -dedup).
+type jsonShared struct {
+	Hash    string   `json:"hash"`
+	Count   int      `json:"count"`
+	Members []int    `json:"members"`
+	Blocks  []string `json:"blocks"`
 }
 
 type jsonStats struct {
@@ -450,6 +470,7 @@ func writeJSONReport(w *os.File, method string, nin, nout, ninstr int, sel core.
 		IdentCalls: sel.IdentCalls,
 		SpecCalls:  sel.SpeculativeCalls,
 		CacheHits:  sel.CacheHits,
+		DedupHits:  sel.DedupHits,
 		Status:     sel.Status.String(),
 		Degraded:   sel.Degraded(),
 		FirstPanic: sel.FirstPanic,
@@ -466,6 +487,11 @@ func writeJSONReport(w *os.File, method string, nin, nout, ninstr int, sel core.
 			Size: s.Est.Size, In: s.Est.In, Out: s.Est.Out,
 			HWCycles: s.Est.HWCycles, Saved: s.Est.Saved, Freq: s.Est.Freq,
 			Merit: s.Est.Merit, Area: s.Est.Area,
+		})
+	}
+	for _, sh := range sel.SharedInstructions {
+		rep.Shared = append(rep.Shared, jsonShared{
+			Hash: sh.Hash, Count: sh.Count, Members: sh.Members, Blocks: sh.Blocks,
 		})
 	}
 	for _, b := range sel.Blocks {

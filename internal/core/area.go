@@ -39,7 +39,8 @@ func SelectAreaConstrainedCtx(ctx context.Context, m *ir.Module, ninstr int, are
 	pool := SelectIterativeCtx(ctx, m, poolSize, cfg)
 	res = SelectionResult{Stats: pool.Stats, IdentCalls: pool.IdentCalls,
 		SpeculativeCalls: pool.SpeculativeCalls, CacheHits: pool.CacheHits,
-		Blocks: pool.Blocks, Status: pool.Status}
+		DedupHits: pool.DedupHits,
+		Blocks:    pool.Blocks, Status: pool.Status}
 	if areaBudget <= 0 || len(pool.Instructions) == 0 {
 		return res
 	}
@@ -49,6 +50,7 @@ func SelectAreaConstrainedCtx(ctx context.Context, m *ir.Module, ninstr int, are
 		res.TotalMerit += s.Est.Merit
 	}
 	sortSelected(res.Instructions)
+	res.computeShared()
 	return res
 }
 

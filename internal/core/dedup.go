@@ -1,0 +1,234 @@
+package core
+
+import (
+	"isex/internal/dfg"
+	"isex/internal/latency"
+	"isex/internal/obs"
+)
+
+// This file is the cross-block deduplication layer behind Config.Dedup
+// (DESIGN.md §14). Real applications repeat structure — the same unrolled
+// MAC or butterfly recurs across blocks and functions — yet the drivers'
+// per-block searches cannot see it: the scheduler memo key
+// (dfg.Fingerprint) deliberately bakes in function/block identity. The
+// dedup memo keys finished identifications by dfg.CanonHash instead and
+// adopts a stored result for a new graph only when dfg.OrderMatch proves
+// the new graph is search-order isomorphic to the stored one — the node
+// at rank r corresponds to the node at rank r, every edge maps
+// rank-to-rank, and the V+ structure pairs up exactly. Under that match
+// the §6 search tree over the new graph is, node for node, the stored
+// search's tree with IDs renamed: same expansion order, same IN/OUT and
+// convexity verdicts, same per-execution savings. Block frequency is the
+// only difference, and every merit and bound the search compares scales
+// uniformly with the block weight, so the argmax (first-max in DFS
+// order) is preserved. Translated cuts are never trusted on this
+// argument alone: each is revalidated with Legal and re-Evaluated on the
+// adopting block's own graph, and any discrepancy turns the hit into a
+// miss (the block then searches normally).
+//
+// Only exhaustive results are stored or adopted: a budget- or
+// deadline-stopped search's incumbent depends on wall-clock timing, so a
+// twin block repeats the search instead of inheriting a cutoff artifact.
+type dedupMemo struct {
+	nin, nout int
+	model     *latency.Model
+	probe     *obs.Probe
+	singles   map[dfg.CanonDigest][]*dedupSingle
+	multis    map[dedupKey][]*dedupMulti
+}
+
+type dedupKey struct {
+	h dfg.CanonDigest
+	m int
+}
+
+type dedupSingle struct {
+	g   *dfg.Graph
+	res Result
+	bs  BlockStatus
+}
+
+type dedupMulti struct {
+	g   *dfg.Graph
+	res MultiResult
+	bs  BlockStatus
+}
+
+// newDedupMemo returns nil when dedup is off; every method below is
+// nil-receiver safe, so the drivers call them unconditionally.
+func newDedupMemo(cfg Config) *dedupMemo {
+	if !cfg.Dedup {
+		return nil
+	}
+	return &dedupMemo{
+		nin:     cfg.Nin,
+		nout:    cfg.Nout,
+		model:   cfg.model(),
+		probe:   cfg.Probe,
+		singles: make(map[dfg.CanonDigest][]*dedupSingle),
+		multis:  make(map[dedupKey][]*dedupMulti),
+	}
+}
+
+func (d *dedupMemo) enabled() bool { return d != nil }
+
+// hash returns the graph's canonical digest (zero when dedup is off).
+func (d *dedupMemo) hash(g *dfg.Graph) dfg.CanonDigest {
+	if d == nil {
+		return dfg.CanonDigest{}
+	}
+	return g.CanonHash()
+}
+
+// lookupSingle tries to adopt a stored single-cut identification for g.
+// On a hit the returned Result carries the translated, revalidated cut
+// (and runner-up seed) and the stored block status re-tagged with g's
+// identity; the caller charges it to DedupHits, not IdentCalls.
+func (d *dedupMemo) lookupSingle(g *dfg.Graph, h dfg.CanonDigest) (Result, BlockStatus, bool) {
+	if d == nil {
+		return Result{}, BlockStatus{}, false
+	}
+	tag := g.Fn.Name + "/" + g.Block.Name
+	for _, e := range d.singles[h] {
+		ren, ok := dfg.OrderMatch(e.g, g)
+		if !ok {
+			continue
+		}
+		r, ok := d.translateSingle(e, g, ren)
+		if !ok {
+			continue
+		}
+		d.probe.Dedup(tag, true, 0)
+		bs := e.bs
+		bs.Fn, bs.Block = g.Fn.Name, g.Block.Name
+		return r, bs, true
+	}
+	d.probe.Dedup(tag, false, 0)
+	return Result{}, BlockStatus{}, false
+}
+
+// storeSingle records a finished single-cut identification under g's
+// digest. Non-exhaustive results are dropped (see the file comment).
+func (d *dedupMemo) storeSingle(g *dfg.Graph, h dfg.CanonDigest, r Result, bs BlockStatus) {
+	if d == nil || r.Status != Exhaustive || bs.Status != Exhaustive {
+		return
+	}
+	d.singles[h] = append(d.singles[h], &dedupSingle{g: g, res: r, bs: bs})
+}
+
+func (d *dedupMemo) translateSingle(e *dedupSingle, g *dfg.Graph, ren []int) (Result, bool) {
+	out := Result{Found: e.res.Found, Status: Exhaustive}
+	if e.res.Found {
+		c, ok := dfg.TranslateCut(e.res.Cut, ren)
+		if !ok || !g.Legal(c, d.nin, d.nout) {
+			return Result{}, false
+		}
+		est := Evaluate(g, c, d.model)
+		// The revalidation gate: the translated cut must describe the
+		// same datapath — identical ports, per-execution savings and
+		// hardware schedule — or the structural argument above does not
+		// hold and the adoption is refused.
+		se := e.res.Est
+		if est.In != se.In || est.Out != se.Out || est.Saved != se.Saved ||
+			est.HWCycles != se.HWCycles || est.Size != se.Size || est.Merit <= 0 {
+			return Result{}, false
+		}
+		out.Cut = c
+		out.Est = est
+	}
+	// Translate the displaced runner-up too, so warm-start seeding after
+	// a collapse behaves exactly as it would after a real search. Its
+	// stored merit is never trusted (the seed sites re-Evaluate), so a
+	// failed translation just drops the seed.
+	if e.res.prevFound && len(e.res.prevCut) > 0 {
+		if pc, ok := dfg.TranslateCut(e.res.prevCut, ren); ok && g.Legal(pc, d.nin, d.nout) {
+			if pm := Evaluate(g, pc, d.model).Merit; pm > 0 {
+				out.prevFound, out.prevMerit, out.prevCut = true, pm, pc
+			}
+		}
+	}
+	return out, true
+}
+
+// lookupMulti and storeMulti are the multi-cut (SelectOptimal) analogs,
+// keyed by (digest, m).
+func (d *dedupMemo) lookupMulti(g *dfg.Graph, h dfg.CanonDigest, m int) (MultiResult, BlockStatus, bool) {
+	if d == nil {
+		return MultiResult{}, BlockStatus{}, false
+	}
+	tag := g.Fn.Name + "/" + g.Block.Name
+	for _, e := range d.multis[dedupKey{h: h, m: m}] {
+		ren, ok := dfg.OrderMatch(e.g, g)
+		if !ok {
+			continue
+		}
+		r, ok := d.translateMulti(e, g, ren)
+		if !ok {
+			continue
+		}
+		d.probe.Dedup(tag, true, m)
+		bs := e.bs
+		bs.Fn, bs.Block = g.Fn.Name, g.Block.Name
+		return r, bs, true
+	}
+	d.probe.Dedup(tag, false, m)
+	return MultiResult{}, BlockStatus{}, false
+}
+
+func (d *dedupMemo) storeMulti(g *dfg.Graph, h dfg.CanonDigest, m int, r MultiResult, bs BlockStatus) {
+	if d == nil || r.Status != Exhaustive || bs.Status != Exhaustive {
+		return
+	}
+	key := dedupKey{h: h, m: m}
+	d.multis[key] = append(d.multis[key], &dedupMulti{g: g, res: r, bs: bs})
+}
+
+func (d *dedupMemo) translateMulti(e *dedupMulti, g *dfg.Graph, ren []int) (MultiResult, bool) {
+	out := MultiResult{Found: e.res.Found, Status: Exhaustive}
+	for i, c := range e.res.Cuts {
+		tc, ok := dfg.TranslateCut(c, ren)
+		if !ok || !g.Legal(tc, d.nin, d.nout) {
+			return MultiResult{}, false
+		}
+		est := Evaluate(g, tc, d.model)
+		se := e.res.Ests[i]
+		if est.In != se.In || est.Out != se.Out || est.Saved != se.Saved ||
+			est.HWCycles != se.HWCycles || est.Size != se.Size || est.Merit <= 0 {
+			return MultiResult{}, false
+		}
+		out.Cuts = append(out.Cuts, tc)
+		out.Ests = append(out.Ests, est)
+		out.TotalMerit += est.Merit
+	}
+	return out, true
+}
+
+// dedupPlan assigns every block a leader for the initial identification
+// pass: leader[i] == i when block i searches itself, otherwise block i
+// adopts the translated result of the earlier block leader[i]. The plan
+// is computed from the graphs alone — before any search runs — so the
+// serial and Parallel initial passes make identical dedup decisions
+// (first matching earlier block wins, in index order).
+func dedupPlan(d *dedupMemo, hs []dfg.CanonDigest, graph func(i int) *dfg.Graph, n int) []int {
+	leader := make([]int, n)
+	for i := range leader {
+		leader[i] = i
+	}
+	if d == nil {
+		return leader
+	}
+	byHash := make(map[dfg.CanonDigest][]int)
+	for i := 0; i < n; i++ {
+		hs[i] = d.hash(graph(i))
+		for _, j := range byHash[hs[i]] {
+			if _, ok := dfg.OrderMatch(graph(j), graph(i)); ok {
+				leader[i] = j
+				break
+			}
+		}
+		if leader[i] == i {
+			byHash[hs[i]] = append(byHash[hs[i]], i)
+		}
+	}
+	return leader
+}

@@ -186,20 +186,11 @@ func (sc *selScheduler) taskConfig(cfg Config, tokens int) Config {
 	return cfg
 }
 
-// demandMulti returns the task for (fp, m), launching it on the demand
-// path if absent: the launch blocks (inside the task's goroutine) until
-// the pool frees at least one slot and takes up to want.
-func (sc *selScheduler) demandMulti(g *dfg.Graph, fp uint64, m int, cfg Config, want int) *selTask {
-	key := schedKey{fp: fp, m: m}
-	sc.mu.Lock()
-	if t, ok := sc.tasks[key]; ok {
-		sc.mu.Unlock()
-		return t
-	}
-	t := &selTask{done: make(chan struct{}), g: g}
-	sc.tasks[key] = t
+// runMulti starts t's goroutine for a demand-path multi-cut search.
+// Called with t not yet published (or never published, for collision
+// fallbacks); wg.Add happens before return, so shutdown cannot miss it.
+func (sc *selScheduler) runMulti(t *selTask, g *dfg.Graph, m int, cfg Config, want int) {
 	sc.wg.Add(1)
-	sc.mu.Unlock()
 	go func() {
 		defer sc.wg.Done()
 		defer close(t.done)
@@ -213,6 +204,58 @@ func (sc *selScheduler) demandMulti(g *dfg.Graph, fp uint64, m int, cfg Config, 
 		defer sc.pool.release(tokens)
 		t.mres, t.bs = searchBlockMultiSafe(sc.ctx, g, m, sc.taskConfig(cfg, tokens))
 	}()
+}
+
+// runSingle is runMulti for the single-cut search.
+func (sc *selScheduler) runSingle(t *selTask, g *dfg.Graph, cfg Config, want int) {
+	sc.wg.Add(1)
+	go func() {
+		defer sc.wg.Done()
+		defer close(t.done)
+		defer guardTask(cfg.Probe, g.Fn.Name, g.Block.Name, &t.bs)
+		tokens := sc.pool.acquire(want)
+		if tokens == 0 {
+			t.res = Result{Status: Canceled, Stats: Stats{Aborted: true}}
+			t.bs = BlockStatus{Fn: g.Fn.Name, Block: g.Block.Name, Status: Canceled}
+			return
+		}
+		defer sc.pool.release(tokens)
+		t.res, t.bs = searchBlockSafe(sc.ctx, g, sc.taskConfig(cfg, tokens))
+	}()
+}
+
+// adopt decides whether an existing task under the requested key may be
+// returned to the caller: the 64-bit fingerprint key is not trusted on
+// its own — the task's graph must be structurally equal to the requested
+// one (dfg.EqualStructure compares exactly the fields Fingerprint
+// hashes). Must be called with sc.mu held; reports the mismatch so the
+// caller can count the collision outside the lock.
+func adoptable(t *selTask, g *dfg.Graph) bool { return dfg.EqualStructure(t.g, g) }
+
+// demandMulti returns the task for (fp, m), launching it on the demand
+// path if absent: the launch blocks (inside the task's goroutine) until
+// the pool frees at least one slot and takes up to want. A memoized task
+// whose graph does not match g (a fingerprint collision) is never
+// adopted: a fresh, unregistered task searches g instead — correct for
+// the caller, merely not memoized.
+func (sc *selScheduler) demandMulti(g *dfg.Graph, fp uint64, m int, cfg Config, want int) *selTask {
+	key := schedKey{fp: fp, m: m}
+	sc.mu.Lock()
+	if t, ok := sc.tasks[key]; ok {
+		hit := adoptable(t, g)
+		sc.mu.Unlock()
+		if hit {
+			return t
+		}
+		cfg.Probe.MemoCollision(g.Fn.Name+"/"+g.Block.Name, m)
+		t2 := &selTask{done: make(chan struct{}), g: g}
+		sc.runMulti(t2, g, m, cfg, want)
+		return t2
+	}
+	t := &selTask{done: make(chan struct{}), g: g}
+	sc.tasks[key] = t
+	sc.mu.Unlock()
+	sc.runMulti(t, g, m, cfg, want)
 	return t
 }
 
@@ -232,10 +275,22 @@ func (sc *selScheduler) specMulti(g *dfg.Graph, fp uint64, m int, cfg Config) bo
 		return false
 	}
 	sc.mu.Unlock()
+	// The probe must fire with the token held but before any task state
+	// exists (see fireSpecLaunch); the lock is dropped across it, so the
+	// insertion below re-checks the table — a concurrent demand for the
+	// same key may have published its task in the window, and clobbering
+	// it would orphan the demand path's pointer (two tasks for one key,
+	// duplicate work, and a task no consumer ever drains).
 	sc.fireSpecLaunch(func() { cfg.Probe.SpecLaunch(g.Fn.Name+"/"+g.Block.Name, m, false) })
 	tctx, tcancel := context.WithCancel(sc.ctx)
 	t := &selTask{done: make(chan struct{}), spec: true, g: g, cancel: tcancel}
 	sc.mu.Lock()
+	if _, ok := sc.tasks[key]; ok {
+		sc.mu.Unlock()
+		tcancel()
+		sc.pool.release(1) // lost the race: the demand task supersedes us
+		return true
+	}
 	sc.tasks[key] = t
 	sc.specLaunches++
 	sc.wg.Add(1)
@@ -255,26 +310,20 @@ func (sc *selScheduler) demandSingle(g *dfg.Graph, fp uint64, cfg Config, want i
 	key := schedKey{fp: fp, m: 0}
 	sc.mu.Lock()
 	if t, ok := sc.tasks[key]; ok {
+		hit := adoptable(t, g)
 		sc.mu.Unlock()
-		return t
+		if hit {
+			return t
+		}
+		cfg.Probe.MemoCollision(g.Fn.Name+"/"+g.Block.Name, 0)
+		t2 := &selTask{done: make(chan struct{}), g: g}
+		sc.runSingle(t2, g, cfg, want)
+		return t2
 	}
 	t := &selTask{done: make(chan struct{}), g: g}
 	sc.tasks[key] = t
-	sc.wg.Add(1)
 	sc.mu.Unlock()
-	go func() {
-		defer sc.wg.Done()
-		defer close(t.done)
-		defer guardTask(cfg.Probe, g.Fn.Name, g.Block.Name, &t.bs)
-		tokens := sc.pool.acquire(want)
-		if tokens == 0 {
-			t.res = Result{Status: Canceled, Stats: Stats{Aborted: true}}
-			t.bs = BlockStatus{Fn: g.Fn.Name, Block: g.Block.Name, Status: Canceled}
-			return
-		}
-		defer sc.pool.release(tokens)
-		t.res, t.bs = searchBlockSafe(sc.ctx, g, sc.taskConfig(cfg, tokens))
-	}()
+	sc.runSingle(t, g, cfg, want)
 	return t
 }
 
@@ -341,6 +390,8 @@ func selectOptimalScheduled(ctx context.Context, mod *ir.Module, ninstr int, cfg
 	states := make([]blockState, len(bgs))
 	blockStat := make([]BlockStatus, len(bgs))
 	fps := make([]uint64, len(bgs))
+	memo := newDedupMemo(cfg)
+	hs := make([]dfg.CanonDigest, len(bgs))
 	consume := func(bi int, t *selTask) MultiResult {
 		<-t.done
 		res.IdentCalls++
@@ -350,20 +401,42 @@ func selectOptimalScheduled(ctx context.Context, mod *ir.Module, ninstr int, cfg
 		}
 		res.Stats.add(t.mres.Stats)
 		mergeBlockStatus(&blockStat[bi], t.bs)
+		memo.storeMulti(bgs[bi].g, hs[bi], states[bi].m+1, t.mres, t.bs)
 		return t.mres
 	}
 	// Initial pass: every block's single-cut identification is demanded
 	// up front and consumed in index order (the serial order), splitting
-	// the budget evenly across the blocks.
-	want := (sc.budget + len(bgs) - 1) / len(bgs)
+	// the budget evenly across the leader blocks; dedup followers adopt
+	// their leader's translated result instead of demanding a search.
+	leader := dedupPlan(memo, hs, func(i int) *dfg.Graph { return bgs[i].g }, len(bgs))
+	nLeaders := 0
+	for i := range leader {
+		if leader[i] == i {
+			nLeaders++
+		}
+	}
+	want := (sc.budget + nLeaders - 1) / nLeaders
 	initial := make([]*selTask, len(bgs))
 	for i := range bgs {
 		blockStat[i] = BlockStatus{Fn: bgs[i].fn.Name, Block: bgs[i].b.Name}
 		fps[i] = bgs[i].g.Fingerprint()
-		initial[i] = sc.demandMulti(bgs[i].g, fps[i], 1, cfg, want)
+		if leader[i] == i {
+			initial[i] = sc.demandMulti(bgs[i].g, fps[i], 1, cfg, want)
+		}
 	}
 	for i := range bgs {
-		r := consume(i, initial[i])
+		var r MultiResult
+		if initial[i] != nil {
+			r = consume(i, initial[i])
+		} else if rr, bb, ok := memo.lookupMulti(bgs[i].g, hs[i], 1); ok {
+			res.DedupHits++
+			mergeBlockStatus(&blockStat[i], bb)
+			r = rr
+		} else {
+			// The planned leader's search did not finish exhaustively (or
+			// revalidation refused the translation): search this block.
+			r = consume(i, sc.demandMulti(bgs[i].g, fps[i], 1, cfg, sc.budget))
+		}
 		states[i].totals = []int64{0, r.TotalMerit}
 		states[i].results = []MultiResult{{}, r}
 		states[i].gain = r.TotalMerit
@@ -391,36 +464,45 @@ func selectOptimalScheduled(ctx context.Context, mod *ir.Module, ninstr int, cfg
 			st.gain = 0
 			continue
 		}
-		// Demand the winner at M+1, seeded with its own M-cut optimum
-		// (feasible at M+1: the extra cut may stay empty).
-		t := sc.demandMulti(bgs[bestB].g, fps[bestB], st.m+1,
-			cfg.withSeed(st.totals[st.m], nil, st.results[st.m].Cuts), sc.budget)
-		// Speculate while the demand runs: the winner's own next level
-		// (needed if it wins again; only the weaker M-cut bound is known
-		// yet), then the runner-up blocks' next levels in gain order,
-		// each seeded with its block's strongest known assignment. No
-		// speculation in the last round — nothing can demand it.
-		specOK := chosen+1 < ninstr && sc.specMulti(bgs[bestB].g, fps[bestB], st.m+2,
-			cfg.withSeed(st.totals[st.m], nil, st.results[st.m].Cuts))
-		if specOK {
-			order := make([]int, 0, len(states))
-			for i := range states {
-				if i != bestB && states[i].gain > 0 {
-					order = append(order, i)
+		var r MultiResult
+		if rr, bb, ok := memo.lookupMulti(bgs[bestB].g, hs[bestB], st.m+1); ok {
+			// An isomorphic block already searched this level: adopt its
+			// translated assignment; nothing to demand or speculate on.
+			res.DedupHits++
+			mergeBlockStatus(&blockStat[bestB], bb)
+			r = rr
+		} else {
+			// Demand the winner at M+1, seeded with its own M-cut optimum
+			// (feasible at M+1: the extra cut may stay empty).
+			t := sc.demandMulti(bgs[bestB].g, fps[bestB], st.m+1,
+				cfg.withSeed(st.totals[st.m], nil, st.results[st.m].Cuts), sc.budget)
+			// Speculate while the demand runs: the winner's own next level
+			// (needed if it wins again; only the weaker M-cut bound is known
+			// yet), then the runner-up blocks' next levels in gain order,
+			// each seeded with its block's strongest known assignment. No
+			// speculation in the last round — nothing can demand it.
+			specOK := chosen+1 < ninstr && sc.specMulti(bgs[bestB].g, fps[bestB], st.m+2,
+				cfg.withSeed(st.totals[st.m], nil, st.results[st.m].Cuts))
+			if specOK {
+				order := make([]int, 0, len(states))
+				for i := range states {
+					if i != bestB && states[i].gain > 0 {
+						order = append(order, i)
+					}
+				}
+				sort.SliceStable(order, func(a, b int) bool {
+					return states[order[a]].gain > states[order[b]].gain
+				})
+				for _, i := range order {
+					mi := states[i].m
+					if !sc.specMulti(bgs[i].g, fps[i], mi+2,
+						cfg.withSeed(states[i].totals[mi+1], nil, states[i].results[mi+1].Cuts)) {
+						break
+					}
 				}
 			}
-			sort.SliceStable(order, func(a, b int) bool {
-				return states[order[a]].gain > states[order[b]].gain
-			})
-			for _, i := range order {
-				mi := states[i].m
-				if !sc.specMulti(bgs[i].g, fps[i], mi+2,
-					cfg.withSeed(states[i].totals[mi+1], nil, states[i].results[mi+1].Cuts)) {
-					break
-				}
-			}
+			r = consume(bestB, t)
 		}
-		r := consume(bestB, t)
 		st.totals = append(st.totals, r.TotalMerit)
 		st.results = append(st.results, r)
 		st.gain = r.TotalMerit - st.totals[st.m]
@@ -437,12 +519,16 @@ func selectOptimalScheduled(ctx context.Context, mod *ir.Module, ninstr int, cfg
 		}
 		r := st.results[st.m]
 		for j, c := range r.Cuts {
-			res.Instructions = append(res.Instructions, Selected{
+			sel := Selected{
 				Fn:           bgs[i].fn,
 				Block:        bgs[i].b,
 				InstrIndexes: instrIndexesOf(bgs[i].g, c),
 				Est:          r.Ests[j],
-			})
+			}
+			if memo.enabled() {
+				sel.CutHash = bgs[i].g.CutCanonHash(c)
+			}
+			res.Instructions = append(res.Instructions, sel)
 			res.TotalMerit += r.Ests[j].Merit
 		}
 	}
@@ -495,22 +581,47 @@ func selectIterativeScheduled(ctx context.Context, mod *ir.Module, ninstr int, c
 			cfg.Probe.SpecDiscard(bgs[i].fn.Name + "/" + bgs[i].b.Name)
 		}
 	}
-	// Initial pass: all blocks demanded up front, consumed in index
-	// order, budget split evenly.
-	want := (sc.budget + len(bgs) - 1) / len(bgs)
+	// Initial pass: all leader blocks demanded up front, consumed in
+	// index order, budget split evenly; dedup followers adopt their
+	// leader's translated result instead of demanding a search.
+	memo := newDedupMemo(cfg)
+	hs := make([]dfg.CanonDigest, len(bgs))
+	leader := dedupPlan(memo, hs, func(i int) *dfg.Graph { return bgs[i].g }, len(bgs))
+	nLeaders := 0
+	for i := range leader {
+		if leader[i] == i {
+			nLeaders++
+		}
+	}
+	want := (sc.budget + nLeaders - 1) / nLeaders
 	initial := make([]*selTask, len(bgs))
 	for i := range bgs {
 		states[i].g = bgs[i].g
 		states[i].fp = bgs[i].g.Fingerprint()
-		initial[i] = sc.demandSingle(states[i].g, states[i].fp, cfg, want)
+		if leader[i] == i {
+			initial[i] = sc.demandSingle(states[i].g, states[i].fp, cfg, want)
+		}
 	}
-	for i := range bgs {
-		t := initial[i]
+	consume := func(i int, t *selTask) {
 		<-t.done
 		res.IdentCalls++
 		res.Stats.add(t.res.Stats)
 		states[i].best = t.res
 		blockStat[i] = t.bs
+		memo.storeSingle(states[i].g, hs[i], t.res, t.bs)
+	}
+	for i := range bgs {
+		if initial[i] != nil {
+			consume(i, initial[i])
+		} else if r, bs, ok := memo.lookupSingle(states[i].g, hs[i]); ok {
+			res.DedupHits++
+			states[i].best = r
+			blockStat[i] = bs
+		} else {
+			// The planned leader's search did not finish exhaustively (or
+			// revalidation refused the translation): search this block.
+			consume(i, sc.demandSingle(states[i].g, states[i].fp, cfg, sc.budget))
+		}
 	}
 	// launchSpecs fills idle slots with the searches the next rounds are
 	// most likely to demand: each candidate block's post-collapse
@@ -553,12 +664,16 @@ func selectIterativeScheduled(ctx context.Context, mod *ir.Module, ninstr int, c
 			break
 		}
 		st := &states[bestB]
-		res.Instructions = append(res.Instructions, Selected{
+		sel := Selected{
 			Fn:           bgs[bestB].fn,
 			Block:        bgs[bestB].b,
 			InstrIndexes: instrIndexesOf(st.g, st.best.Cut),
 			Est:          st.best.Est,
-		})
+		}
+		if memo.enabled() {
+			sel.CutHash = st.g.CutCanonHash(st.best.Cut)
+		}
+		res.Instructions = append(res.Instructions, sel)
 		res.TotalMerit += st.best.Est.Merit
 		name := fmt.Sprintf("ise_%s_%d", bgs[bestB].b.Name, chosen)
 		ng, err := st.g.CollapseIncr(st.best.Cut, name, st.best.Est.HWCycles)
@@ -577,6 +692,21 @@ func selectIterativeScheduled(ctx context.Context, mod *ir.Module, ninstr int, c
 			blockStat[bestB].Status = worse(blockStat[bestB].Status, statusOfCtx(cerr))
 			st.best = Result{}
 			dropSpec(bestB)
+			continue
+		}
+		// An isomorphic graph may already have been searched — the twin
+		// block collapsed the translated cut and re-searched first. Adopt
+		// its result and drop this block's own speculation (it would
+		// compute the same thing).
+		h := memo.hash(ng)
+		if rr, bb, ok := memo.lookupSingle(ng, h); ok {
+			dropSpec(bestB)
+			res.DedupHits++
+			st.best = rr
+			mergeBlockStatus(&blockStat[bestB], bb)
+			if chosen+1 < ninstr {
+				launchSpecs(bestB)
+			}
 			continue
 		}
 		// Adopt the block's speculative task when it anticipated exactly
@@ -607,10 +737,14 @@ func selectIterativeScheduled(ctx context.Context, mod *ir.Module, ninstr int, c
 			launchSpecs(bestB)
 		}
 		<-t.done
-		if t.spec && t.g == nil {
-			// Defensive: the speculative collapse failed even though the
-			// inline one succeeded (cannot normally diverge) — fall back
-			// to the demand search.
+		if t.spec && (t.g == nil || !dfg.EqualStructure(t.g, ng)) {
+			// Defensive: the speculative collapse failed, or produced a
+			// graph that is not the one the inline collapse built (cannot
+			// normally diverge) — never adopt its result; fall back to the
+			// demand search.
+			if t.g != nil {
+				cfg.Probe.MemoCollision(bgs[bestB].fn.Name+"/"+bgs[bestB].b.Name, 0)
+			}
 			t = sc.demandSingle(ng, st.fp, cfg, sc.budget)
 			<-t.done
 		}
@@ -622,6 +756,7 @@ func selectIterativeScheduled(ctx context.Context, mod *ir.Module, ninstr int, c
 		res.Stats.add(t.res.Stats)
 		st.best = t.res
 		mergeBlockStatus(&blockStat[bestB], t.bs)
+		memo.storeSingle(ng, h, t.res, t.bs)
 	}
 	sc.shutdown()
 	res.SpeculativeCalls = sc.speculativeCalls()

@@ -18,6 +18,23 @@ type Selected struct {
 	// instruction — the stable currency shared with the IR patcher.
 	InstrIndexes []int
 	Est          Estimate
+	// CutHash is the canonical digest of the cut's induced datapath
+	// (dfg.CutCanonHash): two selections with equal non-zero hashes
+	// compute the same function and could share one hardware
+	// implementation. Zero when Config.Dedup is off.
+	CutHash dfg.CanonDigest
+}
+
+// SharedInstruction is a group of at least two selected instructions
+// whose datapaths canonicalize identically — candidates for a single
+// shared hardware implementation. Members indexes into
+// SelectionResult.Instructions; Blocks lists the owning "fn/block"
+// names in the same order.
+type SharedInstruction struct {
+	Hash    string
+	Count   int
+	Members []int
+	Blocks  []string
 }
 
 // SelectionResult is the outcome of a program-wide selection (Problem 2).
@@ -36,6 +53,15 @@ type SelectionResult struct {
 	// instead of a fresh demand search. Both are 0 without Speculate.
 	SpeculativeCalls int
 	CacheHits        int
+	// DedupHits counts identifications served by the cross-block dedup
+	// memo (Config.Dedup): an isomorphic block had already been searched
+	// and its cuts were translated, revalidated and adopted. Dedup hits
+	// are charged here instead of IdentCalls and consume no search work.
+	DedupHits int
+	// SharedInstructions groups selected instructions whose datapaths
+	// canonicalize identically (only populated with Config.Dedup; groups
+	// appear in first-selected order).
+	SharedInstructions []SharedInstruction
 	// Blocks reports, per basic block, how its search ended (sorted by
 	// function name, then block name). Blocks searched to completion are
 	// listed with Status Exhaustive.
@@ -71,6 +97,38 @@ func (r *SelectionResult) finalize() {
 		if r.FirstPanic == "" && b.Err != nil {
 			r.FirstPanic = b.Err.Error()
 		}
+	}
+	r.computeShared()
+}
+
+// computeShared groups the selected instructions by non-zero CutHash
+// (first-selected order) and records every group of two or more as a
+// SharedInstruction. Must run after the instructions are sorted —
+// Members are indexes into the final Instructions slice.
+func (r *SelectionResult) computeShared() {
+	r.SharedInstructions = nil
+	groups := make(map[dfg.CanonDigest][]int)
+	var order []dfg.CanonDigest
+	for i, s := range r.Instructions {
+		if s.CutHash.IsZero() {
+			continue
+		}
+		if _, ok := groups[s.CutHash]; !ok {
+			order = append(order, s.CutHash)
+		}
+		groups[s.CutHash] = append(groups[s.CutHash], i)
+	}
+	for _, h := range order {
+		ms := groups[h]
+		if len(ms) < 2 {
+			continue
+		}
+		si := SharedInstruction{Hash: h.String(), Count: len(ms), Members: ms}
+		for _, m := range ms {
+			si.Blocks = append(si.Blocks,
+				r.Instructions[m].Fn.Name+"/"+r.Instructions[m].Block.Name)
+		}
+		r.SharedInstructions = append(r.SharedInstructions, si)
 	}
 }
 
@@ -155,22 +213,40 @@ func SelectOptimalCtx(ctx context.Context, m *ir.Module, ninstr int, cfg Config)
 	}
 	states := make([]blockState, len(bgs))
 	blockStat := make([]BlockStatus, len(bgs))
+	memo := newDedupMemo(cfg)
+	hs := make([]dfg.CanonDigest, len(bgs))
+	// identify serves block bi's M-cut identification, from the dedup
+	// memo when an isomorphic block was already searched (charged to
+	// DedupHits), from a fresh search otherwise (charged to IdentCalls
+	// and stored for later twins).
 	identify := func(bi, mm int) MultiResult {
+		if r, bb, ok := memo.lookupMulti(bgs[bi].g, hs[bi], mm); ok {
+			res.DedupHits++
+			mergeBlockStatus(&blockStat[bi], bb)
+			return r
+		}
 		res.IdentCalls++
 		r, bs := searchBlockMultiSafe(ctx, bgs[bi].g, mm, cfg)
 		res.Stats.add(r.Stats)
 		mergeBlockStatus(&blockStat[bi], bs)
+		memo.storeMulti(bgs[bi].g, hs[bi], mm, r, bs)
 		return r
 	}
 	// The initial identification of every block is independent; with
 	// Parallel set the blocks are searched concurrently, exactly like
 	// SelectIterativeCtx's initial pass (deterministic: results land in
-	// fixed slots and are merged in index order afterwards).
+	// fixed slots and are merged in index order afterwards). Only dedup
+	// leaders are searched — the plan is computed from the graphs up
+	// front so the serial and parallel passes make identical decisions.
 	if cfg.Parallel && len(bgs) > 1 {
+		leader := dedupPlan(memo, hs, func(i int) *dfg.Graph { return bgs[i].g }, len(bgs))
 		results := make([]MultiResult, len(bgs))
 		stats := make([]BlockStatus, len(bgs))
 		var wg sync.WaitGroup
 		for i := range bgs {
+			if leader[i] != i {
+				continue
+			}
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
@@ -180,15 +256,29 @@ func SelectOptimalCtx(ctx context.Context, m *ir.Module, ninstr int, cfg Config)
 		wg.Wait()
 		for i := range bgs {
 			blockStat[i] = BlockStatus{Fn: bgs[i].fn.Name, Block: bgs[i].b.Name}
-			res.IdentCalls++
-			res.Stats.add(results[i].Stats)
-			mergeBlockStatus(&blockStat[i], stats[i])
-			r := results[i]
+			var r MultiResult
+			if leader[i] == i {
+				res.IdentCalls++
+				res.Stats.add(results[i].Stats)
+				mergeBlockStatus(&blockStat[i], stats[i])
+				memo.storeMulti(bgs[i].g, hs[i], 1, results[i], stats[i])
+				r = results[i]
+			} else {
+				// Followers adopt their leader's identification; when the
+				// leader's result is not adoptable (non-exhaustive, or the
+				// translation was refused) the block searches itself.
+				r = identify(i, 1)
+			}
 			states[i].totals = []int64{0, r.TotalMerit}
 			states[i].results = []MultiResult{{}, r}
 			states[i].gain = r.TotalMerit
 		}
 	} else {
+		if memo.enabled() {
+			for i := range bgs {
+				hs[i] = memo.hash(bgs[i].g)
+			}
+		}
 		for i := range bgs {
 			blockStat[i] = BlockStatus{Fn: bgs[i].fn.Name, Block: bgs[i].b.Name}
 			r := identify(i, 1)
@@ -241,12 +331,16 @@ func SelectOptimalCtx(ctx context.Context, m *ir.Module, ninstr int, cfg Config)
 		}
 		r := st.results[st.m]
 		for j, c := range r.Cuts {
-			res.Instructions = append(res.Instructions, Selected{
+			sel := Selected{
 				Fn:           bgs[i].fn,
 				Block:        bgs[i].b,
 				InstrIndexes: instrIndexesOf(bgs[i].g, c),
 				Est:          r.Ests[j],
-			})
+			}
+			if memo.enabled() {
+				sel.CutHash = bgs[i].g.CutCanonHash(c)
+			}
+			res.Instructions = append(res.Instructions, sel)
 			res.TotalMerit += r.Ests[j].Merit
 		}
 	}
@@ -288,15 +382,40 @@ func SelectIterativeCtx(ctx context.Context, m *ir.Module, ninstr int, cfg Confi
 	}
 	states := make([]blockState, len(bgs))
 	blockStat := make([]BlockStatus, len(bgs))
+	memo := newDedupMemo(cfg)
+	hs := make([]dfg.CanonDigest, len(bgs))
+	// identify serves block i's single-cut identification on graph g,
+	// from the dedup memo when an isomorphic graph was already searched
+	// (DedupHits), from a fresh search otherwise (IdentCalls + store).
+	identify := func(i int, g *dfg.Graph, h dfg.CanonDigest) (Result, BlockStatus) {
+		if r, bb, ok := memo.lookupSingle(g, h); ok {
+			res.DedupHits++
+			return r, bb
+		}
+		r, bs := searchBlockSafe(ctx, g, cfg)
+		res.IdentCalls++
+		res.Stats.add(r.Stats)
+		memo.storeSingle(g, h, r, bs)
+		return r, bs
+	}
 	// The initial identification of every block is independent; with
 	// Parallel set the blocks are searched concurrently (deterministic:
 	// results land in fixed slots, and the stats are merged afterwards).
+	// Only dedup leaders are searched — the plan is computed from the
+	// graphs up front so the serial and parallel passes make identical
+	// decisions.
 	if cfg.Parallel && len(bgs) > 1 {
+		for i := range bgs {
+			states[i].g = bgs[i].g
+		}
+		leader := dedupPlan(memo, hs, func(i int) *dfg.Graph { return bgs[i].g }, len(bgs))
 		results := make([]Result, len(bgs))
 		stats := make([]BlockStatus, len(bgs))
 		var wg sync.WaitGroup
 		for i := range bgs {
-			states[i].g = bgs[i].g
+			if leader[i] != i {
+				continue
+			}
 			wg.Add(1)
 			go func(i int) {
 				defer wg.Done()
@@ -305,19 +424,28 @@ func SelectIterativeCtx(ctx context.Context, m *ir.Module, ninstr int, cfg Confi
 		}
 		wg.Wait()
 		for i := range bgs {
-			res.IdentCalls++
-			res.Stats.add(results[i].Stats)
-			states[i].best = results[i]
-			blockStat[i] = stats[i]
+			if leader[i] == i {
+				res.IdentCalls++
+				res.Stats.add(results[i].Stats)
+				states[i].best = results[i]
+				blockStat[i] = stats[i]
+				memo.storeSingle(states[i].g, hs[i], results[i], stats[i])
+				continue
+			}
+			// Followers adopt their leader's identification; when the
+			// leader's result is not adoptable (non-exhaustive, or the
+			// translation was refused) the block searches itself.
+			states[i].best, blockStat[i] = identify(i, states[i].g, hs[i])
 		}
 	} else {
+		if memo.enabled() {
+			for i := range bgs {
+				hs[i] = memo.hash(bgs[i].g)
+			}
+		}
 		for i := range bgs {
 			states[i].g = bgs[i].g
-			r, bs := searchBlockSafe(ctx, states[i].g, cfg)
-			res.IdentCalls++
-			res.Stats.add(r.Stats)
-			states[i].best = r
-			blockStat[i] = bs
+			states[i].best, blockStat[i] = identify(i, states[i].g, hs[i])
 		}
 	}
 	for chosen := 0; chosen < ninstr; chosen++ {
@@ -333,12 +461,16 @@ func SelectIterativeCtx(ctx context.Context, m *ir.Module, ninstr int, cfg Confi
 			break
 		}
 		st := &states[bestB]
-		res.Instructions = append(res.Instructions, Selected{
+		sel := Selected{
 			Fn:           bgs[bestB].fn,
 			Block:        bgs[bestB].b,
 			InstrIndexes: instrIndexesOf(st.g, st.best.Cut),
 			Est:          st.best.Est,
-		})
+		}
+		if memo.enabled() {
+			sel.CutHash = st.g.CutCanonHash(st.best.Cut)
+		}
+		res.Instructions = append(res.Instructions, sel)
 		res.TotalMerit += st.best.Est.Merit
 		// Collapse the chosen cut and re-identify on this block only.
 		name := fmt.Sprintf("ise_%s_%d", bgs[bestB].b.Name, chosen)
@@ -359,9 +491,7 @@ func SelectIterativeCtx(ctx context.Context, m *ir.Module, ninstr int, cfg Confi
 			st.best = Result{}
 			continue
 		}
-		r, bs := searchBlockSafe(ctx, st.g, cfg)
-		res.IdentCalls++
-		res.Stats.add(r.Stats)
+		r, bs := identify(bestB, st.g, memo.hash(st.g))
 		st.best = r
 		mergeBlockStatus(&blockStat[bestB], bs)
 	}

@@ -101,6 +101,18 @@ type Config struct {
 	// of max(Workers, 1) slots between concurrent block searches and each
 	// search's own worker pool.
 	Speculate bool
+	// Dedup enables cross-block structural deduplication in the selection
+	// drivers (SelectOptimalCtx, SelectIterativeCtx and their scheduled
+	// variants): blocks — and collapsed re-search graphs — whose dataflow
+	// graphs are isomorphic under the search order (dfg.OrderMatch) share
+	// one identification. The winning cuts are translated through the node
+	// renaming and revalidated with Legal/Evaluate on each block's own
+	// graph (frequencies stay per-block), so selections are bit-identical
+	// to a run without dedup; only the duplicate searches disappear.
+	// Adopted results are reported in SelectionResult.DedupHits, never in
+	// IdentCalls or Stats, and selected cuts that canonicalize identically
+	// are grouped in SelectionResult.SharedInstructions. Off by default.
+	Dedup bool
 	// Probe, when non-nil, enables the search telemetry subsystem: a
 	// flight recorder of typed search events, an atomic metrics
 	// registry, or both (see internal/obs). Observation is strictly

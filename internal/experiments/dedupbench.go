@@ -1,0 +1,255 @@
+package experiments
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strings"
+	"testing"
+	"time"
+
+	"isex/internal/core"
+	"isex/internal/ir"
+	"isex/internal/minic"
+	"isex/internal/passes"
+	"isex/internal/progen"
+)
+
+// This file measures the cross-block dedup memo of internal/core
+// (Config.Dedup, DESIGN.md §14) on the workload it exists for: modules
+// where the same dataflow structure recurs across many blocks. The
+// corpus is synthetic but honest about that shape — each progen seed's
+// program is compiled several times, the copies' functions renamed, and
+// everything merged into one module, so every block appears `copies`
+// times under different function names. Real firmware gets there via
+// unrolled loops, inlined helpers and copy-pasted kernels; the generator
+// gets there deterministically.
+//
+// Rows come in (driver × dedup) pairs; the dedup-off row is the
+// reference. Wall time is the full identify-stage selection run;
+// CutsConsidered counts actual search work (a dedup hit contributes
+// nothing — that is the win being measured). The report regenerates in
+// CI (BENCH_PR7.json) and fails on any selection divergence between the
+// paired rows, so it re-certifies the bit-identity contract on every
+// change.
+
+// DedupBenchEntry is one measured (driver, dedup) configuration,
+// aggregated over the whole corpus.
+type DedupBenchEntry struct {
+	Name   string `json:"name"`
+	Driver string `json:"driver"` // "optimal" or "iterative"
+	Dedup  bool   `json:"dedup"`
+	// NsPerOp is the wall-clock cost of one identify-stage pass over the
+	// full corpus.
+	NsPerOp float64 `json:"ns_per_op"`
+	// CutsConsidered is the summed search work; with dedup on, adopted
+	// blocks contribute none.
+	CutsConsidered int64 `json:"cuts_considered"`
+	IdentCalls     int   `json:"ident_calls"`
+	DedupHits      int   `json:"dedup_hits"`
+	// SharedGroups counts the reported shareable-datapath groups across
+	// the corpus (0 with dedup off).
+	SharedGroups int    `json:"shared_groups"`
+	TotalMerit   int64  `json:"total_merit"`
+	Instructions int    `json:"instructions"`
+	Status       string `json:"status"`
+	// SpeedupVsRef is ns/op(dedup off) ÷ ns/op(this row), set on the
+	// dedup-on rows.
+	SpeedupVsRef float64 `json:"speedup_vs_ref,omitempty"`
+}
+
+// DedupBenchReport is the BENCH_PR7.json payload.
+type DedupBenchReport struct {
+	Schema    string            `json:"schema"`
+	Generated string            `json:"generated"`
+	GoVersion string            `json:"go"`
+	GOOS      string            `json:"goos"`
+	GOARCH    string            `json:"goarch"`
+	NumCPU    int               `json:"num_cpu"`
+	Seeds     []int64           `json:"seeds"`
+	Copies    int               `json:"copies"`
+	Nin       int               `json:"nin"`
+	Nout      int               `json:"nout"`
+	Ninstr    int               `json:"ninstr"`
+	Blocks    int               `json:"blocks"`
+	Entries   []DedupBenchEntry `json:"entries"`
+}
+
+var (
+	dedupBenchSeeds  = []int64{11, 23, 47}
+	dedupBenchCopies = 4
+	dedupBenchNinstr = 4
+)
+
+// dedupCorpus builds one module per seed: the seed's program compiled
+// dedupBenchCopies times, the copies' functions renamed, all merged.
+// Copies of the same source share identical globals, so the merged
+// module is self-consistent; it is only ever identified over, never
+// executed, and no block is profiled (every frequency weighs 1 — the
+// dedup layer must cope with uniform weights too).
+func dedupCorpus(seeds []int64, copies int) ([]*ir.Module, int, error) {
+	var mods []*ir.Module
+	blocks := 0
+	for _, seed := range seeds {
+		src := progen.Generate(progen.Config{Seed: seed}).Source
+		var merged *ir.Module
+		for c := 0; c < copies; c++ {
+			m, err := minic.Compile(src, minic.Options{})
+			if err != nil {
+				return nil, 0, fmt.Errorf("experiments: seed %d: %w", seed, err)
+			}
+			if err := passes.Run(m, passes.Options{}); err != nil {
+				return nil, 0, fmt.Errorf("experiments: seed %d: %w", seed, err)
+			}
+			if c == 0 {
+				merged = m
+				continue
+			}
+			for _, f := range m.Funcs {
+				f.Name = fmt.Sprintf("%s_r%d", f.Name, c)
+				merged.Funcs = append(merged.Funcs, f)
+			}
+		}
+		for _, f := range merged.Funcs {
+			blocks += len(f.Blocks)
+		}
+		mods = append(mods, merged)
+	}
+	return mods, blocks, nil
+}
+
+// DedupBench measures identify-stage selection over the repeated-blocks
+// corpus with the dedup memo off (reference) and on, for both greedy
+// drivers, and returns the report. It errors out if a dedup-on run's
+// selection diverges from its reference, or if dedup never fires.
+func DedupBench() (*DedupBenchReport, error) {
+	mods, blocks, err := dedupCorpus(dedupBenchSeeds, dedupBenchCopies)
+	if err != nil {
+		return nil, err
+	}
+	rep := &DedupBenchReport{
+		Schema:    "isex-dedup-bench/v1",
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		GOOS:      runtime.GOOS,
+		GOARCH:    runtime.GOARCH,
+		NumCPU:    runtime.NumCPU(),
+		Seeds:     dedupBenchSeeds,
+		Copies:    dedupBenchCopies,
+		Nin:       2,
+		Nout:      1,
+		Ninstr:    dedupBenchNinstr,
+		Blocks:    blocks,
+	}
+
+	type driver struct {
+		name string
+		sel  func(*ir.Module, int, core.Config) core.SelectionResult
+	}
+	drivers := []driver{
+		{"iterative", core.SelectIterative},
+		{"optimal", core.SelectOptimal},
+	}
+	measure := func(name string, d driver, cfg core.Config) (DedupBenchEntry, []core.SelectionResult, error) {
+		var results []core.SelectionResult
+		r := testing.Benchmark(func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				results = results[:0]
+				for _, m := range mods {
+					results = append(results, d.sel(m, dedupBenchNinstr, cfg))
+				}
+			}
+		})
+		e := DedupBenchEntry{
+			Name:    name,
+			Driver:  d.name,
+			Dedup:   cfg.Dedup,
+			NsPerOp: float64(r.T.Nanoseconds()) / float64(r.N),
+			Status:  core.Exhaustive.String(),
+		}
+		for _, res := range results {
+			if res.Status != core.Exhaustive {
+				return e, nil, fmt.Errorf("experiments: %s not exhaustive: %v", name, res.Status)
+			}
+			e.CutsConsidered += res.Stats.CutsConsidered
+			e.IdentCalls += res.IdentCalls
+			e.DedupHits += res.DedupHits
+			e.SharedGroups += len(res.SharedInstructions)
+			e.TotalMerit += res.TotalMerit
+			e.Instructions += len(res.Instructions)
+		}
+		return e, results, nil
+	}
+	check := func(name string, got, want []core.SelectionResult) error {
+		for mi := range want {
+			a, b := want[mi], got[mi]
+			if a.TotalMerit != b.TotalMerit || len(a.Instructions) != len(b.Instructions) {
+				return fmt.Errorf("experiments: %s module %d diverged: merit %d (%d instrs), reference %d (%d instrs)",
+					name, mi, b.TotalMerit, len(b.Instructions), a.TotalMerit, len(a.Instructions))
+			}
+			for i := range a.Instructions {
+				x, y := a.Instructions[i], b.Instructions[i]
+				if x.Fn.Name != y.Fn.Name || x.Block.Name != y.Block.Name || x.Est != y.Est {
+					return fmt.Errorf("experiments: %s module %d instruction %d diverged: %s/%s vs reference %s/%s",
+						name, mi, i, y.Fn.Name, y.Block.Name, x.Fn.Name, x.Block.Name)
+				}
+			}
+		}
+		return nil
+	}
+
+	for _, d := range drivers {
+		off := core.Config{Nin: rep.Nin, Nout: rep.Nout}
+		on := off
+		on.Dedup = true
+		ref, refRes, err := measure(d.name+"/dedup=off", d, off)
+		if err != nil {
+			return nil, err
+		}
+		rep.Entries = append(rep.Entries, ref)
+		e, res, err := measure(d.name+"/dedup=on", d, on)
+		if err != nil {
+			return nil, err
+		}
+		if err := check(e.Name, res, refRes); err != nil {
+			return nil, err
+		}
+		if e.DedupHits == 0 {
+			return nil, fmt.Errorf("experiments: %s: no dedup hits on the repeated-blocks corpus", e.Name)
+		}
+		if e.NsPerOp > 0 {
+			e.SpeedupVsRef = ref.NsPerOp / e.NsPerOp
+		}
+		rep.Entries = append(rep.Entries, e)
+	}
+	return rep, nil
+}
+
+// WriteJSON writes the report to path (pretty-printed, trailing newline).
+func (r *DedupBenchReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// DedupBenchTable renders the report for terminal output.
+func DedupBenchTable(r *DedupBenchReport) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "Cross-block dedup benchmark — %d seed(s) × %d copies (%d blocks, Nin=%d Nout=%d), %s %s/%s, %d CPU\n\n",
+		len(r.Seeds), r.Copies, r.Blocks, r.Nin, r.Nout, r.GoVersion, r.GOOS, r.GOARCH, r.NumCPU)
+	fmt.Fprintf(&sb, "%-22s %12s %12s %6s %6s %7s %8s %10s\n",
+		"selection", "ms/op", "cuts", "ident", "hits", "shared", "merit", "speedup")
+	for _, e := range r.Entries {
+		speed := ""
+		if e.SpeedupVsRef > 0 {
+			speed = fmt.Sprintf("%.2fx", e.SpeedupVsRef)
+		}
+		fmt.Fprintf(&sb, "%-22s %12.2f %12d %6d %6d %7d %8d %10s\n",
+			e.Name, e.NsPerOp/1e6, e.CutsConsidered, e.IdentCalls,
+			e.DedupHits, e.SharedGroups, e.TotalMerit, speed)
+	}
+	return sb.String()
+}

@@ -82,29 +82,41 @@ const (
 	// KStall records the engine watchdog declaring worker A stalled
 	// after B poll-window samples without progress.
 	KStall
+	// KDedup records a cross-block dedup lookup by the selection drivers.
+	// Tag is "fn/block" of the requesting block, A is 1 on a hit (an
+	// isomorphic block's identification was adopted) and 0 on a miss, B
+	// the per-cut limit m (0 for the single-cut search).
+	KDedup
+	// KMemoCollision records the scheduler refusing to adopt a memoized
+	// task whose graph is not structurally equal to the requested one (a
+	// 64-bit fingerprint collision, or a divergent speculative slot). Tag
+	// is "fn/block", A the per-cut limit m.
+	KMemoCollision
 
-	kindCount = int(KStall) + 1
+	kindCount = int(KMemoCollision) + 1
 )
 
 var kindNames = [kindCount]string{
-	KSearchStart: "search_start",
-	KSearchEnd:   "search_end",
-	KIncumbent:   "incumbent",
-	KPrune:       "prune",
-	KBound:       "bound",
-	KSteal:       "steal",
-	KDonate:      "donate",
-	KResplit:     "resplit",
-	KSpecLaunch:  "spec_launch",
-	KSpecAdopt:   "spec_adopt",
-	KSpecDiscard: "spec_discard",
-	KStop:        "stop",
-	KRescue:      "rescue",
-	KCollapse:    "collapse",
-	KWarmSeed:    "warm_seed",
-	KPanic:       "panic",
-	KGreedy:      "greedy_rescue",
-	KStall:       "stall",
+	KSearchStart:   "search_start",
+	KSearchEnd:     "search_end",
+	KIncumbent:     "incumbent",
+	KPrune:         "prune",
+	KBound:         "bound",
+	KSteal:         "steal",
+	KDonate:        "donate",
+	KResplit:       "resplit",
+	KSpecLaunch:    "spec_launch",
+	KSpecAdopt:     "spec_adopt",
+	KSpecDiscard:   "spec_discard",
+	KStop:          "stop",
+	KRescue:        "rescue",
+	KCollapse:      "collapse",
+	KWarmSeed:      "warm_seed",
+	KPanic:         "panic",
+	KGreedy:        "greedy_rescue",
+	KStall:         "stall",
+	KDedup:         "dedup",
+	KMemoCollision: "memo_collision",
 }
 
 // String returns the stable wire name of the kind ("incumbent", "steal",

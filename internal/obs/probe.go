@@ -45,6 +45,11 @@ type Metrics struct {
 	CacheHits    *Counter
 	Collapses    *Counter
 	PoolLeaks    *Counter
+
+	// Cross-block dedup and memo-soundness counters.
+	DedupHits      *Counter
+	DedupMisses    *Counter
+	MemoCollisions *Counter
 }
 
 // NewMetrics resolves the well-known instrument set in reg.
@@ -80,6 +85,9 @@ func NewMetrics(reg *Registry) *Metrics {
 		CacheHits:       reg.Counter("sched_cache_hits_total"),
 		Collapses:       reg.Counter("sched_collapses_total"),
 		PoolLeaks:       reg.Counter("sched_pool_leaks_total"),
+		DedupHits:       reg.Counter("sched_dedup_hits_total"),
+		DedupMisses:     reg.Counter("sched_dedup_misses_total"),
+		MemoCollisions:  reg.Counter("sched_memo_collisions_total"),
 	}
 }
 
@@ -298,6 +306,48 @@ func (p *Probe) Collapse(tag string, round, cutSize int) {
 	}
 	if p.Rec != nil {
 		p.Rec.Sys(KCollapse, tag, int64(round), int64(cutSize), 0)
+	}
+}
+
+// Dedup records a cross-block dedup lookup by a selection driver: hit
+// means an isomorphic block's identification was adopted (after
+// Legal/Evaluate revalidation on the requesting block's graph); m is the
+// per-cut limit (0 for the single-cut search).
+func (p *Probe) Dedup(tag string, hit bool, m int) {
+	if p == nil {
+		return
+	}
+	p.fire(SiteDedup, tag)
+	if p.Met != nil {
+		if hit {
+			p.Met.DedupHits.Inc()
+		} else {
+			p.Met.DedupMisses.Inc()
+		}
+	}
+	if p.Rec != nil {
+		var h int64
+		if hit {
+			h = 1
+		}
+		p.Rec.Sys(KDedup, tag, h, int64(m), 0)
+	}
+}
+
+// MemoCollision records the scheduler detecting that a memoized task's
+// graph is not structurally equal to the one requested under the same
+// (fingerprint, m) key — the adoption is refused and a fresh search runs
+// instead. Like Panic, it is not an injection site: the detection is a
+// defensive soundness path and must not itself become a fault point.
+func (p *Probe) MemoCollision(tag string, m int) {
+	if p == nil {
+		return
+	}
+	if p.Met != nil {
+		p.Met.MemoCollisions.Inc()
+	}
+	if p.Rec != nil {
+		p.Rec.Sys(KMemoCollision, tag, int64(m), 0, 0)
 	}
 }
 

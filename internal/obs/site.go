@@ -57,8 +57,11 @@ const (
 	// SiteCollapse fires on a selection-round winner collapse
 	// (Probe.Collapse).
 	SiteCollapse
+	// SiteDedup fires on every cross-block dedup lookup, hit or miss
+	// (Probe.Dedup). Tag is "fn/block" of the requesting block.
+	SiteDedup
 
-	SiteCount = int(SiteCollapse) + 1
+	SiteCount = int(SiteDedup) + 1
 )
 
 var siteNames = [SiteCount]string{
@@ -78,6 +81,7 @@ var siteNames = [SiteCount]string{
 	SiteSpecAdopt:   "spec_adopt",
 	SiteSpecDiscard: "spec_discard",
 	SiteCollapse:    "collapse",
+	SiteDedup:       "dedup",
 }
 
 func (s Site) String() string {

@@ -54,6 +54,13 @@ type Constraints struct {
 	// visit without changing the result. (The parallel engine warm-starts
 	// on its own; this flag is for the serial path.)
 	WarmStart bool
+	// Dedup shares identification results between isomorphic basic
+	// blocks: graphs are keyed by a canonical hash (dfg.CanonHash), a
+	// stored search's cuts are translated through the proven node
+	// renaming and revalidated on the adopting block before use, so
+	// selections stay bit-identical to Dedup-off runs (modulo the node
+	// renaming). See the Selection's DedupHits and SharedInstructions.
+	Dedup bool
 	// Speculate routes the greedy selection drivers through the
 	// speculative scheduler: idle CPU budget (see Workers) re-identifies
 	// likely next-round winners ahead of demand and seeds every search
@@ -83,7 +90,7 @@ func (c Constraints) config() core.Config {
 	return core.Config{Nin: c.Nin, Nout: c.Nout, MaxCuts: c.MaxCuts,
 		Window: c.Window, Parallel: c.Parallel,
 		Workers: c.Workers, WarmStart: c.WarmStart, Speculate: c.Speculate,
-		StallWindow: c.StallWindow}
+		Dedup: c.Dedup, StallWindow: c.StallWindow}
 }
 
 // SearchStatus classifies how an identification search ended: Exhaustive
@@ -105,6 +112,10 @@ const (
 // BlockStatus reports how the search of one basic block ended, including
 // whether the §9 windowed fallback rescued it and any recovered error.
 type BlockStatus = core.BlockStatus
+
+// SharedInstruction is a group of selected instructions whose datapaths
+// canonicalize identically (see Constraints.Dedup).
+type SharedInstruction = core.SharedInstruction
 
 // Selection is a chosen set of custom instructions.
 type Selection struct {
@@ -132,6 +143,17 @@ func (s Selection) Degraded() bool { return s.inner.Degraded() }
 // each block's contribution is.
 func (s Selection) BlockStatuses() []BlockStatus {
 	return append([]BlockStatus(nil), s.inner.Blocks...)
+}
+
+// DedupHits returns how many identifications were served by the
+// cross-block dedup memo (Constraints.Dedup) instead of a fresh search.
+func (s Selection) DedupHits() int { return s.inner.DedupHits }
+
+// SharedInstructions returns the groups of selected instructions whose
+// datapaths canonicalize identically — candidates for one shared
+// hardware implementation (only populated with Constraints.Dedup).
+func (s Selection) SharedInstructions() []SharedInstruction {
+	return append([]SharedInstruction(nil), s.inner.SharedInstructions...)
 }
 
 // FirstPanic returns the first recovered panic across the per-block
