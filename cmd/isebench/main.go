@@ -26,6 +26,11 @@
 //	                          # cross-block dedup on a repeated-blocks
 //	                          # corpus: identify-stage wall time and search
 //	                          # work with the memo off (reference) vs on
+//	isebench -fig klbench -kljson BENCH_PR8.json
+//	                          # the ISEGEN-style iterative racer vs the
+//	                          # racer-less ladder on exploding blocks at
+//	                          # 2/1, 4/2 and 8/4 ports: merit, gap to the
+//	                          # proven optimum, and time-to-best
 package main
 
 import (
@@ -40,7 +45,7 @@ import (
 
 func main() {
 	var (
-		fig       = flag.String("fig", "all", "which figure to regenerate: 3, 5, 7, 8, 11, runtime, area, tradeoff, vliw, ifconv, ablation, bench, parbench, selbench, obsbench, dedupbench, all")
+		fig       = flag.String("fig", "all", "which figure to regenerate: 3, 5, 7, 8, 11, runtime, area, tradeoff, vliw, ifconv, ablation, bench, parbench, selbench, obsbench, dedupbench, klbench, all")
 		budget    = flag.Int64("budget", experiments.DefaultBudget, "cut budget per identification call")
 		measure   = flag.Bool("measure", false, "Fig. 11: additionally patch and measure on the cycle simulator")
 		optimal   = flag.Bool("optimal", false, "Fig. 11: include the Optimal selection (slow on large blocks)")
@@ -51,6 +56,7 @@ func main() {
 		selJSON   = flag.String("seljson", "", "with -fig selbench (or all): write the selection scheduler benchmark report to this file as JSON (e.g. BENCH_PR4.json)")
 		obsJSON   = flag.String("obsjson", "", "with -fig obsbench (or all): write the telemetry overhead benchmark report to this file as JSON (e.g. BENCH_PR5.json)")
 		dedupJSON = flag.String("dedupjson", "", "with -fig dedupbench (or all): write the cross-block dedup benchmark report to this file as JSON (e.g. BENCH_PR7.json)")
+		klJSON    = flag.String("kljson", "", "with -fig klbench (or all): write the iterative racer benchmark report to this file as JSON (e.g. BENCH_PR8.json)")
 	)
 	flag.Parse()
 	want := func(name string) bool { return *fig == "all" || *fig == name }
@@ -60,13 +66,13 @@ func main() {
 			benchList = append(benchList, b)
 		}
 	}
-	if err := run(want, *budget, *measure, *optimal, benchList, *deadline, *benchJSON, *parJSON, *selJSON, *obsJSON, *dedupJSON); err != nil {
+	if err := run(want, *budget, *measure, *optimal, benchList, *deadline, *benchJSON, *parJSON, *selJSON, *obsJSON, *dedupJSON, *klJSON); err != nil {
 		fmt.Fprintln(os.Stderr, "isebench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(want func(string) bool, budget int64, measure, optimal bool, benchList []string, deadline time.Duration, benchJSON, parJSON, selJSON, obsJSON, dedupJSON string) error {
+func run(want func(string) bool, budget int64, measure, optimal bool, benchList []string, deadline time.Duration, benchJSON, parJSON, selJSON, obsJSON, dedupJSON, klJSON string) error {
 	section := func(s string) { fmt.Println(); fmt.Println(s); fmt.Println() }
 
 	if want("bench") || benchJSON != "" {
@@ -136,6 +142,20 @@ func run(want func(string) bool, budget int64, measure, optimal bool, benchList 
 				return err
 			}
 			fmt.Printf("wrote %s\n", dedupJSON)
+		}
+	}
+
+	if want("klbench") || klJSON != "" {
+		rep, err := experiments.KLBench()
+		if err != nil {
+			return err
+		}
+		section(experiments.KLBenchTable(rep))
+		if klJSON != "" {
+			if err := rep.WriteJSON(klJSON); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", klJSON)
 		}
 	}
 

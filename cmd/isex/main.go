@@ -16,7 +16,11 @@
 //	1  error (bad flags, compile/profile failure, I/O failure, ...)
 //	2  -strict was set and the selection degraded below the exact
 //	   search (any per-block status other than "exhaustive": budget,
-//	   deadline, cancellation, watchdog stall, or a recovered failure)
+//	   deadline, cancellation, watchdog stall, or a recovered failure).
+//	   A block whose answer came from the -isegen iterative racer (rung
+//	   "iterative") is by construction degraded — the racer only ever
+//	   stands in when the exact search did not terminate — so -strict
+//	   exits 2 for it too, even though the cut itself is sound.
 package main
 
 import (
@@ -78,6 +82,7 @@ func run() error {
 		workers   = flag.Int("workers", 0, "run each block's exact search on the work-stealing parallel branch-and-bound engine with this many workers (0 = serial; results are bit-identical)")
 		speculate = flag.Bool("speculate", false, "route iterative/optimal selection through the speculative scheduler: idle workers pre-identify likely next-round winners and every search is warm-seeded (bit-identical selections; see also -workers)")
 		dedup     = flag.Bool("dedup", true, "share identification results between isomorphic basic blocks: canonical graph hashing finds repeated structure, adopted cuts are translated and revalidated on the adopting block (bit-identical selections modulo node renaming; see dedup_hits and shared_instructions in -json)")
+		isegen    = flag.Bool("isegen", true, "race an ISEGEN-style Kernighan-Lin toggle heuristic against the exact search on exploding blocks: sound incumbents tighten the merit bound, and the best racer answer stands in when the exact search trips its budget or deadline (terminating blocks are bit-identical either way; see racer_merit and gap in -json)")
 		deadline  = flag.Duration("deadline", 0, "wall-clock budget for identification (e.g. 500ms; 0 = none); on expiry the best selection found so far is reported")
 		stallWin  = flag.Duration("stall-window", 0, "arm the parallel engine's watchdog (needs -workers): a worker with no progress for two such windows has its subproblem requeued for the others and the block degrades to 'stalled' (0 = off)")
 		strict    = flag.Bool("strict", false, "exit with code 2 when any block's search degraded below the exact algorithm (the report is still written); for CI gates that must not accept lower bounds")
@@ -157,7 +162,7 @@ func run() error {
 
 	model := latency.Default()
 	cfg := core.Config{Nin: *nin, Nout: *nout, Model: model, MaxCuts: *budget,
-		Workers: *workers, Speculate: *speculate, Dedup: *dedup,
+		Workers: *workers, Speculate: *speculate, Dedup: *dedup, ISEGen: *isegen,
 		StallWindow: *stallWin}
 
 	// Telemetry: the flight recorder is on when a trace output is wanted,
@@ -271,8 +276,13 @@ func run() error {
 				switch b.Rung {
 				case core.RungWindowed:
 					line += " (rescued with the windowed heuristic)"
+				case core.RungIterative:
+					line += " (best answer from the iterative racer)"
 				case core.RungGreedy:
 					line += " (rescued with the greedy last resort)"
+				}
+				if b.RacerMerit > 0 {
+					line += fmt.Sprintf(" [racer merit %d]", b.RacerMerit)
 				}
 				if b.Err != nil {
 					line += fmt.Sprintf(" — %v", b.Err)
@@ -457,7 +467,15 @@ type jsonBlock struct {
 	Status   string `json:"status"`
 	Rung     string `json:"rung"`
 	Fallback bool   `json:"fallback,omitempty"`
-	Err      string `json:"err,omitempty"`
+	// RacerMerit is the best merit the -isegen racer proved achievable
+	// for the block (omitted when no racer ran or it published nothing).
+	RacerMerit int64 `json:"racer_merit,omitempty"`
+	// Gap is (optimum − racer merit) / optimum on blocks where the exact
+	// search terminated with a proven optimum while the racer published;
+	// GapKnown distinguishes a genuine 0.0 gap from "not measured".
+	Gap      float64 `json:"gap,omitempty"`
+	GapKnown bool    `json:"gap_known,omitempty"`
+	Err      string  `json:"err,omitempty"`
 }
 
 func writeJSONReport(w *os.File, method string, nin, nout, ninstr int, sel core.SelectionResult, probe *obs.Probe) error {
@@ -497,6 +515,12 @@ func writeJSONReport(w *os.File, method string, nin, nout, ninstr int, sel core.
 	for _, b := range sel.Blocks {
 		jb := jsonBlock{Fn: b.Fn, Block: b.Block, Status: b.Status.String(),
 			Rung: b.Rung.String(), Fallback: b.Fallback}
+		if b.RacerMerit > 0 {
+			jb.RacerMerit = b.RacerMerit
+		}
+		if b.GapKnown {
+			jb.Gap, jb.GapKnown = b.Gap, true
+		}
 		if b.Err != nil {
 			jb.Err = b.Err.Error()
 		}

@@ -155,7 +155,7 @@ func TestChaosSingleSearch(t *testing.T) {
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
 			rng := rand.New(rand.NewSource(seed))
 			g := randomGraph(t, rng, 16+rng.Intn(8))
-			base := Config{Nin: 4, Nout: 2}
+			base := Config{Nin: 4, Nout: 2, ISEGen: true}
 			ref := FindBestCut(g, base)
 			if ref.Status != Exhaustive {
 				t.Fatalf("reference search not exhaustive: %v", ref.Status)
@@ -185,7 +185,7 @@ func TestChaosMultiSearch(t *testing.T) {
 		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
 			rng := rand.New(rand.NewSource(seed))
 			g := randomGraph(t, rng, 12+rng.Intn(4))
-			base := Config{Nin: 3, Nout: 2}
+			base := Config{Nin: 3, Nout: 2, ISEGen: true}
 			ref := FindBestCuts(g, 2, base)
 			if ref.Status != Exhaustive {
 				t.Fatalf("reference search not exhaustive: %v", ref.Status)
@@ -249,6 +249,7 @@ func TestChaosSelection(t *testing.T) {
 		{Nin: 4, Nout: 2},
 		{Nin: 4, Nout: 2, Parallel: true, Workers: 4},
 		{Nin: 4, Nout: 2, Speculate: true, Workers: 4},
+		{Nin: 4, Nout: 2, ISEGen: true, Parallel: true, Workers: 4},
 	}
 	for _, seed := range chaosSeeds(t, 21, 22, 23) {
 		for vi, v := range variants {
@@ -300,7 +301,7 @@ func TestChaosSelection(t *testing.T) {
 func TestChaosPerSiteLadder(t *testing.T) {
 	rng := rand.New(rand.NewSource(7))
 	g := randomGraph(t, rng, 18)
-	base := Config{Nin: 4, Nout: 2}
+	base := Config{Nin: 4, Nout: 2, ISEGen: true}
 	ref := FindBestCut(g, base)
 	if ref.Status != Exhaustive || !ref.Found {
 		t.Fatalf("reference: status %v found %v — fixture graph unusable", ref.Status, ref.Found)
@@ -379,7 +380,7 @@ func TestChaosDriverSites(t *testing.T) {
 func TestChaosZeroFaultBitIdentical(t *testing.T) {
 	rng := rand.New(rand.NewSource(8))
 	g := randomGraph(t, rng, 20)
-	base := Config{Nin: 4, Nout: 2}
+	base := Config{Nin: 4, Nout: 2, ISEGen: true}
 	ref := FindBestCut(g, base)
 	rules := make([]faultinject.Rule, 0, obs.SiteCount)
 	for site := 0; site < obs.SiteCount; site++ {

@@ -113,6 +113,15 @@ type Config struct {
 	// IdentCalls or Stats, and selected cuts that canonicalize identically
 	// are grouped in SelectionResult.SharedInstructions. Off by default.
 	Dedup bool
+	// ISEGen races an ISEGEN-style Kernighan–Lin toggle engine (see
+	// isegen.go) against the exact search on blocks larger than the §9
+	// fallback window. The racer publishes Legal/Evaluate-revalidated
+	// incumbents into a CAS-max shared bound that the exact search folds
+	// into its PruneMerit cache at poll cadence — soundly, so terminating
+	// exact searches stay bit-identical with the racer on or off — and
+	// the anytime ladder adopts the racer's best answer (RungIterative)
+	// only when the exact search did not terminate. Off by default.
+	ISEGen bool
 	// Probe, when non-nil, enables the search telemetry subsystem: a
 	// flight recorder of typed search events, an atomic metrics
 	// registry, or both (see internal/obs). Observation is strictly
@@ -135,6 +144,14 @@ type Config struct {
 	seedMerit int64
 	seedCut   dfg.Cut
 	seedCuts  []dfg.Cut
+
+	// race attaches the block's iterative racer (package-internal; set by
+	// the anytime layer when ISEGen launches one). The searcher folds
+	// race.bound into its PruneMerit shared cache at poll cadence and the
+	// warm-start paths exchange seeds with it. Recursive passes that
+	// search Restrict views (windowed heuristic, warm pass) must nil it:
+	// a full-graph bound is not sound on a window.
+	race *racerHandle
 }
 
 // withSeed arms incumbent seeding (see the seed fields above).
@@ -239,12 +256,18 @@ func FindBestCutCtx(ctx context.Context, g *dfg.Graph, cfg Config) Result {
 	s.obs = cfg.Probe.Attach()
 	if cfg.seedOn && cfg.seedMerit > 0 && len(cfg.seedCut) > 0 {
 		s.seedIncumbent(Result{Found: true, Cut: cfg.seedCut, Est: Estimate{Merit: cfg.seedMerit}})
+		if cfg.race != nil {
+			cfg.race.donate(cfg.seedCut) // scheduler seed warms the racer too
+		}
 	}
 	if cfg.WarmStart && g.NumOps() > warmWindow {
 		w := findWarmIncumbent(ctx, g, cfg)
 		if w.Found {
 			s.seedIncumbent(w) // keeps the better of seed and warm
 			s.obs.WarmSeed(w.Est.Merit)
+			if cfg.race != nil {
+				cfg.race.donate(w.Cut) // §9 windowed cut warms the racer
+			}
 		}
 		if w.Status != Exhaustive {
 			res := Result{Status: w.Status}
@@ -255,6 +278,14 @@ func FindBestCutCtx(ctx context.Context, g *dfg.Graph, cfg Config) Result {
 				res.Est = Evaluate(g, res.Cut, cfg.model())
 			}
 			return res
+		}
+	}
+	if cfg.race != nil {
+		// Best-of warm start: whatever the racer has already proven
+		// achievable seeds the exact search exactly like a windowed warm
+		// cut (threshold merit−1, result-preserving).
+		if inc, ok := cfg.race.incumbentResult(); ok {
+			s.seedIncumbent(inc)
 		}
 	}
 	s.run()
@@ -292,6 +323,9 @@ func findWarmIncumbent(ctx context.Context, g *dfg.Graph, cfg Config) Result {
 	// The warm pass still feeds the metrics registry (its work is real
 	// engine work), but never the flight recorder — its per-window
 	// events would drown the exact search's timeline.
+	// The warm pass searches Restrict views; the block-level racer bound
+	// is not sound there (see Config.race).
+	cfg.race = nil
 	cfg.Probe = cfg.Probe.MetricsOnly()
 	return FindBestCutWindowedCtx(ctx, g, cfg.stripSeed(), warmWindow)
 }
@@ -456,6 +490,7 @@ func (s *searcher) poll() {
 				s.sharedCache = v
 			}
 		}
+		s.pollRacer()
 		if s.eng.needWork.Load() {
 			s.tryDonate()
 		}
@@ -469,7 +504,23 @@ func (s *searcher) poll() {
 			return
 		}
 	}
+	s.pollRacer()
 	s.flushObs()
+}
+
+// pollRacer folds the iterative racer's published achievable-merit bound
+// into the PruneMerit shared cache. Racer merits are Legal/Evaluate
+// revalidated lower bounds of the optimum and visit's cutoff is strictly
+// `ub < bound`, so — exactly like the engine's shared incumbent bound —
+// the fold can only skip subtrees provably at or below an achievable
+// merit: terminating searches stay bit-identical, only Stats shrink.
+func (s *searcher) pollRacer() {
+	if !s.cfg.PruneMerit || s.cfg.race == nil {
+		return
+	}
+	if v := s.cfg.race.boundLoad(); v > s.sharedCache {
+		s.sharedCache = v
+	}
 }
 
 // meritOf converts the current (non-empty) cut state into merit. The

@@ -43,7 +43,10 @@ func FindBestCutWindowedCtx(ctx context.Context, g *dfg.Graph, cfg Config, windo
 	cfg.Probe = cfg.Probe.MetricsOnly()
 	// A scheduler seed cut need not be legal on a Restrict view (its
 	// members may fall outside the window), so the windows run cold.
+	// The racer's full-graph bound is likewise unsound on a window — a
+	// window may genuinely contain nothing that beats it.
 	cfg = cfg.stripSeed()
+	cfg.race = nil
 	n := g.NumOps()
 	if window <= 0 || window >= n {
 		return FindBestCutCtx(ctx, g, cfg)

@@ -1,0 +1,291 @@
+// Incremental toggle state for iterative-improvement searches (ISEGEN
+// style). A Kernighan–Lin pass flips one node's cut membership at a time
+// and needs the §5 quantities of the flipped set — IN, OUT, convexity —
+// after every move. Recomputing Legal per flip is O(|S|·V/64); Toggle
+// keeps the quantities incrementally so a flip costs O(deg(v) + V/64)
+// word operations and a candidate flip can be scored without mutating
+// anything:
+//
+//   - refIn[p]  = |{m ∈ S : p ∈ preds[m]}| — p is an input iff p ∉ S and
+//     refIn[p] > 0; inCnt counts such p.
+//   - extOut[m] = |succs[m] \ S| for members — m is an output iff
+//     extOut[m] > 0; outCnt counts such m.
+//   - accD/accA = ∪_{m∈S} desc[m] / anc[m] — S is convex iff
+//     (accD ∩ accA) \ S = ∅ (the bitset.go identity).
+//
+// Adding v updates the unions with two row ORs; removing v rebuilds them
+// in O(|S|·V/64) (unions do not subtract), which is fine because KL
+// passes apply O(V) flips while *scoring* O(V²) — and scoring a removal
+// needs no rebuild at all: when S is convex, S \ {v} can only be violated
+// by v itself (any other outside violator of S\{v} would already violate
+// S), so RemoveDelta tests just anc[v]∩S' and desc[v]∩S'.
+//
+// A Toggle reads only the graph's immutable kernel tables and forbidden
+// set and owns all mutable state, so separate Toggle values — e.g. one
+// per racer goroutine on a Restrict view — are safe to use concurrently
+// as long as each stays on its own goroutine.
+package dfg
+
+import "math/bits"
+
+// Toggle maintains one candidate cut as mutable node membership with
+// incrementally-tracked IN/OUT/convexity state.
+type Toggle struct {
+	g    *Graph
+	s    BitSet
+	size int
+	// refIn[p] counts members consuming p; inCnt counts outside nodes
+	// with refIn > 0 (= IN(S)).
+	refIn []int32
+	inCnt int
+	// extOut[m] counts a member's data successors outside S (zeroed when
+	// m leaves); outCnt counts members with extOut > 0 (= OUT(S)).
+	extOut []int32
+	outCnt int
+	// accD/accA are the members' descendant/ancestor row unions.
+	accD, accA BitSet
+}
+
+// NewToggle returns an empty Toggle over g's node space.
+func NewToggle(g *Graph) *Toggle {
+	n := len(g.Nodes)
+	return &Toggle{
+		g:      g,
+		s:      g.NewSet(),
+		refIn:  make([]int32, n),
+		extOut: make([]int32, n),
+		accD:   g.NewSet(),
+		accA:   g.NewSet(),
+	}
+}
+
+// Reset empties the membership.
+func (t *Toggle) Reset() {
+	t.s.Reset()
+	t.accD.Reset()
+	t.accA.Reset()
+	for i := range t.refIn {
+		t.refIn[i] = 0
+		t.extOut[i] = 0
+	}
+	t.size, t.inCnt, t.outCnt = 0, 0, 0
+}
+
+// Load resets the state and adds every member of c (any order; the
+// incremental counters do not assume intermediate convexity).
+func (t *Toggle) Load(c Cut) {
+	t.Reset()
+	for _, id := range c {
+		t.Add(id)
+	}
+}
+
+// Has reports membership of id.
+func (t *Toggle) Has(id int) bool { return t.s.Has(id) }
+
+// Size returns |S|.
+func (t *Toggle) Size() int { return t.size }
+
+// In returns IN(S), the number of outside producer nodes feeding S.
+func (t *Toggle) In() int { return t.inCnt }
+
+// Out returns OUT(S), the number of members with a consumer outside S.
+func (t *Toggle) Out() int { return t.outCnt }
+
+// Allowed reports whether id may ever join a cut (an operation node not
+// marked Forbidden).
+func (t *Toggle) Allowed(id int) bool { return !t.g.forbid.Has(id) }
+
+// Convex reports convexity of the current membership.
+func (t *Toggle) Convex() bool {
+	for i := range t.accD {
+		if t.accD[i]&t.accA[i]&^t.s[i] != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Members returns the membership as a Cut in ascending ID order.
+func (t *Toggle) Members() Cut {
+	c := make(Cut, 0, t.size)
+	t.s.ForEach(func(id int) { c = append(c, id) })
+	return c
+}
+
+// AddDelta scores adding v (a non-member) without mutating: the IN and
+// OUT deltas, and whether S ∪ {v} is convex.
+func (t *Toggle) AddDelta(v int) (din, dout int, convex bool) {
+	k := t.g.kern
+	if t.refIn[v] > 0 {
+		din-- // v was an input of S and joins it
+	}
+	ext := 0
+	for wi, w := range k.succs[v] {
+		ext += bits.OnesCount64(w &^ t.s[wi])
+	}
+	if ext > 0 {
+		dout++ // v arrives with outside consumers
+	}
+	for wi, w := range k.preds[v] {
+		outw := w &^ t.s[wi]
+		for outw != 0 {
+			p := wi<<6 + bits.TrailingZeros64(outw)
+			outw &= outw - 1
+			if t.refIn[p] == 0 {
+				din++ // previously unconsumed outside producer
+			}
+		}
+		inw := w & t.s[wi]
+		for inw != 0 {
+			p := wi<<6 + bits.TrailingZeros64(inw)
+			inw &= inw - 1
+			if t.extOut[p] == 1 {
+				dout-- // v was p's only outside consumer
+			}
+		}
+	}
+	// Convexity of S ∪ {v}: extend the row unions by v's rows and test
+	// the identity against the extended membership.
+	convex = true
+	vw, vb := v>>6, uint64(1)<<(uint(v)&63)
+	dr, ar := k.desc[v], k.anc[v]
+	for i := range t.accD {
+		bad := (t.accD[i] | dr[i]) & (t.accA[i] | ar[i]) &^ t.s[i]
+		if i == vw {
+			bad &^= vb
+		}
+		if bad != 0 {
+			convex = false
+			break
+		}
+	}
+	return din, dout, convex
+}
+
+// RemoveDelta scores removing v (a member) without mutating. The
+// convexity verdict relies on the current membership being convex (the
+// engines' invariant): the only possible violator of S \ {v} is v.
+func (t *Toggle) RemoveDelta(v int) (din, dout int, convex bool) {
+	k := t.g.kern
+	if t.refIn[v] > 0 {
+		din++ // v leaves but members still consume it
+	}
+	if t.extOut[v] > 0 {
+		dout--
+	}
+	vw, vb := v>>6, uint64(1)<<(uint(v)&63)
+	for wi, w := range k.preds[v] {
+		outw := w &^ t.s[wi]
+		for outw != 0 {
+			p := wi<<6 + bits.TrailingZeros64(outw)
+			outw &= outw - 1
+			if t.refIn[p] == 1 {
+				din-- // v was p's only consuming member
+			}
+		}
+		inw := w & t.s[wi]
+		for inw != 0 {
+			p := wi<<6 + bits.TrailingZeros64(inw)
+			inw &= inw - 1
+			if t.extOut[p] == 0 {
+				dout++ // p gains its first outside consumer (v)
+			}
+		}
+	}
+	hasAnc, hasDesc := false, false
+	for i := range t.s {
+		sv := t.s[i]
+		if i == vw {
+			sv &^= vb
+		}
+		if k.anc[v][i]&sv != 0 {
+			hasAnc = true
+		}
+		if k.desc[v][i]&sv != 0 {
+			hasDesc = true
+		}
+	}
+	return din, dout, !(hasAnc && hasDesc)
+}
+
+// Add flips non-member v in.
+func (t *Toggle) Add(v int) {
+	k := t.g.kern
+	if t.refIn[v] > 0 {
+		t.inCnt--
+	}
+	for wi, w := range k.preds[v] {
+		outw := w &^ t.s[wi]
+		for outw != 0 {
+			p := wi<<6 + bits.TrailingZeros64(outw)
+			outw &= outw - 1
+			if t.refIn[p] == 0 {
+				t.inCnt++
+			}
+			t.refIn[p]++
+		}
+		inw := w & t.s[wi]
+		for inw != 0 {
+			p := wi<<6 + bits.TrailingZeros64(inw)
+			inw &= inw - 1
+			t.refIn[p]++
+			if t.extOut[p]--; t.extOut[p] == 0 {
+				t.outCnt--
+			}
+		}
+	}
+	ext := 0
+	for wi, w := range k.succs[v] {
+		ext += bits.OnesCount64(w &^ t.s[wi])
+	}
+	t.extOut[v] = int32(ext)
+	if ext > 0 {
+		t.outCnt++
+	}
+	t.s.Set(v)
+	t.size++
+	t.accD.Or(k.desc[v])
+	t.accA.Or(k.anc[v])
+}
+
+// Remove flips member v out. The descendant/ancestor unions are rebuilt
+// from the surviving members (unions do not subtract).
+func (t *Toggle) Remove(v int) {
+	k := t.g.kern
+	t.s.Unset(v)
+	t.size--
+	for wi, w := range k.preds[v] {
+		inw := w & t.s[wi]
+		for inw != 0 {
+			p := wi<<6 + bits.TrailingZeros64(inw)
+			inw &= inw - 1
+			if t.extOut[p] == 0 {
+				t.outCnt++
+			}
+			t.extOut[p]++
+			t.refIn[p]--
+		}
+		outw := w &^ t.s[wi]
+		for outw != 0 {
+			p := wi<<6 + bits.TrailingZeros64(outw)
+			outw &= outw - 1
+			if t.refIn[p]--; t.refIn[p] == 0 {
+				t.inCnt--
+			}
+		}
+	}
+	if t.refIn[v] > 0 {
+		t.inCnt++
+	}
+	if t.extOut[v] > 0 {
+		t.outCnt--
+	}
+	t.extOut[v] = 0
+	t.accD.Reset()
+	t.accA.Reset()
+	t.s.ForEach(func(id int) {
+		t.accD.Or(k.desc[id])
+		t.accA.Or(k.anc[id])
+	})
+}

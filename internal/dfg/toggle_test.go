@@ -1,0 +1,135 @@
+package dfg
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// checkToggle compares a Toggle's incremental counters against the
+// reference set predicates for its current membership.
+func checkToggle(t *testing.T, g *Graph, tog *Toggle) {
+	t.Helper()
+	c := tog.Members()
+	if got, want := tog.Size(), len(c); got != want {
+		t.Fatalf("Size() = %d, members = %d", got, want)
+	}
+	if got, want := tog.In(), g.Inputs(c); got != want {
+		t.Fatalf("In() = %d, Inputs(%v) = %d", got, c, want)
+	}
+	if got, want := tog.Out(), g.Outputs(c); got != want {
+		t.Fatalf("Out() = %d, Outputs(%v) = %d", got, c, want)
+	}
+	if got, want := tog.Convex(), g.Convex(c); got != want {
+		t.Fatalf("Convex() = %v, Convex(%v) = %v", got, c, want)
+	}
+}
+
+// TestToggleDifferential drives random flip sequences and checks every
+// intermediate state, plus the non-mutating delta predictions, against
+// the reference predicates.
+func TestToggleDifferential(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		g := randomGraphLocal(rng, 6+rng.Intn(16))
+		tog := NewToggle(g)
+		var cand []int
+		for _, id := range g.OpOrder {
+			if tog.Allowed(id) != !g.Nodes[id].Forbidden {
+				t.Fatalf("Allowed(%d) disagrees with Forbidden", id)
+			}
+			if !g.Nodes[id].Forbidden {
+				cand = append(cand, id)
+			}
+		}
+		if len(cand) == 0 {
+			return true
+		}
+		for step := 0; step < 40; step++ {
+			v := cand[rng.Intn(len(cand))]
+			before := tog.Members()
+			wasConvex := tog.Convex()
+			if tog.Has(v) {
+				din, dout, convex := 0, 0, false
+				if wasConvex {
+					// RemoveDelta's convexity verdict is only specified
+					// on convex states; the count deltas always hold.
+					din, dout, convex = tog.RemoveDelta(v)
+				} else {
+					din, dout, _ = tog.RemoveDelta(v)
+				}
+				tog.Remove(v)
+				if got := g.Inputs(tog.Members()); got != g.Inputs(before)+din {
+					t.Fatalf("RemoveDelta din=%d: %d -> %d", din, g.Inputs(before), got)
+				}
+				if got := g.Outputs(tog.Members()); got != g.Outputs(before)+dout {
+					t.Fatalf("RemoveDelta dout=%d: %d -> %d", dout, g.Outputs(before), got)
+				}
+				if wasConvex && convex != tog.Convex() {
+					t.Fatalf("RemoveDelta convex=%v, actual %v (cut %v minus %d)", convex, tog.Convex(), before, v)
+				}
+			} else {
+				din, dout, convex := tog.AddDelta(v)
+				tog.Add(v)
+				if got := g.Inputs(tog.Members()); got != g.Inputs(before)+din {
+					t.Fatalf("AddDelta din=%d: %d -> %d", din, g.Inputs(before), got)
+				}
+				if got := g.Outputs(tog.Members()); got != g.Outputs(before)+dout {
+					t.Fatalf("AddDelta dout=%d: %d -> %d", dout, g.Outputs(before), got)
+				}
+				if convex != tog.Convex() {
+					t.Fatalf("AddDelta convex=%v, actual %v (cut %v plus %d)", convex, tog.Convex(), before, v)
+				}
+			}
+			checkToggle(t, g, tog)
+		}
+		// Load must reproduce the same state as the flip sequence.
+		c := tog.Members()
+		fresh := NewToggle(g)
+		fresh.Load(c)
+		checkToggle(t, g, fresh)
+		if fresh.In() != tog.In() || fresh.Out() != tog.Out() || fresh.Size() != tog.Size() {
+			t.Fatalf("Load(%v) state differs from incremental state", c)
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestToggleConvexRemovalInvariant checks the removal lemma the engines
+// rely on: flipping a member out of a convex set is judged by the local
+// anc/desc test, matching the full recomputation.
+func TestToggleConvexRemovalInvariant(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for iter := 0; iter < 80; iter++ {
+		g := randomGraphLocal(rng, 8+rng.Intn(12))
+		tog := NewToggle(g)
+		// Grow a convex set by only applying convexity-preserving adds.
+		for _, id := range g.OpOrder {
+			if g.Nodes[id].Forbidden || rng.Intn(2) == 0 {
+				continue
+			}
+			if _, _, ok := tog.AddDelta(id); ok {
+				tog.Add(id)
+			}
+		}
+		if !tog.Convex() {
+			t.Fatalf("grown set not convex: %v", tog.Members())
+		}
+		for _, v := range tog.Members() {
+			_, _, predicted := tog.RemoveDelta(v)
+			rest := tog.Members()
+			trimmed := rest[:0:0]
+			for _, id := range rest {
+				if id != v {
+					trimmed = append(trimmed, id)
+				}
+			}
+			if got := g.Convex(trimmed); got != predicted {
+				t.Fatalf("RemoveDelta(%d) convex=%v, reference %v on %v", v, predicted, got, rest)
+			}
+		}
+	}
+}

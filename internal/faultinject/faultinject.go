@@ -249,6 +249,7 @@ func RandomPlan(seed int64, n int) []Rule {
 		obs.SiteWarmSeed, obs.SiteRescue, obs.SiteGreedy,
 		obs.SiteSpecLaunch, obs.SiteSpecAdopt, obs.SiteSpecDiscard,
 		obs.SiteCollapse,
+		obs.SiteToggle, obs.SiteRestart, obs.SiteRacerPublish,
 	}
 	rules := make([]Rule, 0, n)
 	for i := 0; i < n; i++ {

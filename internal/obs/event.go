@@ -92,8 +92,23 @@ const (
 	// 64-bit fingerprint collision, or a divergent speculative slot). Tag
 	// is "fn/block", A the per-cut limit m.
 	KMemoCollision
+	// KToggle records the iterative racer flushing its toggle-iteration
+	// tally: A the toggles applied since the last flush, B the running
+	// total for this racer.
+	KToggle
+	// KRestart records the racer starting KL restart A from a seed of
+	// merit B and size C. Tag is "fn/block".
+	KRestart
+	// KRacerPublish records the racer publishing a Legal/Evaluate
+	// revalidated incumbent: A its merit, B the restart that produced it,
+	// C the cut size. Tag is "fn/block".
+	KRacerPublish
+	// KRacerAdopt records the anytime layer adopting the racer's best
+	// answer after the exact search degraded: A the adopted merit, B the
+	// merit the exact rungs had (or -1). Tag is "fn/block".
+	KRacerAdopt
 
-	kindCount = int(KMemoCollision) + 1
+	kindCount = int(KRacerAdopt) + 1
 )
 
 var kindNames = [kindCount]string{
@@ -117,6 +132,10 @@ var kindNames = [kindCount]string{
 	KStall:         "stall",
 	KDedup:         "dedup",
 	KMemoCollision: "memo_collision",
+	KToggle:        "toggle",
+	KRestart:       "restart",
+	KRacerPublish:  "racer_publish",
+	KRacerAdopt:    "racer_adopt",
 }
 
 // String returns the stable wire name of the kind ("incumbent", "steal",

@@ -50,6 +50,12 @@ type Metrics struct {
 	DedupHits      *Counter
 	DedupMisses    *Counter
 	MemoCollisions *Counter
+
+	// Iterative-racer counters.
+	RacerToggles   *Counter
+	RacerRestarts  *Counter
+	RacerPublished *Counter
+	RacerAdopted   *Counter
 }
 
 // NewMetrics resolves the well-known instrument set in reg.
@@ -88,6 +94,10 @@ func NewMetrics(reg *Registry) *Metrics {
 		DedupHits:       reg.Counter("sched_dedup_hits_total"),
 		DedupMisses:     reg.Counter("sched_dedup_misses_total"),
 		MemoCollisions:  reg.Counter("sched_memo_collisions_total"),
+		RacerToggles:    reg.Counter("racer_toggles_total"),
+		RacerRestarts:   reg.Counter("racer_restarts_total"),
+		RacerPublished:  reg.Counter("racer_incumbents_published_total"),
+		RacerAdopted:    reg.Counter("racer_incumbents_adopted_total"),
 	}
 }
 
@@ -389,6 +399,70 @@ func (p *Probe) Greedy(tag string, found bool, merit, cands int64) {
 			f = 1
 		}
 		p.Rec.Sys(KGreedy, tag, f, merit, cands)
+	}
+}
+
+// RacerToggles flushes the iterative racer's toggle-iteration tally as
+// a delta (the racer counts locally and flushes at restart boundaries
+// and on exit, mirroring FlushStats' delta discipline); total is the
+// racer's running total after the flush.
+func (p *Probe) RacerToggles(delta, total int64) {
+	if p == nil || delta <= 0 {
+		return
+	}
+	p.fire(SiteToggle, "")
+	if p.Met != nil {
+		p.Met.RacerToggles.Add(delta)
+	}
+	if p.Rec != nil {
+		p.Rec.Sys(KToggle, "", delta, total, 0)
+	}
+}
+
+// RacerRestart records the racer beginning KL restart number restart
+// from a seed of the given merit (-1 when seedless) and size.
+func (p *Probe) RacerRestart(tag string, restart int, seedMerit int64, seedSize int) {
+	if p == nil {
+		return
+	}
+	p.fire(SiteRestart, tag)
+	if p.Met != nil {
+		p.Met.RacerRestarts.Inc()
+	}
+	if p.Rec != nil {
+		p.Rec.Sys(KRestart, tag, int64(restart), seedMerit, int64(seedSize))
+	}
+}
+
+// RacerPublish records the racer publishing a Legal/Evaluate revalidated
+// incumbent of the given merit into the shared bound, found on the given
+// restart with cutSize members.
+func (p *Probe) RacerPublish(tag string, merit int64, restart, cutSize int) {
+	if p == nil {
+		return
+	}
+	p.fire(SiteRacerPublish, tag)
+	if p.Met != nil {
+		p.Met.RacerPublished.Inc()
+	}
+	if p.Rec != nil {
+		p.Rec.Sys(KRacerPublish, tag, merit, int64(restart), int64(cutSize))
+	}
+}
+
+// RacerAdopt records the anytime layer adopting the racer's best answer
+// for a block the exact rungs could not finish; prevMerit is the merit
+// the earlier rungs had reached (-1 when none).
+func (p *Probe) RacerAdopt(tag string, merit, prevMerit int64) {
+	if p == nil {
+		return
+	}
+	p.fire(SiteRacerPublish, tag)
+	if p.Met != nil {
+		p.Met.RacerAdopted.Inc()
+	}
+	if p.Rec != nil {
+		p.Rec.Sys(KRacerAdopt, tag, merit, prevMerit, 0)
 	}
 }
 

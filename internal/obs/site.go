@@ -60,8 +60,20 @@ const (
 	// SiteDedup fires on every cross-block dedup lookup, hit or miss
 	// (Probe.Dedup). Tag is "fn/block" of the requesting block.
 	SiteDedup
+	// SiteToggle fires when the iterative racer flushes its toggle tally
+	// (Probe.RacerToggles), i.e. at the racer's restart cadence. Tag is
+	// empty — the flush is racer-goroutine-local.
+	SiteToggle
+	// SiteRestart fires when the iterative racer begins a KL restart
+	// (Probe.RacerRestart). Tag is "fn/block".
+	SiteRestart
+	// SiteRacerPublish fires when the racer publishes a revalidated
+	// incumbent into the shared bound, and when the anytime layer adopts
+	// the racer's answer (Probe.RacerPublish, Probe.RacerAdopt). Tag is
+	// "fn/block".
+	SiteRacerPublish
 
-	SiteCount = int(SiteDedup) + 1
+	SiteCount = int(SiteRacerPublish) + 1
 )
 
 var siteNames = [SiteCount]string{
@@ -82,6 +94,9 @@ var siteNames = [SiteCount]string{
 	SiteSpecDiscard: "spec_discard",
 	SiteCollapse:    "collapse",
 	SiteDedup:       "dedup",
+	SiteToggle:      "toggle",
+	SiteRestart:     "restart",
+	SiteRacerPublish: "racer_publish",
 }
 
 func (s Site) String() string {

@@ -61,6 +61,14 @@ type Constraints struct {
 	// selections stay bit-identical to Dedup-off runs (modulo the node
 	// renaming). See the Selection's DedupHits and SharedInstructions.
 	Dedup bool
+	// ISEGen races an ISEGEN-style Kernighan–Lin toggle heuristic against
+	// the exact search on blocks too large for it to finish: the racer
+	// keeps publishing sound (Legal/Evaluate-revalidated) incumbents that
+	// tighten the exact search's merit bound, and when the exact search
+	// trips its budget or deadline, the best racer answer stands in (the
+	// "iterative" rung of the per-block status). Blocks where the exact
+	// search terminates are bit-identical with the racer on or off.
+	ISEGen bool
 	// Speculate routes the greedy selection drivers through the
 	// speculative scheduler: idle CPU budget (see Workers) re-identifies
 	// likely next-round winners ahead of demand and seeds every search
@@ -90,7 +98,7 @@ func (c Constraints) config() core.Config {
 	return core.Config{Nin: c.Nin, Nout: c.Nout, MaxCuts: c.MaxCuts,
 		Window: c.Window, Parallel: c.Parallel,
 		Workers: c.Workers, WarmStart: c.WarmStart, Speculate: c.Speculate,
-		Dedup: c.Dedup, StallWindow: c.StallWindow}
+		Dedup: c.Dedup, ISEGen: c.ISEGen, StallWindow: c.StallWindow}
 }
 
 // SearchStatus classifies how an identification search ended: Exhaustive
