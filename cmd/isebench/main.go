@@ -8,7 +8,18 @@
 //
 //	isebench                  # everything, default budgets
 //	isebench -fig 11 -measure # only Fig. 11, with simulator validation
+//	isebench -fig 11 -workers 8 -parallel -dedup -warmstart -prune
+//	                          # Fig. 11 with the engine optimizations on
+//	                          # (same numbers, less wall clock)
 //	isebench -budget 10000000 # spend more search effort
+//	isebench -fig dse -dsejson PARETO.json
+//	                          # design-space-exploration sweep over the
+//	                          # (constraints × ninstr × benchmark ×
+//	                          # target) grid; the JSON is deterministic
+//	                          # (byte-identical across worker counts)
+//	isebench -fig dsebench -dsebenchjson BENCH_PR9.json
+//	                          # cold serial vs warm-started parallel
+//	                          # sweep at identical per-cell selections
 //	isebench -fig bench -benchjson BENCH_PR2.json
 //	                          # constraint-kernel microbenchmarks, written
 //	                          # as machine-readable JSON for run-to-run
@@ -34,133 +45,222 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"strings"
 	"time"
 
+	"isex/internal/dse"
 	"isex/internal/experiments"
+	"isex/internal/latency"
 )
 
+// cliOpts carries every flag value; one struct instead of a parameter
+// per figure keeps run() extensible.
+type cliOpts struct {
+	budget   int64
+	measure  bool
+	optimal  bool
+	benches  []string
+	benchSet bool // -benchmarks given explicitly
+	deadline time.Duration
+
+	// Fig. 11 engine knobs (result-preserving; wall clock only).
+	workers   int
+	parallel  bool
+	speculate bool
+	dedup     bool
+	isegen    bool
+	warmstart bool
+	prune     bool
+
+	// DSE sweep axes.
+	targets    []string
+	sweepMode  string
+	benchJSON  string
+	parJSON    string
+	selJSON    string
+	obsJSON    string
+	dedupJSON  string
+	klJSON     string
+	dseJSON    string
+	dseBenJSON string
+}
+
 func main() {
-	var (
-		fig       = flag.String("fig", "all", "which figure to regenerate: 3, 5, 7, 8, 11, runtime, area, tradeoff, vliw, ifconv, ablation, bench, parbench, selbench, obsbench, dedupbench, klbench, all")
-		budget    = flag.Int64("budget", experiments.DefaultBudget, "cut budget per identification call")
-		measure   = flag.Bool("measure", false, "Fig. 11: additionally patch and measure on the cycle simulator")
-		optimal   = flag.Bool("optimal", false, "Fig. 11: include the Optimal selection (slow on large blocks)")
-		benches   = flag.String("benchmarks", "adpcmdecode,adpcmencode,gsmlpc", "comma-separated benchmark list for Fig. 11")
-		deadline  = flag.Duration("deadline", 0, "Fig. 11: wall-clock budget per selection call (e.g. 2s; 0 = none); tripped cells are marked * as lower bounds")
-		benchJSON = flag.String("benchjson", "", "with -fig bench (or all): write the constraint-kernel benchmark report to this file as JSON (e.g. BENCH_PR2.json)")
-		parJSON   = flag.String("parjson", "", "with -fig parbench (or all): write the parallel B&B benchmark report to this file as JSON (e.g. BENCH_PR3.json)")
-		selJSON   = flag.String("seljson", "", "with -fig selbench (or all): write the selection scheduler benchmark report to this file as JSON (e.g. BENCH_PR4.json)")
-		obsJSON   = flag.String("obsjson", "", "with -fig obsbench (or all): write the telemetry overhead benchmark report to this file as JSON (e.g. BENCH_PR5.json)")
-		dedupJSON = flag.String("dedupjson", "", "with -fig dedupbench (or all): write the cross-block dedup benchmark report to this file as JSON (e.g. BENCH_PR7.json)")
-		klJSON    = flag.String("kljson", "", "with -fig klbench (or all): write the iterative racer benchmark report to this file as JSON (e.g. BENCH_PR8.json)")
-	)
+	var o cliOpts
+	fig := flag.String("fig", "all", "which figure to regenerate: 3, 5, 7, 8, 11, runtime, area, tradeoff, vliw, ifconv, ablation, bench, parbench, selbench, obsbench, dedupbench, klbench, dse, dsebench, all")
+	flag.Int64Var(&o.budget, "budget", experiments.DefaultBudget, "cut budget per identification call")
+	flag.BoolVar(&o.measure, "measure", false, "Fig. 11: additionally patch and measure on the cycle simulator")
+	flag.BoolVar(&o.optimal, "optimal", false, "Fig. 11: include the Optimal selection (slow on large blocks)")
+	benches := flag.String("benchmarks", "adpcmdecode,adpcmencode,gsmlpc", "comma-separated benchmark list for Fig. 11 and the DSE sweep (sweep default: adpcmdecode,adpcmencode)")
+	flag.DurationVar(&o.deadline, "deadline", 0, "Fig. 11: wall-clock budget per selection call (e.g. 2s; 0 = none); tripped cells are marked * as lower bounds")
+	flag.IntVar(&o.workers, "workers", 0, "Fig. 11: per-search worker count (0 = serial); DSE sweep: admission-pool size")
+	flag.BoolVar(&o.parallel, "parallel", false, "Fig. 11: search a selection's blocks concurrently")
+	flag.BoolVar(&o.speculate, "speculate", false, "Fig. 11: speculative work-stealing selection scheduler")
+	flag.BoolVar(&o.dedup, "dedup", false, "Fig. 11: cross-block structural dedup")
+	flag.BoolVar(&o.isegen, "isegen", false, "Fig. 11 / DSE: race the Kernighan-Lin toggle engine on exploding blocks (DSE: trades strict reproducibility for anytime quality)")
+	flag.BoolVar(&o.warmstart, "warmstart", false, "Fig. 11: seed each search with a windowed heuristic incumbent")
+	flag.BoolVar(&o.prune, "prune", false, "Fig. 11: enable the sound merit-bound and input-count prunings")
+	targets := flag.String("targets", "paper", "comma-separated hardware-target profiles for the DSE sweep (among "+strings.Join(latency.TargetNames(), ",")+")")
+	flag.StringVar(&o.sweepMode, "sweepmode", "warm", "DSE sweep mode: warm (shared seeds/dedup, parallel) or cold (dedicated serial reference)")
+	flag.StringVar(&o.benchJSON, "benchjson", "", "with -fig bench (or all): write the constraint-kernel benchmark report to this file as JSON (e.g. BENCH_PR2.json)")
+	flag.StringVar(&o.parJSON, "parjson", "", "with -fig parbench (or all): write the parallel B&B benchmark report to this file as JSON (e.g. BENCH_PR3.json)")
+	flag.StringVar(&o.selJSON, "seljson", "", "with -fig selbench (or all): write the selection scheduler benchmark report to this file as JSON (e.g. BENCH_PR4.json)")
+	flag.StringVar(&o.obsJSON, "obsjson", "", "with -fig obsbench (or all): write the telemetry overhead benchmark report to this file as JSON (e.g. BENCH_PR5.json)")
+	flag.StringVar(&o.dedupJSON, "dedupjson", "", "with -fig dedupbench (or all): write the cross-block dedup benchmark report to this file as JSON (e.g. BENCH_PR7.json)")
+	flag.StringVar(&o.klJSON, "kljson", "", "with -fig klbench (or all): write the iterative racer benchmark report to this file as JSON (e.g. BENCH_PR8.json)")
+	flag.StringVar(&o.dseJSON, "dsejson", "", "with -fig dse (or all): write the deterministic sweep/Pareto report to this file as JSON")
+	flag.StringVar(&o.dseBenJSON, "dsebenchjson", "", "with -fig dsebench: write the cold-vs-warm sweep benchmark report to this file as JSON (e.g. BENCH_PR9.json)")
 	flag.Parse()
-	want := func(name string) bool { return *fig == "all" || *fig == name }
-	var benchList []string
-	for _, b := range strings.Split(*benches, ",") {
-		if b = strings.TrimSpace(b); b != "" {
-			benchList = append(benchList, b)
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "benchmarks" {
+			o.benchSet = true
 		}
-	}
-	if err := run(want, *budget, *measure, *optimal, benchList, *deadline, *benchJSON, *parJSON, *selJSON, *obsJSON, *dedupJSON, *klJSON); err != nil {
+	})
+	o.benches = splitList(*benches)
+	o.targets = splitList(*targets)
+	want := func(name string) bool { return *fig == "all" || *fig == name }
+	if err := run(want, o); err != nil {
 		fmt.Fprintln(os.Stderr, "isebench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(want func(string) bool, budget int64, measure, optimal bool, benchList []string, deadline time.Duration, benchJSON, parJSON, selJSON, obsJSON, dedupJSON, klJSON string) error {
+func splitList(s string) []string {
+	var out []string
+	for _, v := range strings.Split(s, ",") {
+		if v = strings.TrimSpace(v); v != "" {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+func run(want func(string) bool, o cliOpts) error {
 	section := func(s string) { fmt.Println(); fmt.Println(s); fmt.Println() }
 
-	if want("bench") || benchJSON != "" {
+	if want("bench") || o.benchJSON != "" {
 		rep, err := experiments.KernelBench()
 		if err != nil {
 			return err
 		}
 		section(experiments.KernelBenchTable(rep))
-		if benchJSON != "" {
-			if err := rep.WriteJSON(benchJSON); err != nil {
+		if o.benchJSON != "" {
+			if err := rep.WriteJSON(o.benchJSON); err != nil {
 				return err
 			}
-			fmt.Printf("wrote %s\n", benchJSON)
+			fmt.Printf("wrote %s\n", o.benchJSON)
 		}
 	}
 
-	if want("parbench") || parJSON != "" {
+	if want("parbench") || o.parJSON != "" {
 		rep, err := experiments.ParBench()
 		if err != nil {
 			return err
 		}
 		section(experiments.ParBenchTable(rep))
-		if parJSON != "" {
-			if err := rep.WriteJSON(parJSON); err != nil {
+		if o.parJSON != "" {
+			if err := rep.WriteJSON(o.parJSON); err != nil {
 				return err
 			}
-			fmt.Printf("wrote %s\n", parJSON)
+			fmt.Printf("wrote %s\n", o.parJSON)
 		}
 	}
 
-	if want("selbench") || selJSON != "" {
+	if want("selbench") || o.selJSON != "" {
 		rep, err := experiments.SelBench(experiments.SelBenchDefault())
 		if err != nil {
 			return err
 		}
 		section(experiments.SelBenchTable(rep))
-		if selJSON != "" {
-			if err := rep.WriteJSON(selJSON); err != nil {
+		if o.selJSON != "" {
+			if err := rep.WriteJSON(o.selJSON); err != nil {
 				return err
 			}
-			fmt.Printf("wrote %s\n", selJSON)
+			fmt.Printf("wrote %s\n", o.selJSON)
 		}
 	}
 
-	if want("obsbench") || obsJSON != "" {
+	if want("obsbench") || o.obsJSON != "" {
 		rep, err := experiments.ObsBench()
 		if err != nil {
 			return err
 		}
 		section(experiments.ObsBenchTable(rep))
-		if obsJSON != "" {
-			if err := rep.WriteJSON(obsJSON); err != nil {
+		if o.obsJSON != "" {
+			if err := rep.WriteJSON(o.obsJSON); err != nil {
 				return err
 			}
-			fmt.Printf("wrote %s\n", obsJSON)
+			fmt.Printf("wrote %s\n", o.obsJSON)
 		}
 	}
 
-	if want("dedupbench") || dedupJSON != "" {
+	if want("dedupbench") || o.dedupJSON != "" {
 		rep, err := experiments.DedupBench()
 		if err != nil {
 			return err
 		}
 		section(experiments.DedupBenchTable(rep))
-		if dedupJSON != "" {
-			if err := rep.WriteJSON(dedupJSON); err != nil {
+		if o.dedupJSON != "" {
+			if err := rep.WriteJSON(o.dedupJSON); err != nil {
 				return err
 			}
-			fmt.Printf("wrote %s\n", dedupJSON)
+			fmt.Printf("wrote %s\n", o.dedupJSON)
 		}
 	}
 
-	if want("klbench") || klJSON != "" {
+	if want("klbench") || o.klJSON != "" {
 		rep, err := experiments.KLBench()
 		if err != nil {
 			return err
 		}
 		section(experiments.KLBenchTable(rep))
-		if klJSON != "" {
-			if err := rep.WriteJSON(klJSON); err != nil {
+		if o.klJSON != "" {
+			if err := rep.WriteJSON(o.klJSON); err != nil {
 				return err
 			}
-			fmt.Printf("wrote %s\n", klJSON)
+			fmt.Printf("wrote %s\n", o.klJSON)
+		}
+	}
+
+	if want("dse") || o.dseJSON != "" {
+		opt := dseOptions(o)
+		rep, stats, err := dse.Sweep(context.Background(), opt)
+		if err != nil {
+			return err
+		}
+		section(experiments.DSETable(rep, stats))
+		if o.dseJSON != "" {
+			data, err := rep.Bytes()
+			if err != nil {
+				return err
+			}
+			if err := os.WriteFile(o.dseJSON, data, 0o644); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", o.dseJSON)
+		}
+	}
+
+	if want("dsebench") || o.dseBenJSON != "" {
+		rep, err := experiments.DSEBench(dseOptions(o))
+		if err != nil {
+			return err
+		}
+		section(experiments.DSEBenchTable(rep))
+		if o.dseBenJSON != "" {
+			if err := rep.WriteJSON(o.dseBenJSON); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", o.dseBenJSON)
 		}
 	}
 
 	if want("3") {
-		rows, err := experiments.Fig3(budget)
+		rows, err := experiments.Fig3(o.budget)
 		if err != nil {
 			return err
 		}
@@ -181,7 +281,7 @@ func run(want func(string) bool, budget int64, measure, optimal bool, benchList 
 		section(experiments.Fig7Table(r))
 	}
 	if want("8") {
-		points, err := experiments.Fig8(budget)
+		points, err := experiments.Fig8(o.budget)
 		if err != nil {
 			return err
 		}
@@ -191,11 +291,19 @@ func run(want func(string) bool, budget int64, measure, optimal bool, benchList 
 	}
 	if want("11") {
 		opt := experiments.DefaultCompareOptions()
-		opt.Benchmarks = benchList
-		opt.Budget = budget
-		opt.Measure = measure
-		opt.Deadline = deadline
-		if !optimal {
+		opt.Benchmarks = o.benches
+		opt.Budget = o.budget
+		opt.Measure = o.measure
+		opt.Deadline = o.deadline
+		opt.Workers = o.workers
+		opt.Parallel = o.parallel
+		opt.Speculate = o.speculate
+		opt.Dedup = o.dedup
+		opt.ISEGen = o.isegen
+		opt.WarmStart = o.warmstart
+		opt.PruneInputs = o.prune
+		opt.PruneMerit = o.prune
+		if !o.optimal {
 			opt.Methods = []experiments.Method{
 				experiments.MethodIterative, experiments.MethodClubbing, experiments.MethodMaxMISO,
 			}
@@ -204,12 +312,12 @@ func run(want func(string) bool, budget int64, measure, optimal bool, benchList 
 		if err != nil {
 			return err
 		}
-		section(experiments.ComparisonTable(rows, opt.Methods, measure))
+		section(experiments.ComparisonTable(rows, opt.Methods, o.measure))
 	}
 	if want("runtime") {
 		rows, err := experiments.Runtime(
 			[]string{"adpcmdecode", "adpcmencode", "gsmlpc"},
-			[][2]int{{2, 1}, {4, 2}, {8, 4}}, 16, budget)
+			[][2]int{{2, 1}, {4, 2}, {8, 4}}, 16, o.budget)
 		if err != nil {
 			return err
 		}
@@ -217,7 +325,7 @@ func run(want func(string) bool, budget int64, measure, optimal bool, benchList 
 	}
 	if want("area") {
 		rows, err := experiments.Area(
-			[]string{"adpcmdecode", "adpcmencode", "gsmlpc"}, 4, 2, 16, budget)
+			[]string{"adpcmdecode", "adpcmencode", "gsmlpc"}, 4, 2, 16, o.budget)
 		if err != nil {
 			return err
 		}
@@ -225,14 +333,14 @@ func run(want func(string) bool, budget int64, measure, optimal bool, benchList 
 	}
 	if want("tradeoff") {
 		rows, err := experiments.AreaTradeoff("adpcmdecode", 4, 2, 8,
-			[]float64{0.1, 0.25, 0.5, 1.0, 2.0, 4.0}, budget)
+			[]float64{0.1, 0.25, 0.5, 1.0, 2.0, 4.0}, o.budget)
 		if err != nil {
 			return err
 		}
 		section(experiments.AreaTradeoffTable(rows))
 	}
 	if want("vliw") {
-		rows, err := experiments.VLIWStudy("adpcmdecode", 4, 2, 8, []int{1, 2, 4, 8}, budget)
+		rows, err := experiments.VLIWStudy("adpcmdecode", 4, 2, 8, []int{1, 2, 4, 8}, o.budget)
 		if err != nil {
 			return err
 		}
@@ -240,7 +348,7 @@ func run(want func(string) bool, budget int64, measure, optimal bool, benchList 
 	}
 	if want("ifconv") {
 		rows, err := experiments.IfConvAblation(
-			[]string{"adpcmdecode", "adpcmencode"}, 4, 2, 8, budget)
+			[]string{"adpcmdecode", "adpcmencode"}, 4, 2, 8, o.budget)
 		if err != nil {
 			return err
 		}
@@ -249,7 +357,7 @@ func run(want func(string) bool, budget int64, measure, optimal bool, benchList 
 	if want("ablation") {
 		rows, err := experiments.Ablation(
 			[]string{"adpcmdecode", "adpcmencode"},
-			[][2]int{{2, 1}, {4, 2}}, budget)
+			[][2]int{{2, 1}, {4, 2}}, o.budget)
 		if err != nil {
 			return err
 		}
@@ -257,4 +365,25 @@ func run(want func(string) bool, budget int64, measure, optimal bool, benchList 
 	}
 	fmt.Println(strings.Repeat("-", 72))
 	return nil
+}
+
+// dseOptions maps the CLI flags onto a sweep configuration, starting
+// from the sweep defaults: the Fig. 11 benchmark list only overrides
+// the sweep's own default when given explicitly (the sweep defaults to
+// the ADPCM pair; gsmlpc is expensive at loose constraints).
+func dseOptions(o cliOpts) dse.Options {
+	opt := dse.DefaultOptions()
+	if o.benchSet {
+		opt.Benchmarks = o.benches
+	}
+	if len(o.targets) > 0 {
+		opt.Targets = o.targets
+	}
+	opt.Budget = o.budget
+	if o.workers > 0 {
+		opt.Workers = o.workers
+	}
+	opt.Cold = o.sweepMode == "cold"
+	opt.ISEGen = o.isegen
+	return opt
 }

@@ -94,6 +94,13 @@ func run() error {
 		emitIR    = flag.String("emit-ir", "", "write the final module (custom instructions included, if patched) in textual IR form to this file")
 		list      = flag.Bool("list", false, "list the built-in benchmark kernels and exit")
 
+		sweep            = flag.Bool("sweep", false, "run a design-space-exploration sweep over the (constraints x ninstr x kernel x target) grid and exit; -kernel may list several kernels comma-separated (default adpcmdecode,adpcmencode)")
+		sweepTargets     = flag.String("targets", "paper", "-sweep: comma-separated hardware-target profiles (paper, pipelined, fwdcost)")
+		sweepConstraints = flag.String("constraints", "", "-sweep: comma-separated nin/nout grid points, e.g. 2/1,4/2,4/3,8/4 (default: those four)")
+		sweepNinstr      = flag.String("ninstrs", "", "-sweep: comma-separated instruction budgets (default 1,2,4,8,16)")
+		sweepMode        = flag.String("sweep-mode", "warm", "-sweep: warm (monotone seeding, shared dedup, pool-gated parallelism) or cold (dedicated serial reference; bit-identical cells)")
+		sweepJSON        = flag.String("sweep-json", "", "-sweep: write the deterministic sweep/Pareto report to this file as JSON")
+
 		tracePath   = flag.String("trace", "", "record the search's flight-recorder timeline and write it as JSONL (one event per line) to this file")
 		traceChrome = flag.String("trace-chrome", "", "record the search timeline and write it in Chrome trace_event format (load in Perfetto / chrome://tracing)")
 		metricsAddr = flag.String("metrics-addr", "", "serve live search metrics over HTTP on this address (e.g. :6060): Prometheus text on /metrics, expvar JSON on /debug/vars, pprof on /debug/pprof/")
@@ -106,6 +113,21 @@ func run() error {
 			fmt.Printf("%-12s entry %s(%v), outputs %v\n", k.Name, k.Entry, k.Args, k.Outputs)
 		}
 		return nil
+	}
+
+	if *sweep {
+		// -isegen defaults to true for single selections, but racer
+		// adoption on budget-tripped blocks is timing-dependent and the
+		// sweep's contract is byte-determinism — so the sweep only
+		// races when the flag is given explicitly.
+		isegenSet := false
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "isegen" {
+				isegenSet = true
+			}
+		})
+		return runSweep(*kernel, *sweepTargets, *sweepConstraints, *sweepNinstr,
+			*sweepMode, *sweepJSON, *budget, *workers, isegenSet && *isegen, *deadline)
 	}
 
 	var (

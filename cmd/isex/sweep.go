@@ -1,0 +1,153 @@
+package main
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"time"
+
+	"isex/internal/dse"
+	"isex/internal/report"
+)
+
+// runSweep is the -sweep entry: a design-space-exploration sweep over
+// the (constraints × ninstr × kernel × target) grid, warm-started via
+// constraint monotonicity and Ninstr prefixing (package dse). The
+// table prints one section per (kernel, target) with the Pareto
+// frontier; -sweep-json writes the deterministic machine-readable
+// report (byte-identical across -workers values and shard orders).
+func runSweep(kernels, targets, constraints, ninstrs, mode, jsonPath string, budget int64, workers int, isegen bool, deadline time.Duration) error {
+	opt := dse.DefaultOptions()
+	if kernels != "" {
+		opt.Benchmarks = splitList(kernels)
+	}
+	if targets != "" {
+		opt.Targets = splitList(targets)
+	}
+	if constraints != "" {
+		cs, err := parseConstraints(constraints)
+		if err != nil {
+			return err
+		}
+		opt.Constraints = cs
+	}
+	if ninstrs != "" {
+		ns, err := parseInts(ninstrs)
+		if err != nil {
+			return fmt.Errorf("bad -ninstrs: %w", err)
+		}
+		opt.Ninstr = ns
+	}
+	switch mode {
+	case "warm":
+	case "cold":
+		opt.Cold = true
+	default:
+		return fmt.Errorf("bad -sweep-mode %q (want warm or cold)", mode)
+	}
+	opt.Budget = budget
+	if workers > 0 {
+		opt.Workers = workers
+	}
+	opt.ISEGen = isegen
+
+	ctx := context.Background()
+	if deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, deadline)
+		defer cancel()
+	}
+	rep, stats, err := dse.Sweep(ctx, opt)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("DSE sweep (%s mode): %v × %v, constraints %v, ninstr %v, budget %d\n",
+		rep.Mode, opt.Benchmarks, opt.Targets, rep.Constraints, rep.Ninstr, rep.Budget)
+	fmt.Printf("%.2fs wall; %d selections, %d identification calls, %d seed hits, %d dedup hits\n",
+		stats.Elapsed.Seconds(), stats.Selections, stats.IdentCalls, stats.SeedHits, stats.DedupHits)
+	for _, b := range rep.Benchmarks {
+		for _, tr := range b.Targets {
+			t := &report.Table{
+				Title:  fmt.Sprintf("%s on %s — baseline %d cycles", b.Benchmark, tr.Target, tr.BaselineCycles),
+				Header: []string{"nin", "nout", "ninstr", "merit", "speedup", "area", "instrs", "status"},
+			}
+			for _, c := range tr.Cells {
+				sp := fmt.Sprintf("%.3f", c.Speedup)
+				if c.Clamped {
+					sp += "†"
+				}
+				t.AddRow(c.Nin, c.Nout, c.Ninstr, c.Merit, sp,
+					fmt.Sprintf("%.2f", c.Area), len(c.Instructions), c.Status)
+			}
+			fmt.Println()
+			fmt.Print(t.String())
+			fmt.Println("Pareto frontier (speedup ↑, area ↓, ninstr ↓):")
+			for _, p := range tr.Pareto {
+				mark := ""
+				if p.Clamped {
+					mark = "†"
+				}
+				fmt.Printf("  area %8.2f  speedup %7.3f%s  ninstr %2d  at %d/%d ports\n",
+					p.Area, p.Speedup, mark, p.Ninstr, p.Nin, p.Nout)
+			}
+		}
+	}
+
+	if jsonPath != "" {
+		data, err := rep.Bytes()
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(jsonPath, data, 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %s\n", jsonPath)
+	}
+	return nil
+}
+
+func splitList(s string) []string {
+	var out []string
+	for _, v := range strings.Split(s, ",") {
+		if v = strings.TrimSpace(v); v != "" {
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// parseConstraints reads a "nin/nout,nin/nout" list (e.g. "2/1,4/2").
+func parseConstraints(s string) ([][2]int, error) {
+	var out [][2]int
+	for _, item := range splitList(s) {
+		parts := strings.Split(item, "/")
+		if len(parts) != 2 {
+			return nil, fmt.Errorf("bad -constraints entry %q (want nin/nout, e.g. 4/2)", item)
+		}
+		nin, err := strconv.Atoi(strings.TrimSpace(parts[0]))
+		if err != nil {
+			return nil, fmt.Errorf("bad -constraints entry %q: %v", item, err)
+		}
+		nout, err := strconv.Atoi(strings.TrimSpace(parts[1]))
+		if err != nil {
+			return nil, fmt.Errorf("bad -constraints entry %q: %v", item, err)
+		}
+		out = append(out, [2]int{nin, nout})
+	}
+	return out, nil
+}
+
+func parseInts(s string) ([]int, error) {
+	var out []int
+	for _, item := range splitList(s) {
+		v, err := strconv.Atoi(item)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

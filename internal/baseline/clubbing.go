@@ -60,6 +60,7 @@ func SelectClubbing(m *ir.Module, ninstr int, cfg core.Config) core.SelectionRes
 				}
 				cands = append(cands, core.Selected{
 					Fn: f, Block: b, InstrIndexes: instrIndexes(g, c), Est: est,
+					ChosenAt: -1,
 				})
 			}
 		}

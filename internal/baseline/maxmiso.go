@@ -60,6 +60,7 @@ func SelectMaxMISO(m *ir.Module, ninstr int, cfg core.Config) core.SelectionResu
 				}
 				cands = append(cands, cand{sel: core.Selected{
 					Fn: f, Block: b, InstrIndexes: instrIndexes(g, c), Est: est,
+					ChosenAt: -1,
 				}})
 			}
 		}

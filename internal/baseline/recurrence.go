@@ -188,6 +188,7 @@ func SelectRecurrence(m *ir.Module, ninstr int, cfg core.Config, opt RecurrenceO
 		cands = append(cands, core.Selected{
 			Fn: c.fn, Block: c.block,
 			InstrIndexes: instrIndexes(c.g, c.nodes), Est: est,
+			ChosenAt: -1,
 		})
 	}
 	sort.SliceStable(cands, func(i, j int) bool { return cands[i].Est.Merit > cands[j].Est.Merit })

@@ -342,6 +342,17 @@ func rescueCtx(ctx context.Context, start time.Time) (context.Context, context.C
 // instead of losing it; the final backstop keeps a result only if its
 // cut revalidates as Legal.
 func searchBlockSafe(ctx context.Context, g *dfg.Graph, cfg Config) (res Result, bs BlockStatus) {
+	// Admission gate (Config.Pool): one slot per in-flight block search,
+	// acquired for exactly the duration of this search — the holder never
+	// blocks on the pool again (cfg.Pool is cleared), so gating cannot
+	// deadlock. A closed pool (0 slots granted) degrades to ungated.
+	if cfg.Pool != nil {
+		pool := cfg.Pool
+		cfg.Pool = nil
+		if n := pool.Acquire(1); n > 0 {
+			defer pool.Release(n)
+		}
+	}
 	start := time.Now()
 	bs = BlockStatus{Fn: g.Fn.Name, Block: g.Block.Name, RacerMerit: -1}
 	tag := bs.Fn + "/" + bs.Block
@@ -478,6 +489,14 @@ func SearchBlockCtx(ctx context.Context, g *dfg.Graph, cfg Config) (Result, Bloc
 // (a valid 1-of-m assignment) when they beat the exact search's best
 // assignment.
 func searchBlockMultiSafe(ctx context.Context, g *dfg.Graph, m int, cfg Config) (res MultiResult, bs BlockStatus) {
+	// Admission gate, exactly as in searchBlockSafe.
+	if cfg.Pool != nil {
+		pool := cfg.Pool
+		cfg.Pool = nil
+		if n := pool.Acquire(1); n > 0 {
+			defer pool.Release(n)
+		}
+	}
 	start := time.Now()
 	bs = BlockStatus{Fn: g.Fn.Name, Block: g.Block.Name, RacerMerit: -1}
 	tag := bs.Fn + "/" + bs.Block

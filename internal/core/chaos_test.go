@@ -450,20 +450,20 @@ func TestChaosStallRequeue(t *testing.T) {
 // deferred release would) and checks leaked() reports it; the healthy
 // path must report zero.
 func TestChaosPoolLeakDetection(t *testing.T) {
-	p := newCPUPool(4)
-	if got := p.acquire(2); got != 2 {
+	p := NewCPUPool(4)
+	if got := p.Acquire(2); got != 2 {
 		t.Fatalf("acquire(2) = %d", got)
 	}
-	p.release(2)
-	if n := p.leaked(); n != 0 {
+	p.Release(2)
+	if n := p.Leaked(); n != 0 {
 		t.Fatalf("balanced pool reports %d leaked tokens", n)
 	}
-	if got := p.acquire(3); got != 3 {
+	if got := p.Acquire(3); got != 3 {
 		t.Fatalf("acquire(3) = %d", got)
 	}
 	// Simulate a panic path that lost its deferred release.
-	p.close()
-	if n := p.leaked(); n != 3 {
+	p.Close()
+	if n := p.Leaked(); n != 3 {
 		t.Fatalf("leaked() = %d, want 3", n)
 	}
 }

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sync"
+
 	"isex/internal/dfg"
 	"isex/internal/latency"
 	"isex/internal/obs"
@@ -33,8 +35,12 @@ type dedupMemo struct {
 	nin, nout int
 	model     *latency.Model
 	probe     *obs.Probe
-	singles   map[dfg.CanonDigest][]*dedupSingle
-	multis    map[dedupKey][]*dedupMulti
+	// mu serializes map access: a memo private to one driver call is only
+	// ever touched from the driver goroutine, but a memo handed out by a
+	// DedupCache is shared between concurrent selection calls.
+	mu      sync.Mutex
+	singles map[dfg.CanonDigest][]*dedupSingle
+	multis  map[dedupKey][]*dedupMulti
 }
 
 type dedupKey struct {
@@ -54,11 +60,72 @@ type dedupMulti struct {
 	bs  BlockStatus
 }
 
+// DedupCache shares dedup memos across selection calls: where a private
+// memo only dedups twin blocks *within* one selection, a cache handed to
+// several calls (Config.DedupCache) lets isomorphic blocks across
+// neighboring DSE grid cells — or across requests in a long-lived
+// service — share one identification. Entries are segregated by
+// (Nin, Nout, Model): merits and legality depend on all three, so a
+// memo is only ever reused at the exact same constraint point on the
+// exact same latency table (models are compared by pointer identity —
+// reuse the *latency.Model instance across calls to share).
+//
+// Sharing keeps every per-cell selection bit-identical to a run with a
+// private memo whenever the cell's own searches complete within budget:
+// only exhaustive results are stored, and dfg.OrderMatch guarantees the
+// adopting block's own search would have produced the translated result.
+// Under budget starvation a twin block may adopt an exhaustive result
+// that its own (tripped) search would not have found — sound, and
+// strictly better, but dependent on arrival order; strict
+// byte-reproducibility under starvation requires a private cache per
+// deterministic unit (see DESIGN.md §16).
+type DedupCache struct {
+	mu    sync.Mutex
+	memos map[dedupCacheKey]*dedupMemo
+}
+
+type dedupCacheKey struct {
+	nin, nout int
+	model     *latency.Model
+}
+
+// NewDedupCache returns an empty cache.
+func NewDedupCache() *DedupCache {
+	return &DedupCache{memos: make(map[dedupCacheKey]*dedupMemo)}
+}
+
+// memoFor returns the shared memo for cfg's constraint point, creating
+// it on first use. Shared memos drop the creator's probe: flight-
+// recorder events from one selection must not surface in another's
+// timeline.
+func (c *DedupCache) memoFor(cfg Config) *dedupMemo {
+	key := dedupCacheKey{nin: cfg.Nin, nout: cfg.Nout, model: cfg.model()}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	m := c.memos[key]
+	if m == nil {
+		m = &dedupMemo{
+			nin:     key.nin,
+			nout:    key.nout,
+			model:   key.model,
+			singles: make(map[dfg.CanonDigest][]*dedupSingle),
+			multis:  make(map[dedupKey][]*dedupMulti),
+		}
+		c.memos[key] = m
+	}
+	return m
+}
+
 // newDedupMemo returns nil when dedup is off; every method below is
-// nil-receiver safe, so the drivers call them unconditionally.
+// nil-receiver safe, so the drivers call them unconditionally. With a
+// DedupCache configured, the call's memo is the shared one for its
+// constraint point instead of a fresh private map.
 func newDedupMemo(cfg Config) *dedupMemo {
 	if !cfg.Dedup {
 		return nil
+	}
+	if cfg.DedupCache != nil {
+		return cfg.DedupCache.memoFor(cfg)
 	}
 	return &dedupMemo{
 		nin:     cfg.Nin,
@@ -89,7 +156,12 @@ func (d *dedupMemo) lookupSingle(g *dfg.Graph, h dfg.CanonDigest) (Result, Block
 		return Result{}, BlockStatus{}, false
 	}
 	tag := g.Fn.Name + "/" + g.Block.Name
-	for _, e := range d.singles[h] {
+	// Entries are append-only and immutable once stored, so translation
+	// and revalidation run on a snapshot, outside the lock.
+	d.mu.Lock()
+	entries := d.singles[h]
+	d.mu.Unlock()
+	for _, e := range entries {
 		ren, ok := dfg.OrderMatch(e.g, g)
 		if !ok {
 			continue
@@ -113,7 +185,9 @@ func (d *dedupMemo) storeSingle(g *dfg.Graph, h dfg.CanonDigest, r Result, bs Bl
 	if d == nil || r.Status != Exhaustive || bs.Status != Exhaustive {
 		return
 	}
+	d.mu.Lock()
 	d.singles[h] = append(d.singles[h], &dedupSingle{g: g, res: r, bs: bs})
+	d.mu.Unlock()
 }
 
 func (d *dedupMemo) translateSingle(e *dedupSingle, g *dfg.Graph, ren []int) (Result, bool) {
@@ -157,7 +231,10 @@ func (d *dedupMemo) lookupMulti(g *dfg.Graph, h dfg.CanonDigest, m int) (MultiRe
 		return MultiResult{}, BlockStatus{}, false
 	}
 	tag := g.Fn.Name + "/" + g.Block.Name
-	for _, e := range d.multis[dedupKey{h: h, m: m}] {
+	d.mu.Lock()
+	entries := d.multis[dedupKey{h: h, m: m}]
+	d.mu.Unlock()
+	for _, e := range entries {
 		ren, ok := dfg.OrderMatch(e.g, g)
 		if !ok {
 			continue
@@ -180,7 +257,9 @@ func (d *dedupMemo) storeMulti(g *dfg.Graph, h dfg.CanonDigest, m int, r MultiRe
 		return
 	}
 	key := dedupKey{h: h, m: m}
+	d.mu.Lock()
 	d.multis[key] = append(d.multis[key], &dedupMulti{g: g, res: r, bs: bs})
+	d.mu.Unlock()
 }
 
 func (d *dedupMemo) translateMulti(e *dedupMulti, g *dfg.Graph, ren []int) (MultiResult, bool) {

@@ -227,7 +227,7 @@ func TestSpecMultiInsertRace(t *testing.T) {
 		}
 		<-dt.done
 		sc.shutdown()
-		if n := sc.pool.leaked(); n > 0 {
+		if n := sc.pool.Leaked(); n > 0 {
 			t.Fatalf("iteration %d: cpu pool leaked %d token(s)", it, n)
 		}
 	}
@@ -297,7 +297,7 @@ func TestSchedulerMemoCollisionGuard(t *testing.T) {
 		t.Fatalf("sched_memo_collisions_total = %d, want 2", n)
 	}
 	sc.shutdown()
-	if n := sc.pool.leaked(); n > 0 {
+	if n := sc.pool.Leaked(); n > 0 {
 		t.Fatalf("cpu pool leaked %d token(s)", n)
 	}
 }

@@ -504,97 +504,6 @@ func workerConfig(cfg Config) Config {
 	cfg.Workers = 0
 	cfg.WarmStart = false
 	cfg.Parallel = false
+	cfg.Seeds = nil // book seeding happens once at the engine root
 	return cfg.stripSeed()
-}
-
-// cpuPool is the selection scheduler's shared CPU budget: block-level
-// tasks and each task's intra-block worker pool draw from one pot, so
-// Config.Workers bounds total parallelism instead of multiplying.
-// Demand tasks (the searches the serial greedy driver would run next)
-// block in acquire until at least one slot frees and then take up to the
-// want; speculative tasks only ever take a single slot and only while at
-// least one other slot stays free, so the single serial demand stream is
-// never starved by speculation.
-type cpuPool struct {
-	mu     sync.Mutex
-	cond   *sync.Cond
-	free   int
-	slots  int // capacity, for leak accounting
-	closed bool
-}
-
-func newCPUPool(slots int) *cpuPool {
-	if slots < 1 {
-		slots = 1
-	}
-	p := &cpuPool{free: slots, slots: slots}
-	p.cond = sync.NewCond(&p.mu)
-	return p
-}
-
-// acquire blocks until at least one slot is free (or the pool closes,
-// returning 0) and takes min(want, free) slots, at least one.
-func (p *cpuPool) acquire(want int) int {
-	if want < 1 {
-		want = 1
-	}
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	for p.free == 0 && !p.closed {
-		p.cond.Wait()
-	}
-	if p.closed {
-		return 0
-	}
-	n := want
-	if n > p.free {
-		n = p.free
-	}
-	p.free -= n
-	return n
-}
-
-// tryAcquireSpec takes one slot for a speculative task, but only while a
-// second slot remains free for demand work; it never blocks.
-func (p *cpuPool) tryAcquireSpec() bool {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	if p.closed || p.free < 2 {
-		return false
-	}
-	p.free--
-	return true
-}
-
-func (p *cpuPool) release(n int) {
-	if n <= 0 {
-		return
-	}
-	p.mu.Lock()
-	p.free += n
-	p.cond.Broadcast()
-	p.mu.Unlock()
-}
-
-// close wakes every blocked acquire with 0 slots (used on abandon). It
-// cannot assert full occupancy itself: close runs before the scheduler's
-// wg.Wait precisely so that blocked acquires unblock, while holders are
-// still releasing their tokens via defers — leak detection is leaked(),
-// checked after every holder has exited.
-func (p *cpuPool) close() {
-	p.mu.Lock()
-	p.closed = true
-	p.cond.Broadcast()
-	p.mu.Unlock()
-}
-
-// leaked returns the number of tokens still held. Only meaningful once
-// every acquirer has finished (after the scheduler's wg.Wait): a
-// positive value then means a release was lost — e.g. a panic path that
-// skipped its deferred release — and the pool would have throttled
-// forever in a long-lived service.
-func (p *cpuPool) leaked() int {
-	p.mu.Lock()
-	defer p.mu.Unlock()
-	return p.slots - p.free
 }

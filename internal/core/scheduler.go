@@ -84,7 +84,7 @@ type selTask struct {
 type selScheduler struct {
 	ctx    context.Context
 	cancel context.CancelFunc
-	pool   *cpuPool
+	pool   *CPUPool
 	budget int
 	probe  *obs.Probe
 
@@ -104,7 +104,7 @@ func newSelScheduler(parent context.Context, cfg Config) *selScheduler {
 	return &selScheduler{
 		ctx:    ctx,
 		cancel: cancel,
-		pool:   newCPUPool(budget),
+		pool:   NewCPUPool(budget),
 		budget: budget,
 		probe:  cfg.Probe,
 		tasks:  make(map[schedKey]*selTask),
@@ -119,10 +119,10 @@ func newSelScheduler(parent context.Context, cfg Config) *selScheduler {
 // reported through the metrics registry and a trace event. Idempotent.
 func (sc *selScheduler) shutdown() {
 	sc.cancel()
-	sc.pool.close()
+	sc.pool.Close()
 	sc.wg.Wait()
 	sc.leakCheck.Do(func() {
-		if n := sc.pool.leaked(); n > 0 {
+		if n := sc.pool.Leaked(); n > 0 {
 			if sc.probe != nil && sc.probe.Met != nil {
 				sc.probe.Met.PoolLeaks.Add(int64(n))
 			}
@@ -158,7 +158,7 @@ func guardTask(p *obs.Probe, fn, block string, bs *BlockStatus) {
 func (sc *selScheduler) fireSpecLaunch(fire func()) {
 	defer func() {
 		if r := recover(); r != nil {
-			sc.pool.release(1)
+			sc.pool.Release(1)
 			panic(r)
 		}
 	}()
@@ -178,6 +178,10 @@ func (sc *selScheduler) speculativeCalls() int {
 func (sc *selScheduler) taskConfig(cfg Config, tokens int) Config {
 	cfg.Speculate = false
 	cfg.Parallel = false
+	// The scheduler has its own admission pool and this task already
+	// holds tokens from it; gating again inside searchBlockSafe would
+	// hold-and-wait.
+	cfg.Pool = nil
 	if tokens > 1 {
 		cfg.Workers = tokens
 	} else {
@@ -195,13 +199,13 @@ func (sc *selScheduler) runMulti(t *selTask, g *dfg.Graph, m int, cfg Config, wa
 		defer sc.wg.Done()
 		defer close(t.done)
 		defer guardTask(cfg.Probe, g.Fn.Name, g.Block.Name, &t.bs)
-		tokens := sc.pool.acquire(want)
+		tokens := sc.pool.Acquire(want)
 		if tokens == 0 { // pool closed: scheduler shut down
 			t.mres = MultiResult{Status: Canceled, Stats: Stats{Aborted: true}}
 			t.bs = BlockStatus{Fn: g.Fn.Name, Block: g.Block.Name, Status: Canceled}
 			return
 		}
-		defer sc.pool.release(tokens)
+		defer sc.pool.Release(tokens)
 		t.mres, t.bs = searchBlockMultiSafe(sc.ctx, g, m, sc.taskConfig(cfg, tokens))
 	}()
 }
@@ -213,13 +217,13 @@ func (sc *selScheduler) runSingle(t *selTask, g *dfg.Graph, cfg Config, want int
 		defer sc.wg.Done()
 		defer close(t.done)
 		defer guardTask(cfg.Probe, g.Fn.Name, g.Block.Name, &t.bs)
-		tokens := sc.pool.acquire(want)
+		tokens := sc.pool.Acquire(want)
 		if tokens == 0 {
 			t.res = Result{Status: Canceled, Stats: Stats{Aborted: true}}
 			t.bs = BlockStatus{Fn: g.Fn.Name, Block: g.Block.Name, Status: Canceled}
 			return
 		}
-		defer sc.pool.release(tokens)
+		defer sc.pool.Release(tokens)
 		t.res, t.bs = searchBlockSafe(sc.ctx, g, sc.taskConfig(cfg, tokens))
 	}()
 }
@@ -270,7 +274,7 @@ func (sc *selScheduler) specMulti(g *dfg.Graph, fp uint64, m int, cfg Config) bo
 		sc.mu.Unlock()
 		return true
 	}
-	if !sc.pool.tryAcquireSpec() {
+	if !sc.pool.TryAcquireSpec() {
 		sc.mu.Unlock()
 		return false
 	}
@@ -288,7 +292,7 @@ func (sc *selScheduler) specMulti(g *dfg.Graph, fp uint64, m int, cfg Config) bo
 	if _, ok := sc.tasks[key]; ok {
 		sc.mu.Unlock()
 		tcancel()
-		sc.pool.release(1) // lost the race: the demand task supersedes us
+		sc.pool.Release(1) // lost the race: the demand task supersedes us
 		return true
 	}
 	sc.tasks[key] = t
@@ -299,7 +303,7 @@ func (sc *selScheduler) specMulti(g *dfg.Graph, fp uint64, m int, cfg Config) bo
 		defer sc.wg.Done()
 		defer close(t.done)
 		defer guardTask(cfg.Probe, g.Fn.Name, g.Block.Name, &t.bs)
-		defer sc.pool.release(1)
+		defer sc.pool.Release(1)
 		t.mres, t.bs = searchBlockMultiSafe(tctx, g, m, sc.taskConfig(cfg, 1))
 	}()
 	return true
@@ -335,7 +339,7 @@ func (sc *selScheduler) demandSingle(g *dfg.Graph, fp uint64, cfg Config, want i
 // trusted). The collapse itself runs inside the task, off the driver's
 // critical path. Returns nil when the pool has no idle capacity.
 func (sc *selScheduler) specCollapseSearch(g *dfg.Graph, cut dfg.Cut, name string, hwCycles int, prev Result, cfg Config) *selTask {
-	if !sc.pool.tryAcquireSpec() {
+	if !sc.pool.TryAcquireSpec() {
 		return nil
 	}
 	sc.fireSpecLaunch(func() { cfg.Probe.SpecLaunch(g.Fn.Name+"/"+g.Block.Name, 0, true) })
@@ -349,7 +353,7 @@ func (sc *selScheduler) specCollapseSearch(g *dfg.Graph, cut dfg.Cut, name strin
 		defer sc.wg.Done()
 		defer close(t.done)
 		defer guardTask(cfg.Probe, g.Fn.Name, g.Block.Name, &t.bs)
-		defer sc.pool.release(1)
+		defer sc.pool.Release(1)
 		ng, err := g.CollapseIncr(cut, name, hwCycles)
 		if err != nil {
 			t.bs = BlockStatus{Fn: g.Fn.Name, Block: g.Block.Name, Status: Recovered, Err: err}
@@ -524,6 +528,7 @@ func selectOptimalScheduled(ctx context.Context, mod *ir.Module, ninstr int, cfg
 				Block:        bgs[i].b,
 				InstrIndexes: instrIndexesOf(bgs[i].g, c),
 				Est:          r.Ests[j],
+				ChosenAt:     -1,
 			}
 			if memo.enabled() {
 				sel.CutHash = bgs[i].g.CutCanonHash(c)
@@ -669,6 +674,7 @@ func selectIterativeScheduled(ctx context.Context, mod *ir.Module, ninstr int, c
 			Block:        bgs[bestB].b,
 			InstrIndexes: instrIndexesOf(st.g, st.best.Cut),
 			Est:          st.best.Est,
+			ChosenAt:     chosen,
 		}
 		if memo.enabled() {
 			sel.CutHash = st.g.CutCanonHash(st.best.Cut)

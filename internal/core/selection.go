@@ -23,6 +23,14 @@ type Selected struct {
 	// compute the same function and could share one hardware
 	// implementation. Zero when Config.Dedup is off.
 	CutHash dfg.CanonDigest
+	// ChosenAt is the greedy iteration (0-based) at which the iterative
+	// drivers picked this instruction — the key to Ninstr prefix sharing:
+	// because the greedy outer loop is identical at every budget, the
+	// instructions with ChosenAt < k of an ninstr = N run are bit-identical
+	// to a full ninstr = k run, for every k ≤ N. The optimal drivers
+	// revise earlier picks when a block's M-cut assignment changes, so
+	// they report -1 (no prefix property).
+	ChosenAt int
 }
 
 // SharedInstruction is a group of at least two selected instructions
@@ -336,6 +344,7 @@ func SelectOptimalCtx(ctx context.Context, m *ir.Module, ninstr int, cfg Config)
 				Block:        bgs[i].b,
 				InstrIndexes: instrIndexesOf(bgs[i].g, c),
 				Est:          r.Ests[j],
+				ChosenAt:     -1,
 			}
 			if memo.enabled() {
 				sel.CutHash = bgs[i].g.CutCanonHash(c)
@@ -411,9 +420,19 @@ func SelectIterativeCtx(ctx context.Context, m *ir.Module, ninstr int, cfg Confi
 		leader := dedupPlan(memo, hs, func(i int) *dfg.Graph { return bgs[i].g }, len(bgs))
 		results := make([]Result, len(bgs))
 		stats := make([]BlockStatus, len(bgs))
+		// Leaders consult the memo before searching — a no-op for a
+		// private memo (necessarily empty here) but a real hit when a
+		// shared DedupCache already holds a twin from another selection
+		// call; this mirrors the serial path, whose identify() is
+		// lookup-first.
+		adopted := make([]bool, len(bgs))
 		var wg sync.WaitGroup
 		for i := range bgs {
 			if leader[i] != i {
+				continue
+			}
+			if r, bb, ok := memo.lookupSingle(bgs[i].g, hs[i]); ok {
+				adopted[i], results[i], stats[i] = true, r, bb
 				continue
 			}
 			wg.Add(1)
@@ -425,6 +444,12 @@ func SelectIterativeCtx(ctx context.Context, m *ir.Module, ninstr int, cfg Confi
 		wg.Wait()
 		for i := range bgs {
 			if leader[i] == i {
+				if adopted[i] {
+					res.DedupHits++
+					states[i].best = results[i]
+					blockStat[i] = stats[i]
+					continue
+				}
 				res.IdentCalls++
 				res.Stats.add(results[i].Stats)
 				states[i].best = results[i]
@@ -466,6 +491,7 @@ func SelectIterativeCtx(ctx context.Context, m *ir.Module, ninstr int, cfg Confi
 			Block:        bgs[bestB].b,
 			InstrIndexes: instrIndexesOf(st.g, st.best.Cut),
 			Est:          st.best.Est,
+			ChosenAt:     chosen,
 		}
 		if memo.enabled() {
 			sel.CutHash = st.g.CutCanonHash(st.best.Cut)

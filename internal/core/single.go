@@ -113,6 +113,12 @@ type Config struct {
 	// IdentCalls or Stats, and selected cuts that canonicalize identically
 	// are grouped in SelectionResult.SharedInstructions. Off by default.
 	Dedup bool
+	// DedupCache, when non-nil (and Dedup set), replaces the selection
+	// call's private cross-block memo with this shared, concurrency-safe
+	// cache (see DedupCache): isomorphic blocks across selection calls —
+	// e.g. different benchmarks at the same DSE grid point — then share
+	// one identification. Nil keeps the per-call memo.
+	DedupCache *DedupCache
 	// ISEGen races an ISEGEN-style Kernighan–Lin toggle engine (see
 	// isegen.go) against the exact search on blocks larger than the §9
 	// fallback window. The racer publishes Legal/Evaluate-revalidated
@@ -122,6 +128,24 @@ type Config struct {
 	// the anytime ladder adopts the racer's best answer (RungIterative)
 	// only when the exact search did not terminate. Off by default.
 	ISEGen bool
+	// Seeds, when non-nil, warm-starts every exact single-cut search from
+	// the best stored cut for the graph's fingerprint and publishes each
+	// exhaustive search's winner back into the book (see SeedBook). This
+	// is how the DSE sweep shares incumbents across neighboring grid
+	// points: constraint monotonicity makes a tight point's winner a legal
+	// incumbent at every looser point, and the Legal/Evaluate revalidation
+	// on lookup makes the transfer sound in every direction. Seeding uses
+	// the W−1 rule, so completed searches are bit-identical with the book
+	// present or absent; only the explored tree shrinks. Nil by default.
+	Seeds *SeedBook
+	// Pool, when non-nil, admission-gates every per-block search of the
+	// non-speculative selection drivers on this shared CPUPool: each
+	// in-flight block search holds exactly one slot for its duration, so
+	// concurrent selection calls sharing one pool (the DSE sweep's grid
+	// tasks) bound their total CPU draw to the pool's capacity instead of
+	// multiplying. The speculative scheduler (Speculate) ignores it — it
+	// brings its own pool of max(Workers, 1) slots. Nil disables gating.
+	Pool *CPUPool
 	// Probe, when non-nil, enables the search telemetry subsystem: a
 	// flight recorder of typed search events, an atomic metrics
 	// registry, or both (see internal/obs). Observation is strictly
@@ -248,6 +272,21 @@ func FindBestCutCtx(ctx context.Context, g *dfg.Graph, cfg Config) Result {
 		cfg.Window = 0
 		return FindBestCutWindowedCtx(ctx, g, cfg, w)
 	}
+	if cfg.Seeds != nil {
+		// Detach the book, upgrade the incumbent seed from it, run the
+		// search normally, and publish the winner back. Only exhaustive
+		// winners are stored: a budget-stopped incumbent from the parallel
+		// engine can depend on timing, and the book must stay a function of
+		// completed work (see SeedBook on determinism).
+		book, fp := cfg.Seeds, g.Fingerprint()
+		cfg.Seeds = nil
+		cfg = book.applySeed(g, fp, cfg)
+		res := FindBestCutCtx(ctx, g, cfg)
+		if res.Found && res.Status == Exhaustive {
+			book.put(fp, res.Cut)
+		}
+		return res
+	}
 	if cfg.Workers > 0 {
 		return findBestCutParallel(ctx, g, cfg)
 	}
@@ -326,6 +365,7 @@ func findWarmIncumbent(ctx context.Context, g *dfg.Graph, cfg Config) Result {
 	// The warm pass searches Restrict views; the block-level racer bound
 	// is not sound there (see Config.race).
 	cfg.race = nil
+	cfg.Seeds = nil // a book seed need not be legal on a Restrict view
 	cfg.Probe = cfg.Probe.MetricsOnly()
 	return FindBestCutWindowedCtx(ctx, g, cfg.stripSeed(), warmWindow)
 }

@@ -47,6 +47,9 @@ func FindBestCutWindowedCtx(ctx context.Context, g *dfg.Graph, cfg Config, windo
 	// window may genuinely contain nothing that beats it.
 	cfg = cfg.stripSeed()
 	cfg.race = nil
+	// A seed book keyed by full-graph fingerprints must not collect (or
+	// serve) Restrict-view cuts.
+	cfg.Seeds = nil
 	n := g.NumOps()
 	if window <= 0 || window >= n {
 		return FindBestCutCtx(ctx, g, cfg)

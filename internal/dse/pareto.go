@@ -1,0 +1,76 @@
+package dse
+
+import "sort"
+
+// ParetoPoint is one non-dominated grid point of a (benchmark, target)
+// report, the machine-readable answer to "which configurations are
+// worth building". Nin/Nout identify the cheapest constraint point the
+// metrics were observed at (ties keep every witness).
+type ParetoPoint struct {
+	Nin     int     `json:"nin"`
+	Nout    int     `json:"nout"`
+	Ninstr  int     `json:"ninstr"`
+	Speedup float64 `json:"speedup"`
+	Clamped bool    `json:"clamped,omitempty"`
+	Area    float64 `json:"area"`
+	Merit   int64   `json:"merit"`
+}
+
+// dominates reports whether a is at least as good as b on every
+// objective — speedup maximized, area and instruction count minimized —
+// and strictly better on at least one. Port counts are not objectives:
+// they are the configuration axis, and a loose point that merely ties a
+// tight one does not dominate it (both survive; the report keeps every
+// witness of a frontier value).
+func dominates(a, b Cell) bool {
+	if a.Speedup < b.Speedup || a.Area > b.Area || a.Ninstr > b.Ninstr {
+		return false
+	}
+	return a.Speedup > b.Speedup || a.Area < b.Area || a.Ninstr < b.Ninstr
+}
+
+// paretoFrontier filters the cells of one (benchmark, target) to the
+// non-dominated set over (speedup ↑, area ↓, ninstr ↓), sorted by
+// ascending area (then ninstr, speedup, nin, nout — a total order, so
+// the frontier is deterministic for deterministic cells).
+func paretoFrontier(cells []Cell) []ParetoPoint {
+	var front []ParetoPoint
+	for i, c := range cells {
+		dominated := false
+		for j, d := range cells {
+			if i != j && dominates(d, c) {
+				dominated = true
+				break
+			}
+		}
+		if dominated {
+			continue
+		}
+		front = append(front, ParetoPoint{
+			Nin:     c.Nin,
+			Nout:    c.Nout,
+			Ninstr:  c.Ninstr,
+			Speedup: c.Speedup,
+			Clamped: c.Clamped,
+			Area:    c.Area,
+			Merit:   c.Merit,
+		})
+	}
+	sort.Slice(front, func(i, j int) bool {
+		a, b := front[i], front[j]
+		if a.Area != b.Area {
+			return a.Area < b.Area
+		}
+		if a.Ninstr != b.Ninstr {
+			return a.Ninstr < b.Ninstr
+		}
+		if a.Speedup != b.Speedup {
+			return a.Speedup < b.Speedup
+		}
+		if a.Nin != b.Nin {
+			return a.Nin < b.Nin
+		}
+		return a.Nout < b.Nout
+	})
+	return front
+}

@@ -1,0 +1,225 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"os"
+	"reflect"
+	"runtime"
+	"strings"
+	"time"
+
+	"isex/internal/dse"
+)
+
+// This file measures the PR 9 design-space-exploration sweep (package
+// dse): the same grid is materialized twice — once in the cold
+// reference mode (one dedicated serial selection per cell, no sharing)
+// and once warm (monotone constraint seeding, Ninstr prefix derivation,
+// shared cross-chain dedup, pool-gated parallelism) — and the report
+// carries both wall clocks plus the per-cell outcomes. The warm sweep
+// is only admissible as a perf optimization if it changes nothing, so
+// DSEBench fails hard on the first cell whose selected instructions or
+// merit diverge from the cold reference; the divergence check is the
+// point of the artifact, not a nicety (BENCH_PR9.json regenerates in
+// CI and re-certifies the contract on every change).
+
+// DSEBenchEntry is one grid cell's outcome (identical in both modes by
+// construction — DSEBench errors out otherwise).
+type DSEBenchEntry struct {
+	Benchmark    string `json:"benchmark"`
+	Target       string `json:"target"`
+	Nin          int    `json:"nin"`
+	Nout         int    `json:"nout"`
+	Ninstr       int    `json:"ninstr"`
+	Merit        int64  `json:"merit"`
+	Instructions int    `json:"instructions"`
+	Status       string `json:"status"`
+}
+
+// DSEBenchReport is the BENCH_PR9.json payload.
+type DSEBenchReport struct {
+	Schema    string `json:"schema"`
+	Generated string `json:"generated"`
+	GoVersion string `json:"go"`
+	GOOS      string `json:"goos"`
+	GOARCH    string `json:"goarch"`
+	NumCPU    int    `json:"num_cpu"`
+
+	Benchmarks  []string `json:"benchmarks"`
+	Targets     []string `json:"targets"`
+	Constraints [][2]int `json:"constraints"`
+	Ninstr      []int    `json:"ninstr"`
+	Budget      int64    `json:"budget"`
+	Workers     int      `json:"workers"`
+
+	// ColdNs and WarmNs are the two sweeps' wall clocks; Ratio is
+	// cold/warm — the factor the sharing machinery buys at identical
+	// per-cell results.
+	ColdNs float64 `json:"cold_ns"`
+	WarmNs float64 `json:"warm_ns"`
+	Ratio  float64 `json:"ratio"`
+
+	// Warm-sweep telemetry: how the time was saved.
+	Cells          int   `json:"cells"`
+	ColdSelections int   `json:"cold_selections"`
+	WarmSelections int   `json:"warm_selections"`
+	SeedHits       int64 `json:"seed_hits"`
+	SeedMisses     int64 `json:"seed_misses"`
+	DedupHits      int   `json:"dedup_hits"`
+
+	Entries []DSEBenchEntry `json:"entries"`
+}
+
+// DSEBench runs the grid cold and warm and returns the comparison
+// report. It errors on the first cell whose selection diverges between
+// the modes — the warm sweep's correctness contract.
+func DSEBench(opt dse.Options) (*DSEBenchReport, error) {
+	ctx := context.Background()
+
+	coldOpt := opt
+	coldOpt.Cold = true
+	start := time.Now()
+	coldRep, coldStats, err := dse.Sweep(ctx, coldOpt)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: cold sweep: %w", err)
+	}
+	coldNs := time.Since(start)
+
+	warmOpt := opt
+	warmOpt.Cold = false
+	start = time.Now()
+	warmRep, warmStats, err := dse.Sweep(ctx, warmOpt)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: warm sweep: %w", err)
+	}
+	warmNs := time.Since(start)
+
+	rep := &DSEBenchReport{
+		Schema:         "isex-dse-bench/v1",
+		Generated:      time.Now().UTC().Format(time.RFC3339),
+		GoVersion:      runtime.Version(),
+		GOOS:           runtime.GOOS,
+		GOARCH:         runtime.GOARCH,
+		NumCPU:         runtime.NumCPU(),
+		Targets:        warmRep.Targets,
+		Constraints:    warmRep.Constraints,
+		Ninstr:         warmRep.Ninstr,
+		Budget:         warmRep.Budget,
+		Workers:        warmOpt.Workers,
+		ColdNs:         float64(coldNs.Nanoseconds()),
+		WarmNs:         float64(warmNs.Nanoseconds()),
+		ColdSelections: coldStats.Selections,
+		WarmSelections: warmStats.Selections,
+		SeedHits:       warmStats.SeedHits,
+		SeedMisses:     warmStats.SeedMisses,
+		DedupHits:      warmStats.DedupHits,
+	}
+	for _, b := range warmRep.Benchmarks {
+		rep.Benchmarks = append(rep.Benchmarks, b.Benchmark)
+	}
+	if rep.WarmNs > 0 {
+		rep.Ratio = rep.ColdNs / rep.WarmNs
+	}
+
+	if len(warmRep.Benchmarks) != len(coldRep.Benchmarks) {
+		return nil, fmt.Errorf("experiments: dse bench: benchmark count diverged (%d vs %d)",
+			len(warmRep.Benchmarks), len(coldRep.Benchmarks))
+	}
+	for bi := range warmRep.Benchmarks {
+		wb, cb := warmRep.Benchmarks[bi], coldRep.Benchmarks[bi]
+		for ti := range wb.Targets {
+			wt, ct := wb.Targets[ti], cb.Targets[ti]
+			if len(wt.Cells) != len(ct.Cells) {
+				return nil, fmt.Errorf("experiments: dse bench: %s/%s cell count diverged (%d vs %d)",
+					wb.Benchmark, wt.Target, len(wt.Cells), len(ct.Cells))
+			}
+			for i := range wt.Cells {
+				wc, cc := wt.Cells[i], ct.Cells[i]
+				if wc.Merit != cc.Merit || !reflect.DeepEqual(wc.Instructions, cc.Instructions) {
+					return nil, fmt.Errorf(
+						"experiments: dse bench: %s/%s (%d,%d) ninstr=%d: warm selection diverged from cold reference (merit %d vs %d) — the sharing machinery is not result-preserving here",
+						wb.Benchmark, wt.Target, wc.Nin, wc.Nout, wc.Ninstr, wc.Merit, cc.Merit)
+				}
+				rep.Cells++
+				rep.Entries = append(rep.Entries, DSEBenchEntry{
+					Benchmark:    wb.Benchmark,
+					Target:       wt.Target,
+					Nin:          wc.Nin,
+					Nout:         wc.Nout,
+					Ninstr:       wc.Ninstr,
+					Merit:        wc.Merit,
+					Instructions: len(wc.Instructions),
+					Status:       wc.Status,
+				})
+			}
+		}
+	}
+	return rep, nil
+}
+
+// WriteJSON writes the report to path (pretty-printed, trailing newline).
+func (r *DSEBenchReport) WriteJSON(path string) error {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// DSETable renders a sweep report (the deterministic Pareto artifact)
+// for terminal output: per (benchmark, target), the baseline, the cell
+// grid, and the Pareto frontier.
+func DSETable(rep *dse.Report, stats *dse.Stats) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "DSE sweep (%s mode) — constraints %v, ninstr %v, budget %d\n",
+		rep.Mode, rep.Constraints, rep.Ninstr, rep.Budget)
+	if stats != nil {
+		fmt.Fprintf(&sb, "%.2fs wall, %d selections, %d ident calls, %d seed hits, %d dedup hits\n",
+			stats.Elapsed.Seconds(), stats.Selections, stats.IdentCalls, stats.SeedHits, stats.DedupHits)
+	}
+	for _, b := range rep.Benchmarks {
+		for _, t := range b.Targets {
+			fmt.Fprintf(&sb, "\n%s on %s — baseline %d cycles\n", b.Benchmark, t.Target, t.BaselineCycles)
+			fmt.Fprintf(&sb, "  %5s %6s %9s %8s %8s %6s %14s\n",
+				"ports", "ninstr", "merit", "speedup", "area", "instrs", "status")
+			for _, c := range t.Cells {
+				mark := ""
+				if c.Clamped {
+					mark = "†"
+				}
+				fmt.Fprintf(&sb, "  %2d/%-2d %6d %9d %7.3f%s %8.2f %6d %14s\n",
+					c.Nin, c.Nout, c.Ninstr, c.Merit, c.Speedup, mark, c.Area, len(c.Instructions), c.Status)
+			}
+			fmt.Fprintf(&sb, "  Pareto frontier (area ↑ as speedup ↑):\n")
+			for _, p := range t.Pareto {
+				mark := ""
+				if p.Clamped {
+					mark = "†"
+				}
+				fmt.Fprintf(&sb, "    area %8.2f  speedup %7.3f%s  ninstr %2d at %d/%d ports\n",
+					p.Area, p.Speedup, mark, p.Ninstr, p.Nin, p.Nout)
+			}
+		}
+	}
+	return sb.String()
+}
+
+// DSEBenchTable renders the report for terminal output.
+func DSEBenchTable(r *DSEBenchReport) string {
+	var sb strings.Builder
+	fmt.Fprintf(&sb, "DSE sweep benchmark — %v × %v × %v constraints × %v ninstr, budget %d, %d workers, %s %s/%s, %d CPU\n",
+		r.Benchmarks, r.Targets, r.Constraints, r.Ninstr, r.Budget, r.Workers,
+		r.GoVersion, r.GOOS, r.GOARCH, r.NumCPU)
+	fmt.Fprintf(&sb, "cold serial %.2fs → warm parallel %.2fs: %.2fx (%d cells bit-identical; %d vs %d selections, %d seed hits, %d dedup hits)\n\n",
+		r.ColdNs/1e9, r.WarmNs/1e9, r.Ratio, r.Cells,
+		r.ColdSelections, r.WarmSelections, r.SeedHits, r.DedupHits)
+	fmt.Fprintf(&sb, "%-14s %-10s %5s %6s %8s %6s %14s\n",
+		"benchmark", "target", "ports", "ninstr", "merit", "instrs", "status")
+	for _, e := range r.Entries {
+		fmt.Fprintf(&sb, "%-14s %-10s %2d/%-2d %6d %8d %6d %14s\n",
+			e.Benchmark, e.Target, e.Nin, e.Nout, e.Ninstr, e.Merit, e.Instructions, e.Status)
+	}
+	return sb.String()
+}

@@ -14,6 +14,7 @@ import (
 	"isex/internal/baseline"
 	"isex/internal/core"
 	"isex/internal/dfg"
+	"isex/internal/dse"
 	"isex/internal/interp"
 	"isex/internal/ir"
 	"isex/internal/latency"
@@ -102,6 +103,11 @@ type Cell struct {
 	// is then a lower bound (the paper could not run Optimal on
 	// adpcmdecode at all for the same reason).
 	Aborted bool
+	// Clamped marks cells whose summed merit reached or exceeded the
+	// baseline cycle count: Speedup was capped at float64(baseline)
+	// instead of being reported as a silently bogus quotient (see
+	// dse.EstSpeedup). Profiled block frequencies make this possible.
+	Clamped bool
 	// Status is the worst per-block search status of the selection;
 	// anything but Exhaustive means Speedup is a sound lower bound.
 	Status core.SearchStatus
@@ -130,6 +136,26 @@ type CompareOptions struct {
 	// Deadline, when positive, bounds each selection call's wall clock;
 	// cells that trip it report a degraded (lower-bound) status.
 	Deadline time.Duration
+	// Engine knobs, forwarded to core.Config for the exact methods
+	// (Optimal/Iterative; the linear baselines ignore them). All are
+	// result-preserving on searches that complete, so Fig. 11 numbers
+	// do not change — only the wall clock does.
+	//
+	// Workers sets the per-search worker count (0 = serial);
+	// Parallel searches a selection's blocks concurrently; Speculate
+	// runs the work-stealing scheduler with speculative lookahead;
+	// Dedup adopts results across isomorphic blocks; ISEGen races the
+	// Kernighan–Lin toggle engine on exploding blocks; WarmStart seeds
+	// each search with a windowed heuristic incumbent; PruneInputs and
+	// PruneMerit enable the §6.1 input-count and merit-bound prunings.
+	Workers     int
+	Parallel    bool
+	Speculate   bool
+	Dedup       bool
+	ISEGen      bool
+	WarmStart   bool
+	PruneInputs bool
+	PruneMerit  bool
 }
 
 // DefaultCompareOptions mirrors the paper's setup: three benchmarks,
@@ -172,7 +198,13 @@ func Compare(opt CompareOptions) ([]ComparisonRow, error) {
 			return nil, err
 		}
 		for _, c := range opt.Constraints {
-			cfg := core.Config{Nin: c[0], Nout: c[1], Model: model, MaxCuts: opt.Budget}
+			cfg := core.Config{
+				Nin: c[0], Nout: c[1], Model: model, MaxCuts: opt.Budget,
+				Workers: opt.Workers, Parallel: opt.Parallel,
+				Speculate: opt.Speculate, Dedup: opt.Dedup,
+				ISEGen: opt.ISEGen, WarmStart: opt.WarmStart,
+				PruneInputs: opt.PruneInputs, PruneMerit: opt.PruneMerit,
+			}
 			for _, n := range opt.Ninstr {
 				row := ComparisonRow{
 					Benchmark: bname, Nin: c[0], Nout: c[1], Ninstr: n,
@@ -185,11 +217,13 @@ func Compare(opt CompareOptions) ([]ComparisonRow, error) {
 					}
 					sel := runSelection(ctx, method, prof, n, cfg)
 					cancel()
+					speedup, clamped := dse.EstSpeedup(base, sel.TotalMerit)
 					cell := Cell{
 						Instructions: len(sel.Instructions),
 						Aborted:      sel.Stats.Aborted,
 						Status:       sel.Status,
-						Speedup:      estSpeedup(base, sel.TotalMerit),
+						Speedup:      speedup,
+						Clamped:      clamped,
 					}
 					if opt.Measure && len(sel.Instructions) > 0 {
 						ms, err := measure(k, sel, model, base)
@@ -207,11 +241,12 @@ func Compare(opt CompareOptions) ([]ComparisonRow, error) {
 	return rows, nil
 }
 
+// estSpeedup is dse.EstSpeedup with the clamp flag dropped, for figure
+// paths that render the estimate alone; Fig. 11 cells keep the flag
+// (Cell.Clamped).
 func estSpeedup(base, merit int64) float64 {
-	if merit >= base {
-		return float64(base)
-	}
-	return float64(base) / float64(base-merit)
+	s, _ := dse.EstSpeedup(base, merit)
+	return s
 }
 
 // measure patches a fresh copy of the kernel with sel's cuts (re-deriving
@@ -269,6 +304,9 @@ func ComparisonTable(rows []ComparisonRow, methods []Method, measured bool) stri
 			if c.Aborted || c.Status != core.Exhaustive {
 				s += "*"
 			}
+			if c.Clamped {
+				s += "†"
+			}
 			cells = append(cells, s)
 			if measured {
 				cells = append(cells, fmt.Sprintf("%.3f", c.Measured))
@@ -276,7 +314,9 @@ func ComparisonTable(rows []ComparisonRow, methods []Method, measured bool) stri
 		}
 		t.AddRow(cells...)
 	}
-	return t.String() + "(* identification stopped early — cut budget, deadline, or recovered failure; value is a lower bound)\n"
+	return t.String() +
+		"(* identification stopped early — cut budget, deadline, or recovered failure; value is a lower bound)\n" +
+		"(† estimated merit reached the baseline cycle count; speedup clamped — trust the simulator column, not the estimate)\n"
 }
 
 // hotBlock returns the most frequently executed block that actually has
