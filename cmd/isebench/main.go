@@ -42,6 +42,10 @@
 //	                          # racer-less ladder on exploding blocks at
 //	                          # 2/1, 4/2 and 8/4 ports: merit, gap to the
 //	                          # proven optimum, and time-to-best
+//	isebench -fig analyzebench -analyzejson BENCH_PR10.json
+//	                          # causal-span A/A overhead (span IDs are
+//	                          # always on; the pair bounds what they can
+//	                          # cost) plus analyzer cost and determinism
 package main
 
 import (
@@ -77,21 +81,22 @@ type cliOpts struct {
 	prune     bool
 
 	// DSE sweep axes.
-	targets    []string
-	sweepMode  string
-	benchJSON  string
-	parJSON    string
-	selJSON    string
-	obsJSON    string
-	dedupJSON  string
-	klJSON     string
-	dseJSON    string
-	dseBenJSON string
+	targets     []string
+	sweepMode   string
+	benchJSON   string
+	parJSON     string
+	selJSON     string
+	obsJSON     string
+	dedupJSON   string
+	klJSON      string
+	analyzeJSON string
+	dseJSON     string
+	dseBenJSON  string
 }
 
 func main() {
 	var o cliOpts
-	fig := flag.String("fig", "all", "which figure to regenerate: 3, 5, 7, 8, 11, runtime, area, tradeoff, vliw, ifconv, ablation, bench, parbench, selbench, obsbench, dedupbench, klbench, dse, dsebench, all")
+	fig := flag.String("fig", "all", "which figure to regenerate: 3, 5, 7, 8, 11, runtime, area, tradeoff, vliw, ifconv, ablation, bench, parbench, selbench, obsbench, dedupbench, klbench, analyzebench, dse, dsebench, all")
 	flag.Int64Var(&o.budget, "budget", experiments.DefaultBudget, "cut budget per identification call")
 	flag.BoolVar(&o.measure, "measure", false, "Fig. 11: additionally patch and measure on the cycle simulator")
 	flag.BoolVar(&o.optimal, "optimal", false, "Fig. 11: include the Optimal selection (slow on large blocks)")
@@ -112,6 +117,7 @@ func main() {
 	flag.StringVar(&o.obsJSON, "obsjson", "", "with -fig obsbench (or all): write the telemetry overhead benchmark report to this file as JSON (e.g. BENCH_PR5.json)")
 	flag.StringVar(&o.dedupJSON, "dedupjson", "", "with -fig dedupbench (or all): write the cross-block dedup benchmark report to this file as JSON (e.g. BENCH_PR7.json)")
 	flag.StringVar(&o.klJSON, "kljson", "", "with -fig klbench (or all): write the iterative racer benchmark report to this file as JSON (e.g. BENCH_PR8.json)")
+	flag.StringVar(&o.analyzeJSON, "analyzejson", "", "with -fig analyzebench (or all): write the span-ID/analyzer benchmark report to this file as JSON (e.g. BENCH_PR10.json)")
 	flag.StringVar(&o.dseJSON, "dsejson", "", "with -fig dse (or all): write the deterministic sweep/Pareto report to this file as JSON")
 	flag.StringVar(&o.dseBenJSON, "dsebenchjson", "", "with -fig dsebench: write the cold-vs-warm sweep benchmark report to this file as JSON (e.g. BENCH_PR9.json)")
 	flag.Parse()
@@ -223,6 +229,20 @@ func run(want func(string) bool, o cliOpts) error {
 				return err
 			}
 			fmt.Printf("wrote %s\n", o.klJSON)
+		}
+	}
+
+	if want("analyzebench") || o.analyzeJSON != "" {
+		rep, err := experiments.AnalyzeBench()
+		if err != nil {
+			return err
+		}
+		section(experiments.AnalyzeBenchTable(rep))
+		if o.analyzeJSON != "" {
+			if err := rep.WriteJSON(o.analyzeJSON); err != nil {
+				return err
+			}
+			fmt.Printf("wrote %s\n", o.analyzeJSON)
 		}
 	}
 

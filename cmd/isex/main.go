@@ -99,14 +99,22 @@ func run() error {
 		sweepConstraints = flag.String("constraints", "", "-sweep: comma-separated nin/nout grid points, e.g. 2/1,4/2,4/3,8/4 (default: those four)")
 		sweepNinstr      = flag.String("ninstrs", "", "-sweep: comma-separated instruction budgets (default 1,2,4,8,16)")
 		sweepMode        = flag.String("sweep-mode", "warm", "-sweep: warm (monotone seeding, shared dedup, pool-gated parallelism) or cold (dedicated serial reference; bit-identical cells)")
-		sweepJSON        = flag.String("sweep-json", "", "-sweep: write the deterministic sweep/Pareto report to this file as JSON")
+		sweepJSON        = flag.String("sweep-json", "", "-sweep: write the deterministic sweep/Pareto report to this file as JSON (with -trace, an attribution section derived from the cell spans is merged in)")
+		sweepProgress    = flag.Bool("progress", false, "-sweep: render live per-chain/per-cell progress (queued/searching/done, current block and rung, ETA from completed-cell rates) to stderr; also served as JSON at /sweep/status when -metrics-addr is set")
 
-		tracePath   = flag.String("trace", "", "record the search's flight-recorder timeline and write it as JSONL (one event per line) to this file")
+		tracePath   = flag.String("trace", "", "record the search's flight-recorder timeline and write it as JSONL (one event per line) to this file; works for single runs and -sweep")
 		traceChrome = flag.String("trace-chrome", "", "record the search timeline and write it in Chrome trace_event format (load in Perfetto / chrome://tracing)")
-		metricsAddr = flag.String("metrics-addr", "", "serve live search metrics over HTTP on this address (e.g. :6060): Prometheus text on /metrics, expvar JSON on /debug/vars, pprof on /debug/pprof/")
+		metricsAddr = flag.String("metrics-addr", "", "serve live search metrics over HTTP on this address (e.g. :6060): Prometheus text on /metrics, expvar JSON on /debug/vars, pprof on /debug/pprof/, and with -sweep the live sweep status on /sweep/status")
 		jsonOut     = flag.Bool("json", false, "emit the selection report as JSON on stdout instead of the table (includes per-block statuses, Stats, and telemetry counters)")
+
+		explainPath = flag.String("explain", "", "read a recorded flight-recorder JSONL trace (from -trace), lift it into the causal span tree, and print the deterministic search-attribution report; exits afterwards")
+		explainJSON = flag.Bool("explain-json", false, "with -explain: emit the attribution report as JSON instead of text")
 	)
 	flag.Parse()
+
+	if *explainPath != "" {
+		return runExplain(*explainPath, *explainJSON)
+	}
 
 	if *list {
 		for _, k := range workload.All() {
@@ -127,7 +135,9 @@ func run() error {
 			}
 		})
 		return runSweep(*kernel, *sweepTargets, *sweepConstraints, *sweepNinstr,
-			*sweepMode, *sweepJSON, *budget, *workers, isegenSet && *isegen, *deadline)
+			*sweepMode, *sweepJSON, *budget, *workers, isegenSet && *isegen, *deadline,
+			sweepIO{tracePath: *tracePath, traceChrome: *traceChrome,
+				metricsAddr: *metricsAddr, progress: *sweepProgress})
 	}
 
 	var (

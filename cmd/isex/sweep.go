@@ -2,15 +2,32 @@ package main
 
 import (
 	"context"
+	"encoding/json"
+	"expvar"
 	"fmt"
+	"net/http"
 	"os"
 	"strconv"
 	"strings"
 	"time"
 
 	"isex/internal/dse"
+	"isex/internal/obs"
+	"isex/internal/obs/analyze"
 	"isex/internal/report"
 )
+
+// sweepIO carries the observability knobs of a -sweep run: trace
+// outputs, the live-metrics address, and the terminal progress surface.
+// All purely observational — the deterministic report does not depend
+// on any of them (the optional attribution section is additive and only
+// present when tracing is on).
+type sweepIO struct {
+	tracePath   string
+	traceChrome string
+	metricsAddr string
+	progress    bool
+}
 
 // runSweep is the -sweep entry: a design-space-exploration sweep over
 // the (constraints × ninstr × kernel × target) grid, warm-started via
@@ -18,7 +35,7 @@ import (
 // table prints one section per (kernel, target) with the Pareto
 // frontier; -sweep-json writes the deterministic machine-readable
 // report (byte-identical across -workers values and shard orders).
-func runSweep(kernels, targets, constraints, ninstrs, mode, jsonPath string, budget int64, workers int, isegen bool, deadline time.Duration) error {
+func runSweep(kernels, targets, constraints, ninstrs, mode, jsonPath string, budget int64, workers int, isegen bool, deadline time.Duration, sio sweepIO) error {
 	opt := dse.DefaultOptions()
 	if kernels != "" {
 		opt.Benchmarks = splitList(kernels)
@@ -53,15 +70,101 @@ func runSweep(kernels, targets, constraints, ninstrs, mode, jsonPath string, bud
 	}
 	opt.ISEGen = isegen
 
+	// Observability: one recorder shared by all chains when a trace is
+	// wanted (race-clean: per-searcher rings plus the locked sys ring),
+	// a live progress tracker for -progress and /sweep/status, and the
+	// metrics registry when an HTTP reader exists.
+	wantRec := sio.tracePath != "" || sio.traceChrome != ""
+	var probe *obs.Probe
+	if wantRec || sio.metricsAddr != "" {
+		probe = &obs.Probe{}
+		if wantRec {
+			probe.Rec = obs.NewRecorder(obs.DefaultRingCap)
+		}
+		if sio.metricsAddr != "" {
+			probe.Met = obs.NewMetrics(obs.NewRegistry())
+		}
+		opt.Probe = probe
+	}
+	if sio.progress || sio.metricsAddr != "" {
+		opt.Progress = dse.NewProgress()
+	}
+	if sio.metricsAddr != "" {
+		reg := probe.Met.Registry()
+		expvar.Publish("isex", expvar.Func(func() any { return reg.Snapshot() }))
+		http.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "text/plain; version=0.0.4")
+			reg.WritePrometheus(w)
+		})
+		pr := opt.Progress
+		http.HandleFunc("/sweep/status", func(w http.ResponseWriter, _ *http.Request) {
+			w.Header().Set("Content-Type", "application/json")
+			_ = json.NewEncoder(w).Encode(pr.Snapshot())
+		})
+		go func() {
+			if err := http.ListenAndServe(sio.metricsAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "isex: metrics server:", err)
+			}
+		}()
+		fmt.Fprintf(os.Stderr, "serving live sweep status on %s (/sweep/status, /metrics, /debug/vars, /debug/pprof/)\n", sio.metricsAddr)
+	}
+
 	ctx := context.Background()
 	if deadline > 0 {
 		var cancel context.CancelFunc
 		ctx, cancel = context.WithTimeout(ctx, deadline)
 		defer cancel()
 	}
+
+	// The terminal progress surface redraws every two seconds while the
+	// sweep runs; the final render lands after completion so short
+	// sweeps still show their outcome once.
+	doneCh := make(chan struct{})
+	renderDone := make(chan struct{})
+	if sio.progress {
+		go func() {
+			defer close(renderDone)
+			t := time.NewTicker(2 * time.Second)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					opt.Progress.Render(os.Stderr)
+				case <-doneCh:
+					opt.Progress.Render(os.Stderr)
+					return
+				}
+			}
+		}()
+	}
+
 	rep, stats, err := dse.Sweep(ctx, opt)
+	close(doneCh)
+	if sio.progress {
+		<-renderDone
+	}
 	if err != nil {
 		return err
+	}
+
+	if wantRec {
+		events := probe.Rec.Merge()
+		if n := probe.Rec.Dropped(); n > 0 {
+			fmt.Fprintf(os.Stderr, "isex: flight recorder dropped %d oldest events (raise ring capacity to keep them)\n", n)
+		}
+		dse.AttachAttribution(rep, events)
+		if sio.tracePath != "" {
+			if err := writeTrace(sio.tracePath, events, obs.WriteJSONL); err != nil {
+				return fmt.Errorf("writing -trace: %w", err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s (%d events, JSONL)\n", sio.tracePath, len(events))
+		}
+		if sio.traceChrome != "" {
+			if err := writeTrace(sio.traceChrome, events, analyze.WriteChrome); err != nil {
+				return fmt.Errorf("writing -trace-chrome: %w", err)
+			}
+			fmt.Fprintf(os.Stderr, "wrote %s (%d events, Chrome trace_event with span nesting)\n", sio.traceChrome, len(events))
+		}
 	}
 
 	fmt.Printf("DSE sweep (%s mode): %v × %v, constraints %v, ninstr %v, budget %d\n",

@@ -356,6 +356,11 @@ func searchBlockSafe(ctx context.Context, g *dfg.Graph, cfg Config) (res Result,
 	start := time.Now()
 	bs = BlockStatus{Fn: g.Fn.Name, Block: g.Block.Name, RacerMerit: -1}
 	tag := bs.Fn + "/" + bs.Block
+	// Every block search owns one causal span: the racer, the rescue
+	// rungs, the engine's worker rings and the sub-searches all inherit
+	// the sub-probe, so their events group under this search in the
+	// analyzer's span tree. One atomic add per block search.
+	cfg.Probe = cfg.Probe.Sub()
 	// The iterative racer (Config.ISEGen) starts together with the exact
 	// search and races rungs 0–1 on its own goroutine; nil when the block
 	// does not qualify. The deferred halt is the backstop for panics that
@@ -500,6 +505,8 @@ func searchBlockMultiSafe(ctx context.Context, g *dfg.Graph, m int, cfg Config) 
 	start := time.Now()
 	bs = BlockStatus{Fn: g.Fn.Name, Block: g.Block.Name, RacerMerit: -1}
 	tag := bs.Fn + "/" + bs.Block
+	// One causal span per block search, exactly as in searchBlockSafe.
+	cfg.Probe = cfg.Probe.Sub()
 	// As in searchBlockSafe: the iterative racer races the exact search
 	// and its single best cut can stand in as a 1-of-m assignment when
 	// the exact search degrades.

@@ -61,23 +61,26 @@ func (b *SeedBook) Stats() (hits, misses int64) {
 
 // put records a winning cut under fp, keeping at most seedFanout
 // distinct cuts (first-come; an identical cut is not duplicated).
-func (b *SeedBook) put(fp uint64, c dfg.Cut) {
+// Reports whether the cut was actually stored, so the probe site only
+// fires for real additions.
+func (b *SeedBook) put(fp uint64, c dfg.Cut) bool {
 	if b == nil || len(c) == 0 {
-		return
+		return false
 	}
 	cp := append(dfg.Cut(nil), c...)
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	entries := b.m[fp]
 	if len(entries) >= seedFanout {
-		return
+		return false
 	}
 	for _, e := range entries {
 		if cutsEqual(e.cut, cp) {
-			return
+			return false
 		}
 	}
 	b.m[fp] = append(entries, seedEntry{cut: cp})
+	return true
 }
 
 // lookup returns the stored cuts for fp (shared slices; callers must
@@ -109,22 +112,31 @@ func cutsEqual(a, c dfg.Cut) bool {
 // withSeed — but only when it strictly beats a seed the caller already
 // armed (the scheduler's own seeds take precedence at equal merit).
 func (b *SeedBook) applySeed(g *dfg.Graph, fp uint64, cfg Config) Config {
+	tag := g.Fn.Name + "/" + g.Block.Name
 	var bestCut dfg.Cut
 	var bestMerit int64
+	rejected := 0
 	for _, e := range b.lookup(fp) {
 		if !g.Legal(e.cut, cfg.Nin, cfg.Nout) {
+			rejected++
 			continue
 		}
 		m := Evaluate(g, e.cut, cfg.model()).Merit
+		if m <= 0 {
+			rejected++
+			continue
+		}
 		if m > bestMerit {
 			bestMerit, bestCut = m, e.cut
 		}
 	}
+	cfg.Probe.SeedReject(tag, rejected)
 	if bestCut == nil {
 		b.misses.Add(1)
 		return cfg
 	}
 	b.hits.Add(1)
+	cfg.Probe.SeedHit(tag, bestMerit, len(bestCut))
 	if cfg.seedOn && cfg.seedMerit >= bestMerit {
 		return cfg
 	}

@@ -203,6 +203,12 @@ func SelectOptimal(m *ir.Module, ninstr int, cfg Config) SelectionResult {
 // Blocks/Status for how trustworthy each block's answer is).
 func SelectOptimalCtx(ctx context.Context, m *ir.Module, ninstr int, cfg Config) (res SelectionResult) {
 	defer guardDriver(cfg.Probe, &res)
+	// One stage span per driver invocation: every block search below —
+	// demand or speculative — links to it as its parent.
+	cfg.Probe = cfg.Probe.BeginStage("select/optimal", ninstr)
+	defer func() {
+		cfg.Probe.EndStage("select/optimal", len(res.Instructions), res.TotalMerit, res.IdentCalls)
+	}()
 	if cfg.Speculate {
 		return selectOptimalScheduled(ctx, m, ninstr, cfg)
 	}
@@ -376,6 +382,11 @@ func SelectIterative(m *ir.Module, ninstr int, cfg Config) SelectionResult {
 // blocks' selections survive.
 func SelectIterativeCtx(ctx context.Context, m *ir.Module, ninstr int, cfg Config) (res SelectionResult) {
 	defer guardDriver(cfg.Probe, &res)
+	// One stage span per driver invocation, as in SelectOptimalCtx.
+	cfg.Probe = cfg.Probe.BeginStage("select/iterative", ninstr)
+	defer func() {
+		cfg.Probe.EndStage("select/iterative", len(res.Instructions), res.TotalMerit, res.IdentCalls)
+	}()
 	if cfg.Speculate {
 		return selectIterativeScheduled(ctx, m, ninstr, cfg)
 	}

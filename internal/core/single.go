@@ -283,7 +283,9 @@ func FindBestCutCtx(ctx context.Context, g *dfg.Graph, cfg Config) Result {
 		cfg = book.applySeed(g, fp, cfg)
 		res := FindBestCutCtx(ctx, g, cfg)
 		if res.Found && res.Status == Exhaustive {
-			book.put(fp, res.Cut)
+			if book.put(fp, res.Cut) {
+				cfg.Probe.SeedPut(g.Fn.Name+"/"+g.Block.Name, res.Est.Merit, len(res.Cut))
+			}
 		}
 		return res
 	}

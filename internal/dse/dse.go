@@ -53,6 +53,8 @@ import (
 	"isex/internal/interp"
 	"isex/internal/ir"
 	"isex/internal/latency"
+	"isex/internal/obs"
+	"isex/internal/obs/analyze"
 	"isex/internal/sim"
 	"isex/internal/workload"
 )
@@ -98,6 +100,17 @@ type Options struct {
 	// ShardSeed permutes the chain launch order. Results do not depend
 	// on it — that is what the determinism tests assert.
 	ShardSeed int64
+	// Probe observes the sweep: each constraint group runs under its own
+	// cell span (obs.Probe.BeginCell) so the analyzer can attribute
+	// search work to grid cells. All chains may share one recorder — the
+	// per-searcher rings and the mutex-guarded sys ring make that
+	// race-clean. Purely observational: results do not depend on it.
+	Probe *obs.Probe
+	// Progress, when non-nil, receives live per-cell status (queued /
+	// searching / done, current block and rung, completed-cell rates)
+	// for the -progress terminal surface and the /sweep/status endpoint.
+	// Purely observational.
+	Progress *Progress
 }
 
 // DefaultOptions is the default grid: the Fig. 11 ADPCM pair on the
@@ -168,6 +181,20 @@ type Report struct {
 	Ninstr      []int             `json:"ninstr"`
 	Targets     []string          `json:"targets"`
 	Benchmarks  []BenchmarkReport `json:"benchmarks"`
+	// Attribution is the deterministic search-attribution section,
+	// present only when the sweep ran under a tracing probe and the
+	// caller merged it in (AttachAttribution). Cell spans key its
+	// entries to this report's grid cells by (chain tag, Nin, Nout).
+	Attribution *analyze.ExplainReport `json:"attribution,omitempty"`
+}
+
+// AttachAttribution lifts a recorded sweep trace into the causal span
+// tree and merges the deterministic per-cell attribution into the
+// report. The events are the merged recorder timeline of the sweep that
+// produced rep (obs.Recorder.Merge or obs.ParseJSONL order).
+func AttachAttribution(rep *Report, events []obs.Event) {
+	exp := analyze.BuildExplain(analyze.Build(events))
+	rep.Attribution = &exp
 }
 
 // Bytes renders the report as indented JSON with a trailing newline.
@@ -276,6 +303,25 @@ func Sweep(ctx context.Context, opt Options) (*Report, *Stats, error) {
 		s.kernels[i], s.modules[i] = k, m
 	}
 
+	if opt.Progress != nil {
+		var keys []cellKey
+		for _, b := range opt.Benchmarks {
+			for _, t := range opt.Targets {
+				chain := b + "/" + t
+				for _, c := range s.order {
+					if opt.Cold {
+						for _, n := range s.ninstr {
+							keys = append(keys, cellKey{chain, c[0], c[1], n})
+						}
+					} else {
+						keys = append(keys, cellKey{chain, c[0], c[1], s.nmax})
+					}
+				}
+			}
+		}
+		opt.Progress.begin(map[bool]string{false: "warm", true: "cold"}[opt.Cold], keys)
+	}
+
 	nchains := len(opt.Benchmarks) * len(opt.Targets)
 	outs := make([]chainOut, nchains)
 	if opt.Cold {
@@ -348,6 +394,40 @@ func (s *sweeper) runChain(ctx context.Context, bi, ti int) chainOut {
 	}
 	out.baseline = base
 
+	// Observation plumbing: the chain's probe carries the shared
+	// recorder (race-clean across chains) and, when live progress is
+	// requested, a chain-scoped Live sink feeding the tracker. Each
+	// constraint group then runs under its own cell span.
+	chain := s.opt.Benchmarks[bi] + "/" + s.opt.Targets[ti]
+	probe := s.opt.Probe
+	if pr := s.opt.Progress; pr != nil {
+		var lp obs.Probe
+		if probe != nil {
+			lp = *probe
+		}
+		prev := lp.Live
+		lp.Live = func(e obs.Event) {
+			if prev != nil {
+				prev(e)
+			}
+			pr.live(chain, e)
+		}
+		probe = &lp
+	}
+	runCell := func(c [2]int, groupMax int, run func(cfg core.Config) core.SelectionResult) core.SelectionResult {
+		if pr := s.opt.Progress; pr != nil {
+			pr.cellStart(chain, c[0], c[1], groupMax)
+		}
+		cp := probe.BeginCell(chain, c[0], c[1], groupMax)
+		cfg := s.cellConfigProbe(c, model, cp)
+		sel := run(cfg)
+		cp.EndCell(chain, c[0], c[1], sel.TotalMerit)
+		if pr := s.opt.Progress; pr != nil {
+			pr.cellDone(chain, c[0], c[1], groupMax, sel.TotalMerit)
+		}
+		return sel
+	}
+
 	var book *core.SeedBook
 	if !s.opt.Cold {
 		book = core.NewSeedBook()
@@ -355,13 +435,19 @@ func (s *sweeper) runChain(ctx context.Context, bi, ti int) chainOut {
 	for _, c := range s.order {
 		if s.opt.Cold {
 			for _, n := range s.ninstr {
-				sel := core.SelectIterativeCtx(ctx, m, n, s.cellConfig(c, model, nil))
+				n := n
+				sel := runCell(c, n, func(cfg core.Config) core.SelectionResult {
+					return core.SelectIterativeCtx(ctx, m, n, cfg)
+				})
 				out.cells = append(out.cells, s.cellsFrom(sel, []int{n}, base, c)...)
 				out.stats.add(sel)
 			}
 			continue
 		}
-		sel := core.SelectIterativeCtx(ctx, m, s.nmax, s.cellConfig(c, model, book))
+		sel := runCell(c, s.nmax, func(cfg core.Config) core.SelectionResult {
+			cfg = s.warmConfig(cfg, book)
+			return core.SelectIterativeCtx(ctx, m, s.nmax, cfg)
+		})
 		out.cells = append(out.cells, s.cellsFrom(sel, s.ninstr, base, c)...)
 		out.stats.add(sel)
 	}
@@ -386,8 +472,8 @@ func (s *sweeper) runChain(ctx context.Context, bi, ti int) chainOut {
 // and cold mode — that is what makes the two modes' completed searches
 // bit-identical; warm mode adds only the result-preserving sharing
 // machinery (seeds, shared dedup, parallel block passes, pool gating).
-func (s *sweeper) cellConfig(c [2]int, model *latency.Model, book *core.SeedBook) core.Config {
-	cfg := core.Config{
+func (s *sweeper) cellConfigProbe(c [2]int, model *latency.Model, probe *obs.Probe) core.Config {
+	return core.Config{
 		Nin:         c[0],
 		Nout:        c[1],
 		Model:       model,
@@ -396,15 +482,19 @@ func (s *sweeper) cellConfig(c [2]int, model *latency.Model, book *core.SeedBook
 		PruneMerit:  true,
 		WarmStart:   true,
 		ISEGen:      s.opt.ISEGen,
+		Probe:       probe,
 	}
-	if book != nil {
-		cfg.Seeds = book
-		cfg.Pool = s.pool
-		cfg.Parallel = true
-		if s.opt.Dedup {
-			cfg.Dedup = true
-			cfg.DedupCache = s.cache
-		}
+}
+
+// warmConfig adds warm mode's result-preserving sharing machinery on
+// top of the base cell configuration.
+func (s *sweeper) warmConfig(cfg core.Config, book *core.SeedBook) core.Config {
+	cfg.Seeds = book
+	cfg.Pool = s.pool
+	cfg.Parallel = true
+	if s.opt.Dedup {
+		cfg.Dedup = true
+		cfg.DedupCache = s.cache
 	}
 	return cfg
 }

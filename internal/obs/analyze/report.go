@@ -1,0 +1,485 @@
+package analyze
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// ---------------------------------------------------------------------
+// Deterministic surface: `isex -explain`.
+//
+// Everything emitted here is a pure function of the search *tree*, not
+// of scheduling: no timestamps, no worker counts, no ring or span IDs,
+// no steal/donate/incumbent-interleaving tallies. For exhaustive runs
+// without the ISEGen racer (which is wall-clock-driven by design) the
+// output is byte-identical across worker counts.
+// ---------------------------------------------------------------------
+
+// ExplainBlock is the deterministic view of one block search.
+type ExplainBlock struct {
+	Tag         string `json:"tag"`
+	Ops         int64  `json:"ops"`
+	Status      string `json:"status"`
+	Merit       int64  `json:"merit"`
+	Cuts        int64  `json:"cuts_considered"`
+	Prunes      int64  `json:"feasibility_prunes"`
+	Bounds      int64  `json:"bound_prunes"`
+	WarmMerit   int64  `json:"warm_merit,omitempty"`
+	SeedMerit   int64  `json:"seed_merit,omitempty"`
+	SeedPuts    int64  `json:"seed_puts,omitempty"`
+	SeedRejects int64  `json:"seed_rejects,omitempty"`
+	Rescue      string `json:"rescue,omitempty"`
+	Greedy      string `json:"greedy,omitempty"`
+	Panics      int64  `json:"panics,omitempty"`
+}
+
+// ExplainStage is the deterministic view of one selection stage.
+type ExplainStage struct {
+	Tag          string         `json:"tag"`
+	Ninstr       int64          `json:"ninstr"`
+	Selected     int64          `json:"selected"`
+	TotalMerit   int64          `json:"total_merit"`
+	IdentCalls   int64          `json:"ident_calls"`
+	Cuts         int64          `json:"cuts_considered"`
+	Prunes       int64          `json:"feasibility_prunes"`
+	Bounds       int64          `json:"bound_prunes"`
+	DedupHits    int64          `json:"dedup_hits"`
+	DedupMiss    int64          `json:"dedup_misses"`
+	DedupSaved   int64          `json:"dedup_cuts_avoided_est"`
+	Collapses    int64          `json:"collapses,omitempty"`
+	SeededBlocks int64          `json:"seeded_blocks,omitempty"`
+	HeadStartPct float64        `json:"seed_head_start_pct,omitempty"`
+	Blocks       []ExplainBlock `json:"blocks"`
+}
+
+// ExplainCell is the deterministic view of one DSE constraint group.
+type ExplainCell struct {
+	Tag    string         `json:"tag"`
+	Nin    int64          `json:"nin"`
+	Nout   int64          `json:"nout"`
+	Ninstr int64          `json:"ninstr"`
+	Merit  int64          `json:"merit"`
+	Stages []ExplainStage `json:"stages"`
+}
+
+// ExplainReport is the deterministic attribution report. Trace-size
+// counters (event/orphan/unscoped totals) are deliberately absent: the
+// engine's coordination events (steals, donations, watchdog samples)
+// vary with worker count, so any raw event tally would break the
+// byte-identity contract. They live in the full summary instead.
+type ExplainReport struct {
+	Schema string         `json:"schema"`
+	Cells  []ExplainCell  `json:"cells,omitempty"`
+	Stages []ExplainStage `json:"stages,omitempty"`
+	Blocks []ExplainBlock `json:"blocks,omitempty"`
+}
+
+// ExplainSchema versions the deterministic report.
+const ExplainSchema = "isex-explain/v1"
+
+func rungOutcome(tried, found bool, merit int64) string {
+	switch {
+	case !tried:
+		return ""
+	case found:
+		return fmt.Sprintf("found merit=%d", merit)
+	default:
+		return "empty"
+	}
+}
+
+func explainBlock(b *Block) ExplainBlock {
+	return ExplainBlock{
+		Tag:         b.Tag,
+		Ops:         b.Ops,
+		Status:      StatusName(b.Status),
+		Merit:       b.Merit,
+		Cuts:        b.Cuts,
+		Prunes:      b.Prunes,
+		Bounds:      b.Bounds,
+		WarmMerit:   b.WarmMerit,
+		SeedMerit:   b.SeedMerit,
+		SeedPuts:    b.SeedPuts,
+		SeedRejects: b.SeedRejects,
+		Rescue:      rungOutcome(b.RescueTried, b.RescueFound, b.RescueMerit),
+		Greedy:      rungOutcome(b.GreedyTried, b.GreedyFound, b.GreedyMerit),
+		Panics:      b.Panics,
+	}
+}
+
+// sortedBlocks orders a stage's blocks deterministically: by tag, then
+// by first-event order within a tag (same-tag searches inside one stage
+// are sequential selection rounds, so trace order is logical order).
+func sortedBlocks(blocks []*Block) []*Block {
+	out := append([]*Block(nil), blocks...)
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Tag < out[j].Tag })
+	return out
+}
+
+func explainStage(s *Stage) ExplainStage {
+	es := ExplainStage{
+		Tag:        s.Tag,
+		Ninstr:     s.Ninstr,
+		Selected:   s.Selected,
+		TotalMerit: s.TotalMerit,
+		IdentCalls: s.IdentCalls,
+		DedupHits:  s.DedupHits,
+		DedupMiss:  s.DedupMisses,
+		Collapses:  s.Collapses,
+	}
+	var searched, seeded int64
+	var headStart float64
+	for _, b := range sortedBlocks(s.Blocks) {
+		es.Cuts += b.Cuts
+		es.Prunes += b.Prunes
+		es.Bounds += b.Bounds
+		if b.Cuts > 0 {
+			searched++
+		}
+		if b.SeedMerit > 0 && b.Merit > 0 {
+			seeded++
+			headStart += float64(b.SeedMerit) / float64(b.Merit)
+		}
+		es.Blocks = append(es.Blocks, explainBlock(b))
+	}
+	es.SeededBlocks = seeded
+	if seeded > 0 {
+		es.HeadStartPct = round2(100 * headStart / float64(seeded))
+	}
+	// Dedup savings estimate: each hit skipped a search that would have
+	// considered roughly as many cuts as the average searched block in
+	// the same stage. An estimate, labeled as such in the text report.
+	if searched > 0 {
+		es.DedupSaved = es.DedupHits * (es.Cuts / searched)
+	}
+	return es
+}
+
+func round2(f float64) float64 {
+	return float64(int64(f*100+0.5)) / 100
+}
+
+// BuildExplain derives the deterministic report from a span tree.
+func BuildExplain(a *Analysis) ExplainReport {
+	r := ExplainReport{Schema: ExplainSchema}
+	cells := append([]*Cell(nil), a.Cells...)
+	sort.SliceStable(cells, func(i, j int) bool {
+		a, b := cells[i], cells[j]
+		if a.Tag != b.Tag {
+			return a.Tag < b.Tag
+		}
+		if a.Nin != b.Nin {
+			return a.Nin < b.Nin
+		}
+		if a.Nout != b.Nout {
+			return a.Nout < b.Nout
+		}
+		return a.Ninstr < b.Ninstr
+	})
+	for _, c := range cells {
+		ec := ExplainCell{Tag: c.Tag, Nin: c.Nin, Nout: c.Nout, Ninstr: c.Ninstr, Merit: c.Merit}
+		for _, s := range c.Stages {
+			ec.Stages = append(ec.Stages, explainStage(s))
+		}
+		r.Cells = append(r.Cells, ec)
+	}
+	for _, s := range a.TopStages {
+		r.Stages = append(r.Stages, explainStage(s))
+	}
+	for _, b := range sortedBlocks(a.TopBlocks) {
+		r.Blocks = append(r.Blocks, explainBlock(b))
+	}
+	return r
+}
+
+// WriteExplain renders the deterministic report as text.
+func WriteExplain(w io.Writer, a *Analysis) {
+	r := BuildExplain(a)
+	fmt.Fprintf(w, "search attribution (%s)\n", r.Schema)
+	for _, c := range r.Cells {
+		fmt.Fprintf(w, "\ncell %s Nin=%d Nout=%d ninstr<=%d merit=%d\n",
+			c.Tag, c.Nin, c.Nout, c.Ninstr, c.Merit)
+		for _, s := range c.Stages {
+			writeExplainStage(w, s, "  ")
+		}
+	}
+	for _, s := range r.Stages {
+		fmt.Fprintln(w)
+		writeExplainStage(w, s, "")
+	}
+	for _, b := range r.Blocks {
+		writeExplainBlock(w, b, "")
+	}
+}
+
+func writeExplainStage(w io.Writer, s ExplainStage, indent string) {
+	fmt.Fprintf(w, "%sstage %s ninstr=%d selected=%d merit=%d ident_calls=%d\n",
+		indent, s.Tag, s.Ninstr, s.Selected, s.TotalMerit, s.IdentCalls)
+	fmt.Fprintf(w, "%s  pruning: %d cuts considered, %d feasibility-pruned, %d bound-pruned\n",
+		indent, s.Cuts, s.Prunes, s.Bounds)
+	if s.DedupHits+s.DedupMiss > 0 {
+		fmt.Fprintf(w, "%s  dedup: %d hits / %d misses (~%d cuts avoided, est)\n",
+			indent, s.DedupHits, s.DedupMiss, s.DedupSaved)
+	}
+	if s.SeededBlocks > 0 {
+		fmt.Fprintf(w, "%s  seed-book: %d blocks warm-started, %.2f%% avg merit head start\n",
+			indent, s.SeededBlocks, s.HeadStartPct)
+	}
+	if s.Collapses > 0 {
+		fmt.Fprintf(w, "%s  collapses: %d\n", indent, s.Collapses)
+	}
+	for _, b := range s.Blocks {
+		writeExplainBlock(w, b, indent+"  ")
+	}
+}
+
+func writeExplainBlock(w io.Writer, b ExplainBlock, indent string) {
+	fmt.Fprintf(w, "%sblock %s ops=%d %s merit=%d cuts=%d prune=%d bound=%d",
+		indent, b.Tag, b.Ops, b.Status, b.Merit, b.Cuts, b.Prunes, b.Bounds)
+	if b.SeedMerit > 0 {
+		fmt.Fprintf(w, " seed=%d", b.SeedMerit)
+	}
+	if b.WarmMerit > 0 {
+		fmt.Fprintf(w, " warm=%d", b.WarmMerit)
+	}
+	if b.SeedPuts > 0 {
+		fmt.Fprintf(w, " puts=%d", b.SeedPuts)
+	}
+	if b.SeedRejects > 0 {
+		fmt.Fprintf(w, " seed_rej=%d", b.SeedRejects)
+	}
+	if b.Rescue != "" {
+		fmt.Fprintf(w, " rescue[%s]", b.Rescue)
+	}
+	if b.Greedy != "" {
+		fmt.Fprintf(w, " greedy[%s]", b.Greedy)
+	}
+	if b.Panics > 0 {
+		fmt.Fprintf(w, " panics=%d", b.Panics)
+	}
+	fmt.Fprintln(w)
+}
+
+// ---------------------------------------------------------------------
+// Full surface: cmd/isetrace. Timings, worker lanes, critical paths —
+// byte-stable only against a fixed recorded trace.
+// ---------------------------------------------------------------------
+
+func fmtNS(ns int64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.3fs", float64(ns)/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.3fms", float64(ns)/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fus", float64(ns)/1e3)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}
+
+// Utilization returns the fraction of (lanes × block duration) covered
+// by lane activity windows, in percent. 0 when unknowable.
+func (b *Block) Utilization() float64 {
+	d := b.Duration()
+	if d <= 0 || len(b.Lanes) == 0 {
+		return 0
+	}
+	var active int64
+	for _, l := range b.Lanes {
+		if l.LastT > l.FirstT {
+			active += l.LastT - l.FirstT
+		}
+	}
+	return 100 * float64(active) / float64(d*int64(len(b.Lanes)))
+}
+
+// WriteSummary renders the full-mode per-span summary with timings.
+func WriteSummary(w io.Writer, a *Analysis) {
+	fmt.Fprintf(w, "trace: %d events, %d cells, %d stages, %d block searches",
+		a.Events, len(a.Cells), len(a.Stages), len(a.Blocks))
+	if a.Unscoped > 0 {
+		fmt.Fprintf(w, ", %d unscoped", a.Unscoped)
+	}
+	if a.Orphans > 0 {
+		fmt.Fprintf(w, ", %d orphaned", a.Orphans)
+	}
+	fmt.Fprintln(w)
+	for _, c := range a.Cells {
+		fmt.Fprintf(w, "\ncell %s Nin=%d Nout=%d ninstr<=%d merit=%d wall=%s\n",
+			c.Tag, c.Nin, c.Nout, c.Ninstr, c.Merit, fmtNS(c.Duration()))
+		for _, s := range c.Stages {
+			writeSummaryStage(w, s, "  ")
+		}
+	}
+	for _, s := range a.TopStages {
+		fmt.Fprintln(w)
+		writeSummaryStage(w, s, "")
+	}
+	for _, b := range a.TopBlocks {
+		writeSummaryBlock(w, b, "")
+	}
+}
+
+func writeSummaryStage(w io.Writer, s *Stage, indent string) {
+	fmt.Fprintf(w, "%sstage %s ninstr=%d wall=%s selected=%d merit=%d blocks=%d dedup=%d/%d\n",
+		indent, s.Tag, s.Ninstr, fmtNS(s.Duration()), s.Selected, s.TotalMerit,
+		len(s.Blocks), s.DedupHits, s.DedupHits+s.DedupMisses)
+	// Heaviest blocks first: that is what a human reading a summary wants.
+	blocks := append([]*Block(nil), s.Blocks...)
+	sort.SliceStable(blocks, func(i, j int) bool { return blocks[i].Duration() > blocks[j].Duration() })
+	for _, b := range blocks {
+		writeSummaryBlock(w, b, indent+"  ")
+	}
+}
+
+func writeSummaryBlock(w io.Writer, b *Block, indent string) {
+	fmt.Fprintf(w, "%sblock %s ops=%d wall=%s %s merit=%d cuts=%d workers=%d lanes=%d util=%.1f%%",
+		indent, b.Tag, b.Ops, fmtNS(b.Duration()), StatusName(b.Status),
+		b.Merit, b.Cuts, b.Workers, len(b.Lanes), b.Utilization())
+	if b.Steals+b.Donates+b.Resplits > 0 {
+		fmt.Fprintf(w, " steal=%d(+%d sub) donate=%d resplit=%d",
+			b.Steals, b.StolenSubs, b.Donates, b.Resplits)
+	}
+	if len(b.RacerPubs) > 0 {
+		fmt.Fprintf(w, " racer_pubs=%d restarts=%d", len(b.RacerPubs), b.RacerRestarts)
+	}
+	if b.RacerAdopted {
+		fmt.Fprintf(w, " racer_adopted(merit=%d)", b.RacerAdoptMerit)
+	}
+	fmt.Fprintln(w)
+}
+
+// WriteLanes renders per-worker lane economics for every block search.
+func WriteLanes(w io.Writer, a *Analysis) {
+	for _, b := range a.Blocks {
+		fmt.Fprintf(w, "block %s wall=%s lanes=%d util=%.1f%%\n",
+			b.Tag, fmtNS(b.Duration()), len(b.Lanes), b.Utilization())
+		for _, l := range b.Lanes {
+			active := l.LastT - l.FirstT
+			if active < 0 {
+				active = 0
+			}
+			fmt.Fprintf(w, "  ring %d: active=%s events=%d prune=%d bound=%d inc=%d steal=%d(+%d) donate=%d resplit=%d stop=%d\n",
+				l.Ring, fmtNS(active), l.Events, l.Prunes, l.Bounds,
+				l.Incumbents, l.Steals, l.StolenSubs, l.Donates, l.Resplits, l.Stops)
+		}
+	}
+}
+
+// CriticalHop is one step on a span's critical path.
+type CriticalHop struct {
+	T     int64 // relative to the path root's start
+	Label string
+}
+
+// criticalBlock lists the decisive moments inside one block search: the
+// seed/warm head start, each incumbent improvement, racer publications
+// and adoptions, rescue/greedy rungs, and the end.
+func criticalBlock(b *Block, epoch int64) []CriticalHop {
+	var hops []CriticalHop
+	add := func(t int64, format string, args ...any) {
+		hops = append(hops, CriticalHop{T: t - epoch, Label: fmt.Sprintf(format, args...)})
+	}
+	add(b.StartT, "block %s start (ops=%d)", b.Tag, b.Ops)
+	if b.SeedMerit > 0 {
+		add(b.StartT, "seed-book incumbent merit=%d", b.SeedMerit)
+	}
+	for _, s := range b.Incumbent {
+		add(s.T, "incumbent merit=%d after %d cuts", s.Merit, s.Cuts)
+	}
+	for _, p := range b.RacerPubs {
+		add(p.T, "racer publish merit=%d (restart %d)", p.Merit, p.Restart)
+	}
+	if b.RescueTried {
+		add(b.EndT, "rescue rung: %s", rungOutcome(true, b.RescueFound, b.RescueMerit))
+	}
+	if b.GreedyTried {
+		add(b.EndT, "greedy rung: %s", rungOutcome(true, b.GreedyFound, b.GreedyMerit))
+	}
+	if b.Ended {
+		add(b.EndT, "block end %s merit=%d cuts=%d", StatusName(b.Status), b.Merit, b.Cuts)
+	}
+	sort.SliceStable(hops, func(i, j int) bool { return hops[i].T < hops[j].T })
+	return hops
+}
+
+func longestBlock(blocks []*Block) *Block {
+	var best *Block
+	for _, b := range blocks {
+		if best == nil || b.EndT > best.EndT {
+			best = b
+		}
+	}
+	return best
+}
+
+func longestStage(stages []*Stage) *Stage {
+	var best *Stage
+	for _, s := range stages {
+		if best == nil || s.EndT > best.EndT {
+			best = s
+		}
+	}
+	return best
+}
+
+// WriteCritical renders the critical path: for every root span (cell,
+// top-level stage, top-level block) the chain of children that finished
+// last, then the decisive moments inside the terminal block search.
+func WriteCritical(w io.Writer, a *Analysis) {
+	writeStagePath := func(s *Stage, epoch int64, indent string) {
+		fmt.Fprintf(w, "%s+%s stage %s (wall %s, %d blocks)\n",
+			indent, fmtNS(s.StartT-epoch), s.Tag, fmtNS(s.Duration()), len(s.Blocks))
+		b := longestBlock(s.Blocks)
+		if b == nil {
+			return
+		}
+		fmt.Fprintf(w, "%s  +%s block %s finishes last (wall %s)\n",
+			indent, fmtNS(b.StartT-epoch), b.Tag, fmtNS(b.Duration()))
+		for _, h := range criticalBlock(b, epoch) {
+			fmt.Fprintf(w, "%s    +%s %s\n", indent, fmtNS(h.T), h.Label)
+		}
+	}
+	for _, c := range a.Cells {
+		fmt.Fprintf(w, "critical path: cell %s Nin=%d Nout=%d (wall %s)\n",
+			c.Tag, c.Nin, c.Nout, fmtNS(c.Duration()))
+		if s := longestStage(c.Stages); s != nil {
+			writeStagePath(s, c.StartT, "  ")
+		}
+		fmt.Fprintln(w)
+	}
+	for _, s := range a.TopStages {
+		fmt.Fprintf(w, "critical path: stage %s (wall %s)\n", s.Tag, fmtNS(s.Duration()))
+		writeStagePath(s, s.StartT, "  ")
+		fmt.Fprintln(w)
+	}
+	for _, b := range a.TopBlocks {
+		fmt.Fprintf(w, "critical path: block %s (wall %s)\n", b.Tag, fmtNS(b.Duration()))
+		for _, h := range criticalBlock(b, b.StartT) {
+			fmt.Fprintf(w, "  +%s %s\n", fmtNS(h.T), h.Label)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Render returns a named full-mode rendering as a string; used by
+// cmd/isetrace and the golden-trace tests.
+func Render(a *Analysis, mode string) (string, error) {
+	var sb strings.Builder
+	switch mode {
+	case "summary":
+		WriteSummary(&sb, a)
+	case "critical":
+		WriteCritical(&sb, a)
+	case "lanes":
+		WriteLanes(&sb, a)
+	case "explain":
+		WriteExplain(&sb, a)
+	default:
+		return "", fmt.Errorf("unknown render mode %q", mode)
+	}
+	return sb.String(), nil
+}

@@ -107,8 +107,39 @@ const (
 	// answer after the exact search degraded: A the adopted merit, B the
 	// merit the exact rungs had (or -1). Tag is "fn/block".
 	KRacerAdopt
+	// KStageStart marks a selection driver entering: one stage span per
+	// SelectIterativeCtx/SelectOptimalCtx invocation. Tag is the driver
+	// name ("select/iterative", "select/optimal"), A the parent span (0
+	// at top level), B the instruction budget ninstr. The event's Span is
+	// the freshly allocated stage span; block searches launched by the
+	// driver carry it as their parent.
+	KStageStart
+	// KStageEnd marks the driver returning: A the number of instructions
+	// selected, B the total merit, C the identification calls consumed.
+	KStageEnd
+	// KCellStart marks a DSE chain beginning one constraint group's
+	// selection. Tag is "benchmark/target", A is Nin, B is Nout, C the
+	// maximum Ninstr the group searches. The event's Span is the cell
+	// span; the group's selection stage carries it as its parent.
+	KCellStart
+	// KCellEnd marks the constraint group done: A is Nin, B is Nout, C
+	// the selection's total merit.
+	KCellEnd
+	// KSeedPut records a SeedBook storing an exhaustive winner: A its
+	// merit, B the cut size. Tag is "fn/block".
+	KSeedPut
+	// KSeedHit records a SeedBook lookup arming a revalidated incumbent
+	// seed of merit A (B is the cut size). Tag is "fn/block".
+	KSeedHit
+	// KSeedReject records a SeedBook lookup rejecting A stored cuts at
+	// revalidation (illegal at the consuming ports, or non-positive
+	// re-evaluated merit). Tag is "fn/block".
+	KSeedReject
 
-	kindCount = int(KRacerAdopt) + 1
+	// KindCount is the number of defined kinds; kinds are dense, so
+	// Kind(i) for i < KindCount enumerates them (see AllKinds).
+	KindCount = int(KSeedReject) + 1
+	kindCount = KindCount
 )
 
 var kindNames = [kindCount]string{
@@ -136,6 +167,22 @@ var kindNames = [kindCount]string{
 	KRestart:       "restart",
 	KRacerPublish:  "racer_publish",
 	KRacerAdopt:    "racer_adopt",
+	KStageStart:    "stage_start",
+	KStageEnd:      "stage_end",
+	KCellStart:     "cell_start",
+	KCellEnd:       "cell_end",
+	KSeedPut:       "seed_put",
+	KSeedHit:       "seed_hit",
+	KSeedReject:    "seed_reject",
+}
+
+// AllKinds enumerates every defined kind, in declaration order.
+func AllKinds() []Kind {
+	out := make([]Kind, KindCount)
+	for i := range out {
+		out[i] = Kind(i)
+	}
+	return out
 }
 
 // String returns the stable wire name of the kind ("incumbent", "steal",
@@ -151,10 +198,20 @@ func (k Kind) String() string {
 // the owning Recorder's epoch; Ring identifies the buffer that recorded
 // it (one per searcher goroutine, plus the shared "sys" ring 0). The
 // meaning of A, B, C and Tag depends on Kind; unused fields are zero.
+//
+// Span is the causal-span ID the event belongs to (0 = unscoped): block
+// searches, selection stages and DSE cells each allocate one via
+// NextSpan, and parent links ride the payload slots of the span's start
+// event (KSearchStart.C, KStageStart.A, KCellStart.C) — so the flat
+// timeline lifts into the stage → cell → block → worker tree without
+// any per-event parent pointer. Span IDs are process-unique and
+// allocation-order dependent; deterministic analyzer output must never
+// expose raw IDs, only the relations they encode.
 type Event struct {
 	T    int64
 	Ring int32
 	Kind Kind
+	Span int64
 	A    int64
 	B    int64
 	C    int64

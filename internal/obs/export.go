@@ -3,6 +3,7 @@ package obs
 import (
 	"bufio"
 	"encoding/json"
+	"fmt"
 	"io"
 )
 
@@ -12,6 +13,7 @@ type jsonlEvent struct {
 	T    int64  `json:"t_ns"`
 	Ring int32  `json:"ring"`
 	Kind string `json:"kind"`
+	Span int64  `json:"span,omitempty"`
 	A    int64  `json:"a,omitempty"`
 	B    int64  `json:"b,omitempty"`
 	C    int64  `json:"c,omitempty"`
@@ -24,12 +26,60 @@ func WriteJSONL(w io.Writer, events []Event) error {
 	enc := json.NewEncoder(bw)
 	for _, e := range events {
 		je := jsonlEvent{T: e.T, Ring: e.Ring, Kind: e.Kind.String(),
-			A: e.A, B: e.B, C: e.C, Tag: e.Tag}
+			Span: e.Span, A: e.A, B: e.B, C: e.C, Tag: e.Tag}
 		if err := enc.Encode(je); err != nil {
 			return err
 		}
 	}
 	return bw.Flush()
+}
+
+// kindByName is the lazily built reverse of kindNames.
+var kindByName = func() map[string]Kind {
+	m := make(map[string]Kind, KindCount)
+	for i := 0; i < KindCount; i++ {
+		m[Kind(i).String()] = Kind(i)
+	}
+	return m
+}()
+
+// KindByName resolves a wire name ("incumbent", "steal", ...) back to
+// its Kind; ok is false for unknown names. The decode half of
+// Kind.String, used by the JSONL reader in internal/obs/analyze.
+func KindByName(name string) (Kind, bool) {
+	k, ok := kindByName[name]
+	return k, ok
+}
+
+// ParseJSONL reads a WriteJSONL stream back into events. Unknown kind
+// names are an error — the exhaustiveness guard keeps the name table
+// total, so an unknown name means a version mismatch, not a soft skip.
+func ParseJSONL(r io.Reader) ([]Event, error) {
+	var out []Event
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		var je jsonlEvent
+		if err := json.Unmarshal(raw, &je); err != nil {
+			return nil, fmt.Errorf("obs: trace line %d: %w", line, err)
+		}
+		k, ok := KindByName(je.Kind)
+		if !ok {
+			return nil, fmt.Errorf("obs: trace line %d: unknown event kind %q", line, je.Kind)
+		}
+		out = append(out, Event{T: je.T, Ring: je.Ring, Kind: k,
+			Span: je.Span, A: je.A, B: je.B, C: je.C, Tag: je.Tag})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // chromeEvent is one entry of the Chrome trace_event format
@@ -47,22 +97,54 @@ type chromeEvent struct {
 }
 
 // chromeArgNames maps each kind's A/B/C payload onto named trace args.
+// Total over KindCount — the exhaustiveness guard test fails when a new
+// kind forgets its decode entry ("" marks an unused slot).
 var chromeArgNames = map[Kind][3]string{
-	KSearchStart: {"ops", "workers", ""},
-	KSearchEnd:   {"status", "merit", "cuts"},
-	KIncumbent:   {"merit", "cuts", "rank"},
-	KPrune:       {"rank", "", ""},
-	KBound:       {"rank", "incumbent", ""},
-	KSteal:       {"count", "victim", "deque_depth"},
-	KDonate:      {"rank", "", ""},
-	KResplit:     {"depth", "children", ""},
-	KSpecLaunch:  {"m", "collapse", ""},
-	KSpecAdopt:   {"m", "", ""},
-	KSpecDiscard: {"reason", "", ""},
-	KStop:        {"status", "", ""},
-	KRescue:      {"found", "merit", "cuts"},
-	KCollapse:    {"round", "cut_size", ""},
-	KWarmSeed:    {"merit", "", ""},
+	KSearchStart:   {"ops", "workers", "parent_span"},
+	KSearchEnd:     {"status", "merit", "cuts"},
+	KIncumbent:     {"merit", "cuts", "rank"},
+	KPrune:         {"rank", "", ""},
+	KBound:         {"rank", "incumbent", ""},
+	KSteal:         {"count", "victim", "deque_depth"},
+	KDonate:        {"rank", "", ""},
+	KResplit:       {"depth", "children", ""},
+	KSpecLaunch:    {"m", "collapse", ""},
+	KSpecAdopt:     {"m", "", ""},
+	KSpecDiscard:   {"reason", "", ""},
+	KStop:          {"status", "", ""},
+	KRescue:        {"found", "merit", "cuts"},
+	KCollapse:      {"round", "cut_size", ""},
+	KWarmSeed:      {"merit", "", ""},
+	KPanic:         {"attempt", "", ""},
+	KGreedy:        {"found", "merit", "candidates"},
+	KStall:         {"worker", "samples", ""},
+	KDedup:         {"hit", "m", ""},
+	KMemoCollision: {"m", "", ""},
+	KToggle:        {"delta", "total", ""},
+	KRestart:       {"restart", "seed_merit", "seed_size"},
+	KRacerPublish:  {"merit", "restart", "cut_size"},
+	KRacerAdopt:    {"merit", "prev_merit", ""},
+	KStageStart:    {"parent_span", "ninstr", ""},
+	KStageEnd:      {"selected", "total_merit", "ident_calls"},
+	KCellStart:     {"nin", "nout", "ninstr"},
+	KCellEnd:       {"nin", "nout", "merit"},
+	KSeedPut:       {"merit", "cut_size", ""},
+	KSeedHit:       {"merit", "cut_size", ""},
+	KSeedReject:    {"rejected", "", ""},
+}
+
+// KindArgNames returns the named meanings of kind k's A/B/C payload
+// slots ("" = unused). Shared with the analyzer so attribution reports
+// and the Chrome re-export decode payloads identically.
+func KindArgNames(k Kind) [3]string { return chromeArgNames[k] }
+
+// KindHasArgNames reports whether kind k has an arg-name mapping at all.
+// KindArgNames returns the zero value for unmapped kinds, so the
+// exhaustiveness guard needs the membership test to catch a new kind
+// that forgot its entry.
+func KindHasArgNames(k Kind) bool {
+	_, ok := chromeArgNames[k]
+	return ok
 }
 
 // chrome converts an Event to its trace_event form: a thread-scoped
@@ -78,11 +160,14 @@ func (e Event) chrome() chromeEvent {
 		Scope: "t",
 	}
 	names := chromeArgNames[e.Kind]
-	args := make(map[string]any, 4)
+	args := make(map[string]any, 5)
 	for i, v := range [3]int64{e.A, e.B, e.C} {
 		if names[i] != "" {
 			args[names[i]] = v
 		}
+	}
+	if e.Span != 0 {
+		args["span"] = e.Span
 	}
 	if e.Tag != "" {
 		args["tag"] = e.Tag

@@ -1,5 +1,16 @@
 package obs
 
+import "sync/atomic"
+
+// spanCounter allocates process-unique causal-span IDs. Span 0 is
+// reserved for "unscoped"; the first allocated span is 1.
+var spanCounter atomic.Int64
+
+// NextSpan allocates a fresh causal-span ID. Span IDs are process-unique
+// and allocation-order dependent (they encode *relations*, not stable
+// identities): deterministic artifacts must never expose raw IDs.
+func NextSpan() int64 { return spanCounter.Add(1) }
+
 // Metrics is the well-known instrument set the search layers update.
 // Resolving the instruments once here keeps registry lookups off every
 // probe point. All fields are non-nil after NewMetrics.
@@ -56,6 +67,14 @@ type Metrics struct {
 	RacerRestarts  *Counter
 	RacerPublished *Counter
 	RacerAdopted   *Counter
+
+	// Seed-book counters (cross-selection warm starts, DESIGN.md §16).
+	SeedPuts    *Counter
+	SeedHits    *Counter
+	SeedRejects *Counter
+
+	// DSE sweep counters.
+	Cells *Counter
 }
 
 // NewMetrics resolves the well-known instrument set in reg.
@@ -98,6 +117,10 @@ func NewMetrics(reg *Registry) *Metrics {
 		RacerRestarts:   reg.Counter("racer_restarts_total"),
 		RacerPublished:  reg.Counter("racer_incumbents_published_total"),
 		RacerAdopted:    reg.Counter("racer_incumbents_adopted_total"),
+		SeedPuts:        reg.Counter("seed_puts_total"),
+		SeedHits:        reg.Counter("seed_hits_total"),
+		SeedRejects:     reg.Counter("seed_revalidate_rejects_total"),
+		Cells:           reg.Counter("dse_cells_total"),
 	}
 }
 
@@ -123,6 +146,19 @@ type Probe struct {
 	// the method's Site, before any recorder/metrics work — so a fault
 	// injector observes every site even with telemetry off.
 	Inj Injector
+	// Live, when non-nil, receives a copy of every coordinator-side
+	// (sys-ring) event as it is emitted — the feed behind the live sweep
+	// progress surface. Only the rare block/stage/cell-scoped events flow
+	// through it, never the per-worker ring events, so it stays off the
+	// hot loops. The Event's T is zero (Live consumers track their own
+	// clocks); Live must be safe for concurrent use.
+	Live func(Event)
+
+	// span is the causal span the probe's block-scoped events belong to;
+	// parent is the enclosing span (stage or cell). Both ride probe
+	// copies (Sub, BeginStage, BeginCell) so no probe call-site signature
+	// had to change and a shared probe is never mutated.
+	span, parent int64
 }
 
 // fire dispatches a site to the injector, nil-safe on both levels.
@@ -133,19 +169,56 @@ func (p *Probe) fire(s Site, tag string) {
 	p.Inj.Fire(s, tag)
 }
 
+// sysEmit records a coordinator-side event stamped with the probe's
+// span, and feeds the Live sink. Callers gate on p != nil.
+func (p *Probe) sysEmit(k Kind, tag string, a, b, c int64) {
+	if p.Rec != nil {
+		p.Rec.SysSpan(p.span, k, tag, a, b, c)
+	}
+	if p.Live != nil {
+		p.Live(Event{Kind: k, Span: p.span, A: a, B: b, C: c, Tag: tag})
+	}
+}
+
+// SpanID returns the causal span the probe is bound to (0 when nil or
+// unscoped).
+func (p *Probe) SpanID() int64 {
+	if p == nil {
+		return 0
+	}
+	return p.span
+}
+
+// Sub returns a copy of the probe bound to a freshly allocated span
+// whose parent is the probe's current span. The block-search wrappers
+// call it once per search — span allocation is one atomic add, far off
+// the per-cut hot path. Nil-safe.
+func (p *Probe) Sub() *Probe {
+	if p == nil {
+		return nil
+	}
+	q := *p
+	q.parent = p.span
+	q.span = NextSpan()
+	return &q
+}
+
 // MetricsOnly returns a probe that keeps the metrics and hook but drops
-// the flight recorder. Sub-searches that would flood the timeline with
+// the flight recorder (and the Live sink, which is sys-event-paced like
+// the recorder). Sub-searches that would flood the timeline with
 // repetitive fine-grained events (windowed-heuristic windows, warm-start
 // passes) still contribute to the aggregate counters through it.
 // Nil-safe; returns nil when nothing would remain enabled.
 func (p *Probe) MetricsOnly() *Probe {
-	if p == nil || p.Rec == nil {
+	if p == nil || (p.Rec == nil && p.Live == nil) {
 		return p
 	}
 	if p.Met == nil && p.Hook == nil && p.Inj == nil {
 		return nil
 	}
-	return &Probe{Met: p.Met, Hook: p.Hook, Inj: p.Inj}
+	q := *p
+	q.Rec, q.Live = nil, nil
+	return &q
 }
 
 // HookOf returns the probe's hook, nil-safe.
@@ -157,8 +230,10 @@ func (p *Probe) HookOf() func(fn, block string) {
 }
 
 // Attach binds a new searcher goroutine to the probe, allocating it a
-// private flight-recorder ring. Returns nil when the probe is nil or
-// fully disabled, so searchers keep a single `s.obs != nil` gate.
+// private flight-recorder ring stamped with the probe's span (one ring
+// per (block search, worker), so the binding is exact). Returns nil when
+// the probe is nil or fully disabled, so searchers keep a single
+// `s.obs != nil` gate.
 func (p *Probe) Attach() *SearchObs {
 	if p == nil || (p.Rec == nil && p.Met == nil && p.Inj == nil) {
 		return nil
@@ -166,17 +241,19 @@ func (p *Probe) Attach() *SearchObs {
 	o := &SearchObs{met: p.Met, inj: p.Inj}
 	if p.Rec != nil {
 		o.ring = p.Rec.NewRing()
+		o.ring.span = p.span
 	}
 	return o
 }
 
-// Sys records a coordinator-side event if the flight recorder is on.
-// Nil-safe; safe from any goroutine.
+// Sys records a coordinator-side event if the flight recorder or Live
+// sink is on, stamped with the probe's span. Nil-safe; safe from any
+// goroutine.
 func (p *Probe) Sys(k Kind, tag string, a, b, c int64) {
-	if p == nil || p.Rec == nil {
+	if p == nil {
 		return
 	}
-	p.Rec.Sys(k, tag, a, b, c)
+	p.sysEmit(k, tag, a, b, c)
 }
 
 // Count increments counter c if metrics are on. Nil-safe.
@@ -189,6 +266,8 @@ func (p *Probe) Count(c func(*Metrics) *Counter) {
 
 // SearchBegin records a panic-guarded block search starting. Tag is
 // "fn/block"; ops and workers describe the searched graph and engine.
+// The event carries the probe's span and, in the C slot, its parent —
+// the link the analyzer lifts into the stage/cell → block tree.
 func (p *Probe) SearchBegin(tag string, ops, workers int) {
 	if p == nil {
 		return
@@ -197,9 +276,7 @@ func (p *Probe) SearchBegin(tag string, ops, workers int) {
 	if p.Met != nil {
 		p.Met.Searches.Inc()
 	}
-	if p.Rec != nil {
-		p.Rec.Sys(KSearchStart, tag, int64(ops), int64(workers), 0)
-	}
+	p.sysEmit(KSearchStart, tag, int64(ops), int64(workers), p.parent)
 }
 
 // SearchEnd records a block search ending with the given status code,
@@ -209,10 +286,7 @@ func (p *Probe) SearchEnd(tag string, status, merit, cuts int64) {
 		return
 	}
 	p.fire(SiteSearchEnd, tag)
-	if p.Rec == nil {
-		return
-	}
-	p.Rec.Sys(KSearchEnd, tag, status, merit, cuts)
+	p.sysEmit(KSearchEnd, tag, status, merit, cuts)
 }
 
 // Rescue records a §9 windowed rescue attempt after a budget or
@@ -229,13 +303,11 @@ func (p *Probe) Rescue(tag string, found bool, merit, cuts int64) {
 			p.Met.RescueHits.Inc()
 		}
 	}
-	if p.Rec != nil {
-		var f int64
-		if found {
-			f = 1
-		}
-		p.Rec.Sys(KRescue, tag, f, merit, cuts)
+	var f int64
+	if found {
+		f = 1
 	}
+	p.sysEmit(KRescue, tag, f, merit, cuts)
 }
 
 // WarmSeed records a warm-start pass seeding an engine-level incumbent
@@ -248,9 +320,7 @@ func (p *Probe) WarmSeed(merit int64) {
 	if p.Met != nil {
 		p.Met.WarmSeedHits.Inc()
 	}
-	if p.Rec != nil {
-		p.Rec.Sys(KWarmSeed, "", merit, 0, 0)
-	}
+	p.sysEmit(KWarmSeed, "", merit, 0, 0)
 }
 
 // SpecLaunch records the scheduler launching a speculative search (m is
@@ -264,13 +334,11 @@ func (p *Probe) SpecLaunch(tag string, m int, collapse bool) {
 	if p.Met != nil {
 		p.Met.SpecLaunches.Inc()
 	}
-	if p.Rec != nil {
-		var c int64
-		if collapse {
-			c = 1
-		}
-		p.Rec.Sys(KSpecLaunch, tag, int64(m), c, 0)
+	var c int64
+	if collapse {
+		c = 1
 	}
+	p.sysEmit(KSpecLaunch, tag, int64(m), c, 0)
 }
 
 // SpecAdopt records a speculative result consumed by the round logic (a
@@ -284,9 +352,7 @@ func (p *Probe) SpecAdopt(tag string, m int) {
 		p.Met.SpecAdopts.Inc()
 		p.Met.CacheHits.Inc()
 	}
-	if p.Rec != nil {
-		p.Rec.Sys(KSpecAdopt, tag, int64(m), 0, 0)
-	}
+	p.sysEmit(KSpecAdopt, tag, int64(m), 0, 0)
 }
 
 // SpecDiscard records a speculative task discarded as stale.
@@ -298,9 +364,7 @@ func (p *Probe) SpecDiscard(tag string) {
 	if p.Met != nil {
 		p.Met.SpecDiscards.Inc()
 	}
-	if p.Rec != nil {
-		p.Rec.Sys(KSpecDiscard, tag, 0, 0, 0)
-	}
+	p.sysEmit(KSpecDiscard, tag, 0, 0, 0)
 }
 
 // Collapse records a selection-round winner collapse: tag is the
@@ -314,9 +378,7 @@ func (p *Probe) Collapse(tag string, round, cutSize int) {
 	if p.Met != nil {
 		p.Met.Collapses.Inc()
 	}
-	if p.Rec != nil {
-		p.Rec.Sys(KCollapse, tag, int64(round), int64(cutSize), 0)
-	}
+	p.sysEmit(KCollapse, tag, int64(round), int64(cutSize), 0)
 }
 
 // Dedup records a cross-block dedup lookup by a selection driver: hit
@@ -335,13 +397,11 @@ func (p *Probe) Dedup(tag string, hit bool, m int) {
 			p.Met.DedupMisses.Inc()
 		}
 	}
-	if p.Rec != nil {
-		var h int64
-		if hit {
-			h = 1
-		}
-		p.Rec.Sys(KDedup, tag, h, int64(m), 0)
+	var h int64
+	if hit {
+		h = 1
 	}
+	p.sysEmit(KDedup, tag, h, int64(m), 0)
 }
 
 // MemoCollision records the scheduler detecting that a memoized task's
@@ -356,9 +416,7 @@ func (p *Probe) MemoCollision(tag string, m int) {
 	if p.Met != nil {
 		p.Met.MemoCollisions.Inc()
 	}
-	if p.Rec != nil {
-		p.Rec.Sys(KMemoCollision, tag, int64(m), 0, 0)
-	}
+	p.sysEmit(KMemoCollision, tag, int64(m), 0, 0)
 }
 
 // Panic records a recovered panic. Tag is "fn/block" (or a worker
@@ -374,9 +432,7 @@ func (p *Probe) Panic(tag, msg string, attempt int) {
 	if p.Met != nil {
 		p.Met.PanicsRecovered.Inc()
 	}
-	if p.Rec != nil {
-		p.Rec.Sys(KPanic, tag+": "+msg, int64(attempt), 0, 0)
-	}
+	p.sysEmit(KPanic, tag+": "+msg, int64(attempt), 0, 0)
 }
 
 // Greedy records a greedy last-resort rescue attempt (the bottom rung
@@ -393,13 +449,11 @@ func (p *Probe) Greedy(tag string, found bool, merit, cands int64) {
 			p.Met.GreedyHits.Inc()
 		}
 	}
-	if p.Rec != nil {
-		var f int64
-		if found {
-			f = 1
-		}
-		p.Rec.Sys(KGreedy, tag, f, merit, cands)
+	var f int64
+	if found {
+		f = 1
 	}
+	p.sysEmit(KGreedy, tag, f, merit, cands)
 }
 
 // RacerToggles flushes the iterative racer's toggle-iteration tally as
@@ -414,9 +468,7 @@ func (p *Probe) RacerToggles(delta, total int64) {
 	if p.Met != nil {
 		p.Met.RacerToggles.Add(delta)
 	}
-	if p.Rec != nil {
-		p.Rec.Sys(KToggle, "", delta, total, 0)
-	}
+	p.sysEmit(KToggle, "", delta, total, 0)
 }
 
 // RacerRestart records the racer beginning KL restart number restart
@@ -429,9 +481,7 @@ func (p *Probe) RacerRestart(tag string, restart int, seedMerit int64, seedSize 
 	if p.Met != nil {
 		p.Met.RacerRestarts.Inc()
 	}
-	if p.Rec != nil {
-		p.Rec.Sys(KRestart, tag, int64(restart), seedMerit, int64(seedSize))
-	}
+	p.sysEmit(KRestart, tag, int64(restart), seedMerit, int64(seedSize))
 }
 
 // RacerPublish records the racer publishing a Legal/Evaluate revalidated
@@ -445,9 +495,7 @@ func (p *Probe) RacerPublish(tag string, merit int64, restart, cutSize int) {
 	if p.Met != nil {
 		p.Met.RacerPublished.Inc()
 	}
-	if p.Rec != nil {
-		p.Rec.Sys(KRacerPublish, tag, merit, int64(restart), int64(cutSize))
-	}
+	p.sysEmit(KRacerPublish, tag, merit, int64(restart), int64(cutSize))
 }
 
 // RacerAdopt records the anytime layer adopting the racer's best answer
@@ -461,9 +509,7 @@ func (p *Probe) RacerAdopt(tag string, merit, prevMerit int64) {
 	if p.Met != nil {
 		p.Met.RacerAdopted.Inc()
 	}
-	if p.Rec != nil {
-		p.Rec.Sys(KRacerAdopt, tag, merit, prevMerit, 0)
-	}
+	p.sysEmit(KRacerAdopt, tag, merit, prevMerit, 0)
 }
 
 // Stall records the engine watchdog declaring a worker stalled after
@@ -476,9 +522,105 @@ func (p *Probe) Stall(wid, samples int) {
 	if p.Met != nil {
 		p.Met.Stalls.Inc()
 	}
-	if p.Rec != nil {
-		p.Rec.Sys(KStall, "", int64(wid), int64(samples), 0)
+	p.sysEmit(KStall, "", int64(wid), int64(samples), 0)
+}
+
+// BeginStage opens a selection-stage span: one per selection-driver
+// invocation. Tag is the driver name ("select/iterative",
+// "select/optimal"); ninstr the instruction budget. Returns a probe copy
+// bound to the stage span — block searches run with it link to the stage
+// as their parent. Nil-safe (returns nil, and EndStage on nil is a
+// no-op), so drivers thread it unconditionally.
+func (p *Probe) BeginStage(tag string, ninstr int) *Probe {
+	if p == nil {
+		return nil
 	}
+	p.fire(SiteStage, tag)
+	q := *p
+	q.parent = p.span
+	q.span = NextSpan()
+	q.sysEmit(KStageStart, tag, q.parent, int64(ninstr), 0)
+	return &q
+}
+
+// EndStage closes a stage span opened by BeginStage, reporting what the
+// driver selected: the instruction count, total merit, and consumed
+// identification calls.
+func (p *Probe) EndStage(tag string, selected int, totalMerit int64, identCalls int) {
+	if p == nil {
+		return
+	}
+	p.fire(SiteStage, tag)
+	p.sysEmit(KStageEnd, tag, int64(selected), totalMerit, int64(identCalls))
+}
+
+// BeginCell opens a DSE-cell span: one per constraint group of a sweep
+// chain. Tag is "benchmark/target"; nin/nout the port constraints and
+// ninstr the group's maximum instruction budget. Returns a probe copy
+// bound to the cell span, exactly like BeginStage.
+func (p *Probe) BeginCell(tag string, nin, nout, ninstr int) *Probe {
+	if p == nil {
+		return nil
+	}
+	p.fire(SiteCell, tag)
+	if p.Met != nil {
+		p.Met.Cells.Inc()
+	}
+	q := *p
+	q.parent = p.span
+	q.span = NextSpan()
+	q.sysEmit(KCellStart, tag, int64(nin), int64(nout), int64(ninstr))
+	return &q
+}
+
+// EndCell closes a cell span opened by BeginCell with the group's
+// selection outcome.
+func (p *Probe) EndCell(tag string, nin, nout int, totalMerit int64) {
+	if p == nil {
+		return
+	}
+	p.fire(SiteCell, tag)
+	p.sysEmit(KCellEnd, tag, int64(nin), int64(nout), totalMerit)
+}
+
+// SeedPut records a SeedBook storing an exhaustive winner of the given
+// merit and cut size for the block.
+func (p *Probe) SeedPut(tag string, merit int64, size int) {
+	if p == nil {
+		return
+	}
+	p.fire(SiteSeed, tag)
+	if p.Met != nil {
+		p.Met.SeedPuts.Inc()
+	}
+	p.sysEmit(KSeedPut, tag, merit, int64(size), 0)
+}
+
+// SeedHit records a SeedBook lookup arming a revalidated incumbent seed
+// of the given merit and cut size.
+func (p *Probe) SeedHit(tag string, merit int64, size int) {
+	if p == nil {
+		return
+	}
+	p.fire(SiteSeed, tag)
+	if p.Met != nil {
+		p.Met.SeedHits.Inc()
+	}
+	p.sysEmit(KSeedHit, tag, merit, int64(size), 0)
+}
+
+// SeedReject records a SeedBook lookup rejecting rejected stored cuts at
+// revalidation (illegal at the consuming constraints or non-positive
+// re-evaluated merit).
+func (p *Probe) SeedReject(tag string, rejected int) {
+	if p == nil || rejected <= 0 {
+		return
+	}
+	p.fire(SiteSeed, tag)
+	if p.Met != nil {
+		p.Met.SeedRejects.Add(int64(rejected))
+	}
+	p.sysEmit(KSeedReject, tag, int64(rejected), 0, 0)
 }
 
 // SearchObs is one searcher goroutine's view of the probe: a private

@@ -27,6 +27,10 @@ type Ring struct {
 	// epoch mirrors the owning Recorder's epoch so Emit needs no
 	// indirection.
 	epoch time.Time
+	// span is stamped onto every emitted event: each ring serves exactly
+	// one (block search, worker) pair, so binding the span once at
+	// Probe.Attach keeps the hot Emit path to one extra store.
+	span int64
 }
 
 // Emit appends an event, overwriting the oldest when the ring is full.
@@ -35,6 +39,7 @@ func (r *Ring) Emit(k Kind, tag string, a, b, c int64) {
 	e.T = int64(time.Since(r.epoch))
 	e.Ring = r.id
 	e.Kind = k
+	e.Span = r.span
 	e.A, e.B, e.C = a, b, c
 	e.Tag = tag
 	r.n++
@@ -120,8 +125,17 @@ func (rec *Recorder) NewRing() *Ring {
 // Sys records a coordinator-side event on the shared ring 0. Safe from
 // any goroutine.
 func (rec *Recorder) Sys(k Kind, tag string, a, b, c int64) {
+	rec.SysSpan(0, k, tag, a, b, c)
+}
+
+// SysSpan is Sys with an explicit causal-span ID. The shared sys ring
+// has many writers under the recorder mutex, so the span cannot be
+// bound to the ring as searcher rings do — it is stamped per event.
+func (rec *Recorder) SysSpan(span int64, k Kind, tag string, a, b, c int64) {
 	rec.mu.Lock()
+	rec.sys.span = span
 	rec.sys.Emit(k, tag, a, b, c)
+	rec.sys.span = 0
 	rec.mu.Unlock()
 }
 

@@ -72,31 +72,46 @@ const (
 	// the racer's answer (Probe.RacerPublish, Probe.RacerAdopt). Tag is
 	// "fn/block".
 	SiteRacerPublish
+	// SiteStage fires when a selection driver opens or closes its stage
+	// span (Probe.BeginStage, Probe.EndStage). Tag is the driver name.
+	SiteStage
+	// SiteCell fires when a DSE chain opens or closes a constraint
+	// group's cell span (Probe.BeginCell, Probe.EndCell). Tag is
+	// "benchmark/target".
+	SiteCell
+	// SiteSeed fires on every SeedBook interaction: storing an
+	// exhaustive winner, arming a revalidated seed, or rejecting stored
+	// cuts at revalidation (Probe.SeedPut, Probe.SeedHit,
+	// Probe.SeedReject). Tag is "fn/block".
+	SiteSeed
 
-	SiteCount = int(SiteRacerPublish) + 1
+	SiteCount = int(SiteSeed) + 1
 )
 
 var siteNames = [SiteCount]string{
-	SiteSearchBegin: "search_begin",
-	SiteSearchEnd:   "search_end",
-	SiteRescue:      "rescue",
-	SiteGreedy:      "greedy",
-	SitePoll:        "poll",
-	SiteIncumbent:   "incumbent",
-	SiteStop:        "stop",
-	SiteSteal:       "steal",
-	SiteDonate:      "donate",
-	SiteResplit:     "resplit",
-	SitePrune:       "prune",
-	SiteWarmSeed:    "warm_seed",
-	SiteSpecLaunch:  "spec_launch",
-	SiteSpecAdopt:   "spec_adopt",
-	SiteSpecDiscard: "spec_discard",
-	SiteCollapse:    "collapse",
-	SiteDedup:       "dedup",
-	SiteToggle:      "toggle",
-	SiteRestart:     "restart",
+	SiteSearchBegin:  "search_begin",
+	SiteSearchEnd:    "search_end",
+	SiteRescue:       "rescue",
+	SiteGreedy:       "greedy",
+	SitePoll:         "poll",
+	SiteIncumbent:    "incumbent",
+	SiteStop:         "stop",
+	SiteSteal:        "steal",
+	SiteDonate:       "donate",
+	SiteResplit:      "resplit",
+	SitePrune:        "prune",
+	SiteWarmSeed:     "warm_seed",
+	SiteSpecLaunch:   "spec_launch",
+	SiteSpecAdopt:    "spec_adopt",
+	SiteSpecDiscard:  "spec_discard",
+	SiteCollapse:     "collapse",
+	SiteDedup:        "dedup",
+	SiteToggle:       "toggle",
+	SiteRestart:      "restart",
 	SiteRacerPublish: "racer_publish",
+	SiteStage:        "stage",
+	SiteCell:         "cell",
+	SiteSeed:         "seed",
 }
 
 func (s Site) String() string {
@@ -104,6 +119,47 @@ func (s Site) String() string {
 		return siteNames[s]
 	}
 	return fmt.Sprintf("site(%d)", uint8(s))
+}
+
+// siteMetrics maps every site onto the registry instrument names its
+// probe methods may touch. The mapping is total over SiteCount — the
+// exhaustiveness guard test fails when a new site forgets to declare
+// its metrics footprint (an empty slice is a deliberate "no metrics"
+// declaration, a missing entry is drift). Names match NewMetrics.
+var siteMetrics = [SiteCount][]string{
+	SiteSearchBegin:  {"search_block_searches_total"},
+	SiteSearchEnd:    {},
+	SiteRescue:       {"search_rescues_total", "search_rescue_hits_total"},
+	SiteGreedy:       {"search_greedy_rescues_total", "search_greedy_hits_total"},
+	SitePoll:         {"search_cuts_considered_total", "search_cuts_passed_total", "search_cuts_pruned_total", "search_bound_cutoffs_total"},
+	SiteIncumbent:    {"search_incumbents_total"},
+	SiteStop:         {"search_deadline_trips_total", "search_budget_trips_total", "search_cancel_trips_total"},
+	SiteSteal:        {"engine_steals_total", "engine_stolen_subproblems_total", "engine_deque_depth"},
+	SiteDonate:       {"engine_donations_total"},
+	SiteResplit:      {"engine_resplits_total"},
+	SitePrune:        {"search_cuts_pruned_total", "search_bound_cutoffs_total"},
+	SiteWarmSeed:     {"engine_warm_seed_hits_total"},
+	SiteSpecLaunch:   {"sched_spec_launches_total"},
+	SiteSpecAdopt:    {"sched_spec_adopts_total", "sched_cache_hits_total"},
+	SiteSpecDiscard:  {"sched_spec_discards_total"},
+	SiteCollapse:     {"sched_collapses_total"},
+	SiteDedup:        {"sched_dedup_hits_total", "sched_dedup_misses_total"},
+	SiteToggle:       {"racer_toggles_total"},
+	SiteRestart:      {"racer_restarts_total"},
+	SiteRacerPublish: {"racer_incumbents_published_total", "racer_incumbents_adopted_total"},
+	SiteStage:        {},
+	SiteCell:         {"dse_cells_total"},
+	SiteSeed:         {"seed_puts_total", "seed_hits_total", "seed_revalidate_rejects_total"},
+}
+
+// SiteMetricNames returns the registry instrument names site's probe
+// methods may update (nil for out-of-range sites). The slice is shared;
+// treat it as read-only.
+func SiteMetricNames(s Site) []string {
+	if int(s) < len(siteMetrics) {
+		return siteMetrics[s]
+	}
+	return nil
 }
 
 // Injector is the fault-injection hook carried by a Probe. Fire is
